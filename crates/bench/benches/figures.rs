@@ -1,0 +1,7 @@
+//! Custom bench target: regenerates every paper figure at smoke scale so
+//! `cargo bench --workspace` reproduces all table rows.
+
+fn main() {
+    // `cargo bench` passes --bench; ignore harness arguments.
+    println!("{}", bench_harness::run_all(bench_harness::Scale::Smoke));
+}

@@ -1,0 +1,76 @@
+//! Criterion benches and ablations for the congestion-control layer: per-ACK
+//! cost of each algorithm and the DTS exact-exp vs fixed-point Taylor
+//! ablation from Algorithm 1.
+
+use congestion::{AlgorithmKind, SubflowCc};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use mptcp_energy::{epsilon_exact, epsilon_fixed_point, CcChoice};
+
+fn flows() -> Vec<SubflowCc> {
+    let mut out = Vec::new();
+    for (w, rtt) in [(20.0, 0.02), (35.0, 0.05), (12.0, 0.1), (60.0, 0.2)] {
+        let mut f = SubflowCc::new();
+        f.cwnd = w;
+        f.ssthresh = 1.0;
+        f.observe_rtt(rtt * 0.7);
+        f.observe_rtt(rtt);
+        out.push(f);
+    }
+    out
+}
+
+fn bench_per_ack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("per_ack");
+    for kind in AlgorithmKind::ALL {
+        group.bench_function(kind.to_string(), |b| {
+            let mut cc = kind.build(4);
+            let mut fs = flows();
+            let mut r = 0usize;
+            b.iter(|| {
+                cc.on_ack(r % 4, &mut fs, 1, false);
+                r += 1;
+                std::hint::black_box(fs[0].cwnd)
+            })
+        });
+    }
+    for cc_choice in [CcChoice::dts(), CcChoice::dts_phi()] {
+        group.bench_function(cc_choice.label(), |b| {
+            let mut cc = cc_choice.build(4);
+            let mut fs = flows();
+            let mut r = 0usize;
+            b.iter(|| {
+                cc.on_ack(r % 4, &mut fs, 1, false);
+                r += 1;
+                std::hint::black_box(fs[0].cwnd)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_epsilon_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dts_epsilon");
+    group.bench_function("exact_exp", |b| {
+        let mut r = 0u64;
+        b.iter(|| {
+            r += 1;
+            std::hint::black_box(epsilon_exact((r % 1000) as f64 / 1000.0, 10.0, 0.5))
+        })
+    });
+    group.bench_function("fixed_point_taylor", |b| {
+        let mut r = 0u64;
+        b.iter(|| {
+            r += 1;
+            std::hint::black_box(epsilon_fixed_point((r % 1000) as f64 / 1000.0))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_secs(1));
+    targets = bench_per_ack, bench_epsilon_ablation
+}
+criterion_main!(benches);

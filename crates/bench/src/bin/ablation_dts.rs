@@ -1,0 +1,92 @@
+//! Ablations over DTS's design choices:
+//!
+//! * sigmoid slope (the `−10(…)` steepness in Equation (5));
+//! * the Pareto scale `c` (the paper argues `c = 1` preserves fairness);
+//! * exact exponential vs Algorithm 1's fixed-point Taylor expansion.
+//!
+//! Each variant runs the Fig. 5(b) bursty two-path scenario (energy to move
+//! 8 MB) and, for `c`, the fluid-model friendliness ratio.
+//!
+//! Pass --smoke/--quick/--full.
+
+use bench_harness::{table, Scale};
+use mptcp_energy::scenarios::{run_two_path_bursty, BurstyOptions, CcChoice};
+use mptcp_energy::{friendliness_ratio, CcModel, DtsConfig, Psi};
+
+fn opts(scale: Scale) -> BurstyOptions {
+    let transfer = match scale {
+        Scale::Smoke => 4_000_000,
+        Scale::Quick => 24_000_000,
+        Scale::Full => 100_000_000,
+    };
+    BurstyOptions {
+        transfer_bytes: Some(transfer),
+        duration_s: 600.0,
+        ..BurstyOptions::default()
+    }
+}
+
+fn run_cfg(cfg: DtsConfig, o: &BurstyOptions) -> (f64, f64, f64) {
+    let r = run_two_path_bursty(&CcChoice::Dts(cfg), o);
+    (r.energy.joules, r.finish_s.unwrap_or(f64::NAN), r.goodput_bps / 1e6)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let o = opts(scale);
+
+    println!("== sigmoid slope sweep (c = 1, exact exp) ==");
+    let mut rows = Vec::new();
+    for slope in [2.0f64, 5.0, 10.0, 20.0] {
+        let cfg = DtsConfig { slope, ..DtsConfig::default() };
+        let (j, fct, mbps) = run_cfg(cfg, &o);
+        rows.push(vec![
+            format!("{slope}"),
+            format!("{j:.1}"),
+            format!("{fct:.1}"),
+            format!("{mbps:.2}"),
+        ]);
+    }
+    print!("{}", table(&["slope", "energy (J)", "fct (s)", "Mb/s"], &rows));
+
+    println!("\n== Pareto scale c sweep (slope 10) ==");
+    let mut rows = Vec::new();
+    for c in [0.5f64, 1.0, 1.5, 2.0] {
+        let cfg = DtsConfig { c, ..DtsConfig::default() };
+        let (j, fct, mbps) = run_cfg(cfg, &o);
+        // Fluid friendliness at the design-point ratio: with E[ε] = 1 the
+        // aggregate over one shared bottleneck should not exceed one TCP for
+        // c ≤ 1 (the paper's fairness argument for c = 1).
+        let friend = friendliness_ratio(
+            CcModel::loss_based(Psi::Dts(DtsConfig { c, ..DtsConfig::default() })),
+            1000.0,
+            0.1,
+            2,
+        );
+        rows.push(vec![
+            format!("{c}"),
+            format!("{j:.1}"),
+            format!("{fct:.1}"),
+            format!("{mbps:.2}"),
+            format!("{friend:.3}"),
+        ]);
+    }
+    print!(
+        "{}",
+        table(&["c", "energy (J)", "fct (s)", "Mb/s", "fluid friendliness"], &rows)
+    );
+
+    println!("\n== exact exp vs Algorithm 1 fixed-point Taylor ==");
+    let mut rows = Vec::new();
+    for (name, fixed) in [("exact", false), ("fixed-point", true)] {
+        let cfg = DtsConfig { fixed_point: fixed, ..DtsConfig::default() };
+        let (j, fct, mbps) = run_cfg(cfg, &o);
+        rows.push(vec![
+            name.to_owned(),
+            format!("{j:.1}"),
+            format!("{fct:.1}"),
+            format!("{mbps:.2}"),
+        ]);
+    }
+    print!("{}", table(&["epsilon", "energy (J)", "fct (s)", "Mb/s"], &rows));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 07 table rows. Pass --smoke/--quick/--full.
+
+fn main() {
+    let scale = bench_harness::Scale::from_args();
+    print!("{}", bench_harness::fig07::run(scale));
+}

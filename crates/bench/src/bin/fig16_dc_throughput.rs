@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 16 table rows. Pass --smoke/--quick/--full.
+
+fn main() {
+    let scale = bench_harness::Scale::from_args();
+    print!("{}", bench_harness::fig16::run(scale));
+}

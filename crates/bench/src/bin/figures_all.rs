@@ -1,0 +1,6 @@
+//! Regenerates every figure in one run. Pass --smoke/--quick/--full.
+
+fn main() {
+    let scale = bench_harness::Scale::from_args();
+    print!("{}", bench_harness::run_all(scale));
+}

@@ -1,0 +1,83 @@
+//! Fluid-model cross-check of the Fig. 6 scenario: N MPTCP users (one per
+//! Equation-(3) model) race 2N Reno users over two shared bottlenecks, at
+//! equilibrium. The fluid layer predicts the per-user throughput share each
+//! algorithm extracts — and therefore the energy ordering the packet-level
+//! Fig. 6 harness measures (energy ≈ M/τ̄·P, Equation (2)).
+//!
+//! Pass --smoke/--quick/--full (scales N).
+
+use bench_harness::{table, Scale};
+use mptcp_energy::{CcModel, FluidFlow, FluidLink, FluidNet, FluidPath, Psi};
+
+fn scenario(psi: Psi, n_users: usize) -> (f64, f64) {
+    let mut net = FluidNet::new();
+    let cap = 10_000.0; // packets/second per bottleneck
+    let l0 = net.add_link(FluidLink::new(cap));
+    let l1 = net.add_link(FluidLink::new(cap));
+    let rtt = 0.02;
+    // N MPTCP users spanning both bottlenecks.
+    for _ in 0..n_users {
+        net.add_flow(FluidFlow {
+            model: CcModel::loss_based(psi),
+            paths: vec![FluidPath::new(vec![l0], rtt), FluidPath::new(vec![l1], rtt)],
+        });
+    }
+    // 2N single-path Reno users, half per bottleneck.
+    for i in 0..2 * n_users {
+        let l = if i % 2 == 0 { l0 } else { l1 };
+        net.add_flow(FluidFlow {
+            model: CcModel::loss_based(Psi::Olia), // single path: ψ = 1 = Reno
+            paths: vec![FluidPath::new(vec![l], rtt)],
+        });
+    }
+    let x0: Vec<Vec<f64>> = net
+        .flows
+        .iter()
+        .map(|f| vec![50.0; f.paths.len()])
+        .collect();
+    let x = net.equilibrium(x0, 5e-4, 1e-7, 2_000_000);
+    let mptcp_mean: f64 =
+        x[..n_users].iter().map(|r| r.iter().sum::<f64>()).sum::<f64>() / n_users as f64;
+    let tcp_mean: f64 = x[n_users..]
+        .iter()
+        .map(|r| r.iter().sum::<f64>())
+        .sum::<f64>()
+        / (2 * n_users) as f64;
+    (mptcp_mean, tcp_mean)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let n_users = match scale {
+        Scale::Smoke => 4,
+        Scale::Quick => 10,
+        Scale::Full => 25,
+    };
+    let mss_bits = 1500.0 * 8.0;
+    let transfer_bits = 16.0 * 1024.0 * 1024.0 * 8.0;
+    let mut rows = Vec::new();
+    for psi in [Psi::Lia, Psi::Olia, Psi::Balia, Psi::EcMtcp, Psi::Coupled, Psi::Ewtcp] {
+        let (mptcp, tcp) = scenario(psi, n_users);
+        // Implied 16 MB transfer time and a simple ∝1/τ̄ energy proxy.
+        let seconds = transfer_bits / (mptcp * mss_bits);
+        rows.push(vec![
+            psi.name().to_owned(),
+            format!("{mptcp:.0}"),
+            format!("{tcp:.0}"),
+            format!("{:.3}", mptcp / tcp),
+            format!("{seconds:.1}"),
+        ]);
+    }
+    println!(
+        "Fluid equilibrium, {n_users} MPTCP + {} TCP users on two shared bottlenecks:",
+        2 * n_users
+    );
+    print!(
+        "{}",
+        table(
+            &["psi", "mptcp x* (pkt/s)", "tcp x* (pkt/s)", "mptcp/tcp", "16MB time (s)"],
+            &rows
+        )
+    );
+    println!("\nmptcp/tcp near 1 = TCP-friendly; higher mptcp x* = shorter transfers = less energy (Eq. 2).");
+}

@@ -1,0 +1,70 @@
+//! Fig. 1 — CPU power consumed by TCP vs MPTCP as the number of subflows
+//! grows (i7-3770 testbed, two 100 Mb/s NICs).
+//!
+//! Paper shape: MPTCP > TCP, and MPTCP power increases with the number of
+//! subflows.
+
+use crate::{table, Scale};
+use congestion::AlgorithmKind;
+use energy_model::{energy_of_flow, WiredCpuModel};
+use mptcp_energy::scenarios::CcChoice;
+use netsim::{SimDuration, SimTime, Simulator};
+use topology::TwoPath;
+use transport::{attach_flow, FlowConfig, PathSpec};
+
+fn mean_power(n_subflows: usize, duration_s: f64, single_nic: bool) -> (f64, f64) {
+    let mut sim = Simulator::new(42);
+    let tp = TwoPath::dual_nic(&mut sim, 100_000_000, SimDuration::from_millis(5));
+    let both = tp.both();
+    let paths: Vec<PathSpec> = (0..n_subflows)
+        .map(|i| if single_nic { both[0].clone() } else { both[i % 2].clone() })
+        .collect();
+    let cc = if n_subflows == 1 {
+        CcChoice::Base(AlgorithmKind::Reno).build(1)
+    } else {
+        CcChoice::Base(AlgorithmKind::Lia).build(n_subflows)
+    };
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(0).rcv_buf_pkts(4096).sample_every(SimDuration::from_millis(20)),
+        cc,
+        &paths,
+        SimDuration::ZERO,
+    );
+    sim.run_until(SimTime::from_secs_f64(duration_s));
+    let sender = flow.sender_ref(&sim);
+    let mut model = WiredCpuModel::i7_3770();
+    let report = energy_of_flow(&mut model, sender.samples());
+    (report.mean_power_w, sender.goodput_bps(sim.now()))
+}
+
+/// Runs the Fig. 1 harness.
+pub fn run(scale: Scale) -> String {
+    let duration = match scale {
+        Scale::Smoke => 3.0,
+        Scale::Quick => 15.0,
+        Scale::Full => 60.0,
+    };
+    let max_subflows = match scale {
+        Scale::Smoke => 4,
+        _ => 8,
+    };
+    let mut rows = Vec::new();
+    let (p_tcp, g_tcp) = mean_power(1, duration, true);
+    rows.push(vec![
+        "tcp (1 NIC)".to_owned(),
+        "1".to_owned(),
+        format!("{p_tcp:.2}"),
+        crate::mbps(g_tcp),
+    ]);
+    for n in 2..=max_subflows {
+        let (p, g) = mean_power(n, duration, false);
+        rows.push(vec![
+            "mptcp (2 NICs)".to_owned(),
+            n.to_string(),
+            format!("{p:.2}"),
+            crate::mbps(g),
+        ]);
+    }
+    table(&["config", "subflows", "mean power (W)", "goodput (Mb/s)"], &rows)
+}

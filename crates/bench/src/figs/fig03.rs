@@ -1,0 +1,94 @@
+//! Fig. 3 — energy and power vs throughput of MPTCP.
+//!
+//! (a) Wired Ethernet, available bandwidth 200 → 1000 Mb/s, fixed transfer:
+//!     total energy *decreases* with throughput while power rises gently
+//!     (≈ 15 % end to end, non-linear).
+//! (b) WiFi, 10 → 50 Mb/s: power rises sharply (≈ 90 %+, linear).
+
+use crate::{table, Scale};
+use congestion::AlgorithmKind;
+use energy_model::{energy_of_flow, PhoneModel, WiredCpuModel};
+use mptcp_energy::scenarios::CcChoice;
+use netsim::{SimDuration, SimTime, Simulator};
+use topology::{LinkParams, TwoPath};
+use transport::{attach_flow, FlowConfig};
+
+fn ethernet_point(total_bps: u64, bytes: u64) -> (f64, f64, f64) {
+    let mut sim = Simulator::new(3);
+    // BDP-sized buffers, as on an autotuned testbed: queueing delay is then
+    // a constant multiple of base RTT across the bandwidth sweep, so the
+    // power curve isolates the throughput term (the paper's Fig. 3a).
+    let nic_bps = total_bps / 2;
+    let bdp_pkts = ((nic_bps as f64 * 0.008) / (1500.0 * 8.0)).ceil() as usize;
+    let params =
+        LinkParams::new(nic_bps, SimDuration::from_millis(2)).queue(bdp_pkts.max(16));
+    let tp = TwoPath::symmetric(&mut sim, params);
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(0)
+            .transfer_bytes(bytes)
+            .rcv_buf_pkts(2048)
+            .sample_every(SimDuration::from_millis(20)),
+        CcChoice::Base(AlgorithmKind::Lia).build(2),
+        &tp.both(),
+        SimDuration::ZERO,
+    );
+    sim.run_until(SimTime::from_secs_f64(600.0));
+    let sender = flow.sender_ref(&sim);
+    let mut model = WiredCpuModel::i7_3770();
+    let report = energy_of_flow(&mut model, sender.samples());
+    (report.joules, report.mean_power_w, sender.goodput_bps(sim.now()))
+}
+
+fn wifi_point(bps: u64, bytes: u64) -> (f64, f64, f64) {
+    let mut sim = Simulator::new(3);
+    let params = LinkParams::new(bps, SimDuration::from_millis(10)).queue(100);
+    let tp = TwoPath::symmetric(&mut sim, params);
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(0).transfer_bytes(bytes).sample_every(SimDuration::from_millis(20)),
+        CcChoice::Base(AlgorithmKind::Reno).build(1),
+        &tp.first_only(),
+        SimDuration::ZERO,
+    );
+    sim.run_until(SimTime::from_secs_f64(600.0));
+    let sender = flow.sender_ref(&sim);
+    let mut model = PhoneModel::nexus5();
+    let report = energy_of_flow(&mut model, sender.samples());
+    (report.joules, report.mean_power_w, sender.goodput_bps(sim.now()))
+}
+
+/// Runs the Fig. 3 harness.
+pub fn run(scale: Scale) -> String {
+    // Paper: 10 GB wired / 500 MB WiFi. Scaled per EXPERIMENTS.md.
+    let (wired_bytes, wifi_bytes) = match scale {
+        Scale::Smoke => (8_000_000, 2_000_000),
+        Scale::Quick => (100_000_000, 20_000_000),
+        Scale::Full => (1_000_000_000, 100_000_000),
+    };
+    let mut rows = Vec::new();
+    for mbps in [200u64, 400, 600, 800, 1000] {
+        let (j, p, g) = ethernet_point(mbps * 1_000_000, wired_bytes);
+        rows.push(vec![
+            "ethernet".to_owned(),
+            mbps.to_string(),
+            format!("{j:.1}"),
+            format!("{p:.2}"),
+            crate::mbps(g),
+        ]);
+    }
+    for mbps in [10u64, 20, 30, 40, 50] {
+        let (j, p, g) = wifi_point(mbps * 1_000_000, wifi_bytes);
+        rows.push(vec![
+            "wifi".to_owned(),
+            mbps.to_string(),
+            format!("{j:.1}"),
+            format!("{p:.3}"),
+            crate::mbps(g),
+        ]);
+    }
+    table(
+        &["medium", "bandwidth (Mb/s)", "energy (J)", "mean power (W)", "goodput (Mb/s)"],
+        &rows,
+    )
+}

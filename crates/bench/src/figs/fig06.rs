@@ -1,0 +1,39 @@
+//! Fig. 6 — box-whisker energy of the four TCP-friendly algorithms (LIA,
+//! OLIA, Balia, ecMTCP) in the Fig. 5(a) shared-bottleneck scenario with
+//! N MPTCP users (16 MB each) and 2N TCP competitors.
+//!
+//! Paper shape: OLIA consumes the least average energy, increasingly so at
+//! large N — Pareto-optimality converts into shorter transfers.
+
+use crate::{table, Scale};
+use congestion::AlgorithmKind;
+use mptcp_energy::scenarios::{run_shared_bottleneck, CcChoice, SharedOptions};
+use mptcp_energy::FiveNumber;
+
+/// Runs the Fig. 6 harness.
+pub fn run(scale: Scale) -> String {
+    let (n_values, transfer): (&[usize], u64) = match scale {
+        Scale::Smoke => (&[5], 1024 * 1024),
+        Scale::Quick => (&[10, 20], 8 * 1024 * 1024),
+        Scale::Full => (&[10, 20, 50, 100], 16 * 1024 * 1024),
+    };
+    let mut rows = Vec::new();
+    for &n in n_values {
+        for kind in AlgorithmKind::PAPER_FOUR {
+            let opts = SharedOptions {
+                n_users: n,
+                transfer_bytes: transfer,
+                ..SharedOptions::default()
+            };
+            let energies = run_shared_bottleneck(&CcChoice::Base(kind), &opts);
+            let summary = FiveNumber::of(&energies);
+            rows.push(vec![
+                n.to_string(),
+                kind.to_string(),
+                format!("{:.1}", mptcp_energy::mean(&energies)),
+                summary.row(),
+            ]);
+        }
+    }
+    table(&["N", "algorithm", "mean energy (J)", "box-whisker (J)"], &rows)
+}

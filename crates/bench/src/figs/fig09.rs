@@ -1,0 +1,51 @@
+//! Fig. 9 — energy of DTS vs LIA in the Fig. 5(b) scenario across repeated
+//! runs.
+//!
+//! Paper shape: DTS reduces energy by up to 20 % versus LIA without
+//! degrading throughput.
+
+use crate::{table, Scale};
+use congestion::AlgorithmKind;
+use mptcp_energy::scenarios::{run_two_path_bursty, BurstyOptions, CcChoice};
+
+/// Runs the Fig. 9 harness.
+pub fn run(scale: Scale) -> String {
+    // Energy to move a fixed amount of data (the paper's Equation (2)).
+    let (transfer, horizon, seeds): (u64, f64, &[u64]) = match scale {
+        Scale::Smoke => (8_000_000, 120.0, &[1]),
+        Scale::Quick => (60_000_000, 600.0, &[1, 2, 3]),
+        Scale::Full => (400_000_000, 1800.0, &[1, 2, 3, 4, 5, 6, 7, 8]),
+    };
+    let mut rows = Vec::new();
+    let mut savings = Vec::new();
+    for &seed in seeds {
+        let opts = BurstyOptions {
+            seed,
+            duration_s: horizon,
+            transfer_bytes: Some(transfer),
+            ..BurstyOptions::default()
+        };
+        let lia = run_two_path_bursty(&CcChoice::Base(AlgorithmKind::Lia), &opts);
+        let dts = run_two_path_bursty(&CcChoice::dts(), &opts);
+        let saving = 100.0 * (lia.energy.joules - dts.energy.joules) / lia.energy.joules;
+        savings.push(saving);
+        rows.push(vec![
+            seed.to_string(),
+            format!("{:.1}", lia.energy.joules),
+            format!("{:.1}", dts.energy.joules),
+            format!("{saving:.1}%"),
+            crate::mbps(lia.goodput_bps),
+            crate::mbps(dts.goodput_bps),
+        ]);
+    }
+    let mut out = table(
+        &["seed", "lia (J)", "dts (J)", "saving", "lia tput (Mb/s)", "dts tput (Mb/s)"],
+        &rows,
+    );
+    out.push_str(&format!(
+        "mean saving: {:.1}% | max saving: {:.1}%\n",
+        mptcp_energy::mean(&savings),
+        savings.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    ));
+    out
+}

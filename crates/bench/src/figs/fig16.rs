@@ -1,0 +1,34 @@
+//! Fig. 16 — aggregated throughput of DTS(-Φ) vs LIA in FatTree and VL2.
+//!
+//! Paper shape: the new algorithm gets as good utilization as LIA in both
+//! fabrics (the energy saving of Fig. 15 is not bought with throughput).
+
+use crate::{table, Scale};
+use congestion::AlgorithmKind;
+use mptcp_energy::scenarios::{run_datacenter, CcChoice, DcOptions};
+
+/// Runs the Fig. 16 harness.
+pub fn run(scale: Scale) -> String {
+    let (fabrics, subflows, duration) = super::fig15::fabric_set(scale);
+    let choices =
+        [CcChoice::Base(AlgorithmKind::Lia), CcChoice::dts(), CcChoice::dts_phi()];
+    let mut rows = Vec::new();
+    for fabric in &fabrics {
+        let mut lia_tput = None;
+        for cc in choices {
+            let opts =
+                DcOptions { n_subflows: subflows, duration_s: duration, ..DcOptions::default() };
+            let r = run_datacenter(*fabric, &cc, &opts);
+            if lia_tput.is_none() {
+                lia_tput = Some(r.aggregate_goodput_bps);
+            }
+            rows.push(vec![
+                fabric.name().to_owned(),
+                r.label.clone(),
+                crate::mbps(r.aggregate_goodput_bps),
+                format!("{:.1}%", 100.0 * r.aggregate_goodput_bps / lia_tput.unwrap()),
+            ]);
+        }
+    }
+    table(&["fabric", "algorithm", "agg goodput (Mb/s)", "vs lia"], &rows)
+}

@@ -1,0 +1,44 @@
+//! Figure harnesses, one module per paper figure.
+
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig12_14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+
+use crate::Scale;
+
+/// Runs every figure harness at the given scale, returning the concatenated
+/// report (the `figures` bench target uses `Scale::Smoke`).
+pub fn run_all(scale: Scale) -> String {
+    let parts: Vec<(&str, fn(Scale) -> String)> = vec![
+        ("Fig 1", fig01::run),
+        ("Fig 2", fig02::run),
+        ("Fig 3", fig03::run),
+        ("Fig 4", fig04::run),
+        ("Fig 6", fig06::run),
+        ("Fig 7", fig07::run),
+        ("Fig 8", fig08::run),
+        ("Fig 9", fig09::run),
+        ("Fig 10", fig10::run),
+        ("Fig 12-14", fig12_14::run),
+        ("Fig 15", fig15::run),
+        ("Fig 16", fig16::run),
+        ("Fig 17", fig17::run),
+    ];
+    let mut out = String::new();
+    for (name, f) in parts {
+        out.push_str(&format!("==== {name} ====\n"));
+        out.push_str(&f(scale));
+        out.push('\n');
+    }
+    out
+}

@@ -1,0 +1,107 @@
+//! # bench-harness — figure regeneration harnesses
+//!
+//! One module per figure of the paper's evaluation. Every module exposes
+//! `run(scale) -> String` returning the printed table; the `src/bin/fig*`
+//! binaries are thin wrappers, and the custom `figures` bench target runs
+//! every module at [`Scale::Smoke`] so `cargo bench` regenerates all rows.
+//!
+//! Scales:
+//! * [`Scale::Smoke`] — seconds; CI and `cargo bench`.
+//! * [`Scale::Quick`] — minutes; the default for the binaries.
+//! * [`Scale::Full`] — closest to the paper's parameters that a laptop-class
+//!   machine handles (see EXPERIMENTS.md for the documented scaling).
+
+pub mod figs;
+
+pub use figs::*;
+
+/// Experiment scale selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-long sanity scale.
+    Smoke,
+    /// Minutes-long default scale.
+    Quick,
+    /// Paper-faithful scale.
+    Full,
+}
+
+impl Scale {
+    /// Parses `--smoke`/`--quick`/`--full` from the process arguments,
+    /// defaulting to `Quick`.
+    pub fn from_args() -> Scale {
+        let mut scale = Scale::Quick;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--smoke" => scale = Scale::Smoke,
+                "--quick" => scale = Scale::Quick,
+                "--full" => scale = Scale::Full,
+                other => {
+                    eprintln!("unknown argument `{other}` (expected --smoke/--quick/--full)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        scale
+    }
+}
+
+/// Renders an aligned text table: a header row plus data rows.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats bits/second as Mb/s.
+pub fn mbps(bps: f64) -> String {
+    format!("{:.2}", bps / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["alg", "energy"],
+            &[
+                vec!["lia".into(), "10.0".into()],
+                vec!["dts-phi".into(), "8.123".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("lia    "));
+    }
+
+    #[test]
+    fn mbps_formats() {
+        assert_eq!(mbps(1_500_000.0), "1.50");
+    }
+}

@@ -1,0 +1,196 @@
+//! Cross-validation: the per-ACK window increases of the native algorithm
+//! implementations must equal the paper's §IV decomposition
+//! `Δw_r = ψ_r · (w_r/RTT_r²) / (Σ_k w_k/RTT_k)²` with the published ψ_r.
+//!
+//! This pins both sides: a bug in an algorithm implementation *or* in the ψ
+//! table breaks the equality.
+
+use congestion::{
+    common, AlgorithmKind, Balia, CoupledKv, EcMtcp, Ewtcp, Lia, MultipathCongestionControl,
+    SubflowCc,
+};
+
+fn flows(ws: &[f64], rtts: &[f64]) -> Vec<SubflowCc> {
+    ws.iter()
+        .zip(rtts)
+        .map(|(&w, &rtt)| {
+            let mut f = SubflowCc::new();
+            f.cwnd = w;
+            f.ssthresh = 1.0; // force congestion avoidance
+            f.observe_rtt(rtt);
+            f
+        })
+        .collect()
+}
+
+/// Measures the per-ACK increase the native implementation applies to
+/// subflow `r`.
+fn native_delta(cc: &mut dyn MultipathCongestionControl, r: usize, fs: &[SubflowCc]) -> f64 {
+    let mut copy = fs.to_vec();
+    let before = copy[r].cwnd;
+    cc.on_ack(r, &mut copy, 1, false);
+    copy[r].cwnd - before
+}
+
+/// The model form with a caller-supplied ψ.
+fn model_delta(psi: f64, r: usize, fs: &[SubflowCc]) -> f64 {
+    common::model_increase(psi, r, fs)
+}
+
+const STATES: &[(&[f64], &[f64])] = &[
+    (&[10.0, 10.0], &[0.1, 0.1]),
+    (&[30.0, 10.0], &[0.05, 0.2]),
+    (&[5.0, 25.0, 40.0], &[0.02, 0.08, 0.3]),
+    (&[100.0, 2.0], &[0.5, 0.01]),
+];
+
+fn sum_x(fs: &[SubflowCc]) -> f64 {
+    fs.iter().map(|f| f.rate()).sum()
+}
+
+fn sum_w(fs: &[SubflowCc]) -> f64 {
+    fs.iter().map(|f| f.cwnd).sum()
+}
+
+#[test]
+fn ewtcp_matches_its_psi() {
+    // ψ_ewtcp = (Σx)²/(x_r²·√n).
+    for (ws, rtts) in STATES {
+        let fs = flows(ws, rtts);
+        let n = fs.len() as f64;
+        let mut cc = Ewtcp::new();
+        for r in 0..fs.len() {
+            let xr = fs[r].rate();
+            let psi = sum_x(&fs).powi(2) / (xr * xr * n.sqrt());
+            let native = native_delta(&mut cc, r, &fs);
+            let model = model_delta(psi, r, &fs);
+            assert!(
+                (native - model).abs() < 1e-12 * model.max(1.0),
+                "ewtcp r={r}: native {native} model {model}"
+            );
+        }
+    }
+}
+
+#[test]
+fn coupled_matches_its_psi() {
+    // ψ_coupled = RTT_r²(Σx)²/(Σw)².
+    for (ws, rtts) in STATES {
+        let fs = flows(ws, rtts);
+        let mut cc = CoupledKv::new();
+        for r in 0..fs.len() {
+            let psi = fs[r].srtt * fs[r].srtt * sum_x(&fs).powi(2) / sum_w(&fs).powi(2);
+            let native = native_delta(&mut cc, r, &fs);
+            let model = model_delta(psi, r, &fs);
+            assert!(
+                (native - model).abs() < 1e-12 * model.max(1.0),
+                "coupled r={r}: native {native} model {model}"
+            );
+        }
+    }
+}
+
+#[test]
+fn lia_matches_its_psi_when_uncapped() {
+    // ψ_lia = max_k(w_k/RTT_k²)·RTT_r²/w_r — equals the native increase
+    // whenever LIA's min() picks the coupled branch.
+    for (ws, rtts) in STATES {
+        let fs = flows(ws, rtts);
+        let mut cc = Lia::new();
+        for r in 0..fs.len() {
+            let best = fs
+                .iter()
+                .map(|f| f.cwnd / (f.srtt * f.srtt))
+                .fold(0.0f64, f64::max);
+            let psi = best * fs[r].srtt * fs[r].srtt / fs[r].cwnd;
+            let coupled = model_delta(psi, r, &fs);
+            let uncoupled = 1.0 / fs[r].cwnd;
+            let expected = coupled.min(uncoupled);
+            let native = native_delta(&mut cc, r, &fs);
+            assert!(
+                (native - expected).abs() < 1e-12 * expected.max(1.0),
+                "lia r={r}: native {native} expected {expected}"
+            );
+        }
+    }
+}
+
+#[test]
+fn balia_matches_its_psi() {
+    // ψ_balia = 2/5 + α/2 + α²/10 with α = max_k x_k / x_r.
+    for (ws, rtts) in STATES {
+        let fs = flows(ws, rtts);
+        let mut cc = Balia::new();
+        let xmax = fs.iter().map(|f| f.rate()).fold(0.0f64, f64::max);
+        for r in 0..fs.len() {
+            let alpha = (xmax / fs[r].rate()).max(1.0);
+            let psi = 0.4 + alpha / 2.0 + alpha * alpha / 10.0;
+            let native = native_delta(&mut cc, r, &fs);
+            let model = model_delta(psi, r, &fs);
+            assert!(
+                (native - model).abs() < 1e-12 * model.max(1.0),
+                "balia r={r}: native {native} model {model}"
+            );
+        }
+    }
+}
+
+#[test]
+fn ecmtcp_matches_its_psi() {
+    // ψ_ecmtcp = RTT_r³(Σx)²/(n·min RTT·w_r·Σw).
+    for (ws, rtts) in STATES {
+        let fs = flows(ws, rtts);
+        let n = fs.len() as f64;
+        let min_rtt = fs.iter().map(|f| f.srtt).fold(f64::INFINITY, f64::min);
+        let mut cc = EcMtcp::new();
+        for r in 0..fs.len() {
+            let psi = fs[r].srtt.powi(3) * sum_x(&fs).powi(2)
+                / (n * min_rtt * fs[r].cwnd * sum_w(&fs));
+            let native = native_delta(&mut cc, r, &fs);
+            let model = model_delta(psi, r, &fs);
+            assert!(
+                (native - model).abs() < 1e-9 * model.max(1.0),
+                "ecmtcp r={r}: native {native} model {model}"
+            );
+        }
+    }
+}
+
+#[test]
+fn olia_base_term_is_psi_one() {
+    // OLIA = ψ=1 base + α_r/w_r; with symmetric fresh histories α_r = 0.
+    let fs = flows(&[10.0, 10.0], &[0.1, 0.1]);
+    let mut cc = AlgorithmKind::Olia.build(2);
+    for r in 0..2 {
+        let native = native_delta(cc.as_mut(), r, &fs);
+        let model = model_delta(1.0, r, &fs);
+        assert!(
+            (native - model).abs() < 1e-12,
+            "olia r={r}: native {native} model {model}"
+        );
+    }
+}
+
+#[test]
+fn all_friendly_algorithms_reduce_to_reno_alone() {
+    // ψ = 1 on a single path at any state: Δw = 1/w.
+    for kind in [
+        AlgorithmKind::Ewtcp,
+        AlgorithmKind::Coupled,
+        AlgorithmKind::Lia,
+        AlgorithmKind::Olia,
+        AlgorithmKind::Balia,
+        AlgorithmKind::EcMtcp,
+    ] {
+        for (w, rtt) in [(7.0, 0.03), (40.0, 0.2), (333.0, 0.9)] {
+            let fs = flows(&[w], &[rtt]);
+            let mut cc = kind.build(1);
+            let native = native_delta(cc.as_mut(), 0, &fs);
+            assert!(
+                (native - 1.0 / w).abs() < 1e-12,
+                "{kind} at w={w}: {native} vs {}",
+                1.0 / w
+            );
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! RK4 fluid-model solver for networks of Equation-(3) flows sharing links.
+//!
+//! Links carry smooth congestion prices `p_l(y) = p0·(y/c_l)^B` (the standard
+//! fluid approximation of loss probability); a flow's per-path signal is
+//! `λ_r = Σ_{l ∈ r} p_l(y_l)`. The solver integrates every flow's Equation
+//! (3) simultaneously, which lets the analytical layer (a) verify each
+//! algorithm's published fixed point, (b) check TCP-friendliness and
+//! Pareto-efficiency numerically, and (c) cross-validate the packet-level
+//! simulator's equilibria.
+
+use crate::model::{CcModel, FlowView};
+
+/// Minimum rate floor (packets/second): flows never go extinct, matching the
+/// one-packet window floor of the packet level.
+pub const X_MIN: f64 = 1.0;
+
+/// A fluid link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FluidLink {
+    /// Capacity in packets/second.
+    pub capacity: f64,
+    /// Price scale `p0`.
+    pub p0: f64,
+    /// Price exponent `B` (sharpness of congestion onset).
+    pub exponent: f64,
+}
+
+impl FluidLink {
+    /// A link with the standard price curve (`p0 = 1e-2`, `B = 4`).
+    pub fn new(capacity: f64) -> Self {
+        FluidLink { capacity, p0: 1e-2, exponent: 4.0 }
+    }
+
+    /// The congestion price at aggregate rate `y`.
+    pub fn price(&self, y: f64) -> f64 {
+        if y <= 0.0 {
+            0.0
+        } else {
+            self.p0 * (y / self.capacity).powf(self.exponent)
+        }
+    }
+}
+
+/// One path of a fluid flow.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FluidPath {
+    /// Indices into the net's link table.
+    pub links: Vec<usize>,
+    /// Propagation RTT of the path, seconds.
+    pub rtt: f64,
+    /// Base (minimum) RTT exposed to delay-based ψ, seconds.
+    pub base_rtt: f64,
+}
+
+impl FluidPath {
+    /// A path over `links` with equal RTT and base RTT.
+    pub fn new(links: Vec<usize>, rtt: f64) -> Self {
+        FluidPath { links, rtt, base_rtt: rtt }
+    }
+}
+
+/// A multipath fluid flow governed by a [`CcModel`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct FluidFlow {
+    /// The Equation-(3) parameterization.
+    pub model: CcModel,
+    /// The flow's paths.
+    pub paths: Vec<FluidPath>,
+}
+
+/// A network of fluid links and flows.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FluidNet {
+    /// Links.
+    pub links: Vec<FluidLink>,
+    /// Flows.
+    pub flows: Vec<FluidFlow>,
+}
+
+impl FluidNet {
+    /// Creates an empty net.
+    pub fn new() -> Self {
+        FluidNet::default()
+    }
+
+    /// Adds a link, returning its index.
+    pub fn add_link(&mut self, link: FluidLink) -> usize {
+        self.links.push(link);
+        self.links.len() - 1
+    }
+
+    /// Adds a flow, returning its index.
+    pub fn add_flow(&mut self, flow: FluidFlow) -> usize {
+        self.flows.push(flow);
+        self.flows.len() - 1
+    }
+
+    /// Aggregate rate per link under state `x` (`x[flow][path]`).
+    pub fn link_rates(&self, x: &[Vec<f64>]) -> Vec<f64> {
+        let mut y = vec![0.0; self.links.len()];
+        for (f, flow) in self.flows.iter().enumerate() {
+            for (p, path) in flow.paths.iter().enumerate() {
+                for &l in &path.links {
+                    y[l] += x[f][p];
+                }
+            }
+        }
+        y
+    }
+
+    /// `dx/dt` for every flow-path under state `x`.
+    pub fn derivatives(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let y = self.link_rates(x);
+        let prices: Vec<f64> =
+            self.links.iter().zip(&y).map(|(l, &yl)| l.price(yl)).collect();
+        self.flows
+            .iter()
+            .enumerate()
+            .map(|(f, flow)| {
+                let rtts: Vec<f64> = flow.paths.iter().map(|p| p.rtt).collect();
+                let bases: Vec<f64> = flow.paths.iter().map(|p| p.base_rtt).collect();
+                let view = FlowView { x: &x[f], rtt: &rtts, base_rtt: &bases };
+                flow.paths
+                    .iter()
+                    .enumerate()
+                    .map(|(p, path)| {
+                        let lambda: f64 = path.links.iter().map(|&l| prices[l]).sum();
+                        flow.model.dxdt(p, &view, lambda)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Integrates with classic RK4 from `x0` for `steps` of size `dt`,
+    /// returning the final state. Rates are floored at [`X_MIN`].
+    pub fn run(&self, x0: Vec<Vec<f64>>, dt: f64, steps: usize) -> Vec<Vec<f64>> {
+        let mut x = x0;
+        for _ in 0..steps {
+            x = self.rk4_step(&x, dt);
+        }
+        x
+    }
+
+    /// Integrates and records `(t, state)` every `record_every` steps.
+    pub fn trajectory(
+        &self,
+        x0: Vec<Vec<f64>>,
+        dt: f64,
+        steps: usize,
+        record_every: usize,
+    ) -> Vec<(f64, Vec<Vec<f64>>)> {
+        let mut x = x0;
+        let mut out = Vec::new();
+        for s in 0..steps {
+            if s % record_every.max(1) == 0 {
+                out.push((s as f64 * dt, x.clone()));
+            }
+            x = self.rk4_step(&x, dt);
+        }
+        out.push((steps as f64 * dt, x));
+        out
+    }
+
+    fn rk4_step(&self, x: &[Vec<f64>], dt: f64) -> Vec<Vec<f64>> {
+        let add = |a: &[Vec<f64>], b: &[Vec<f64>], s: f64| -> Vec<Vec<f64>> {
+            a.iter()
+                .zip(b)
+                .map(|(ar, br)| {
+                    ar.iter().zip(br).map(|(&av, &bv)| (av + s * bv).max(X_MIN)).collect()
+                })
+                .collect()
+        };
+        let k1 = self.derivatives(x);
+        let k2 = self.derivatives(&add(x, &k1, dt / 2.0));
+        let k3 = self.derivatives(&add(x, &k2, dt / 2.0));
+        let k4 = self.derivatives(&add(x, &k3, dt));
+        x.iter()
+            .enumerate()
+            .map(|(f, xr)| {
+                xr.iter()
+                    .enumerate()
+                    .map(|(p, &v)| {
+                        let d =
+                            (k1[f][p] + 2.0 * k2[f][p] + 2.0 * k3[f][p] + k4[f][p]) / 6.0;
+                        (v + dt * d).max(X_MIN)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Runs to (approximate) equilibrium: integrates until the max relative
+    /// rate change over a window falls below `tol`, or `max_steps` elapse.
+    pub fn equilibrium(&self, x0: Vec<Vec<f64>>, dt: f64, tol: f64, max_steps: usize) -> Vec<Vec<f64>> {
+        let mut x = x0;
+        let window = 200;
+        let mut since_check = x.clone();
+        for s in 1..=max_steps {
+            x = self.rk4_step(&x, dt);
+            if s % window == 0 {
+                let mut worst: f64 = 0.0;
+                for (a, b) in x.iter().flatten().zip(since_check.iter().flatten()) {
+                    worst = worst.max((a - b).abs() / b.max(X_MIN));
+                }
+                if worst < tol {
+                    return x;
+                }
+                since_check = x.clone();
+            }
+        }
+        x
+    }
+}
+
+/// Convenience: a single-bottleneck net with one multipath flow whose paths
+/// each cross a dedicated link — the canonical §IV analysis setup.
+pub fn disjoint_paths_net(model: CcModel, caps: &[f64], rtts: &[f64]) -> FluidNet {
+    assert_eq!(caps.len(), rtts.len());
+    let mut net = FluidNet::new();
+    let links: Vec<usize> =
+        caps.iter().map(|&c| net.add_link(FluidLink::new(c))).collect();
+    let paths = links
+        .iter()
+        .zip(rtts)
+        .map(|(&l, &rtt)| FluidPath::new(vec![l], rtt))
+        .collect();
+    net.add_flow(FluidFlow { model, paths });
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CcModel, Psi};
+
+    fn reno_single(cap: f64, rtt: f64) -> FluidNet {
+        disjoint_paths_net(CcModel::loss_based(Psi::Olia), &[cap], &[rtt])
+    }
+
+    #[test]
+    fn single_reno_converges_to_fixed_point() {
+        // Equilibrium: ψ x²/(rtt²x²) = β p(x) x² → 1/rtt² = ½ p0 (x/c)^B x².
+        let net = reno_single(1000.0, 0.1);
+        let x = net.equilibrium(vec![vec![10.0]], 1e-3, 1e-8, 2_000_000);
+        let xr = x[0][0];
+        // Analytic fixed point: 1/rtt² = ½·p0·(x/c)^B·x² → x* = (2c^B/(p0·rtt²))^(1/(B+2)).
+        let expected = (2.0 * 1000.0f64.powi(4) / (1e-2 * 0.01)).powf(1.0 / 6.0);
+        assert!(
+            (xr - expected).abs() / expected < 0.01,
+            "x* = {xr}, expected {expected}"
+        );
+    }
+
+    #[test]
+    fn equilibrium_is_independent_of_start() {
+        let net = reno_single(1000.0, 0.1);
+        let a = net.equilibrium(vec![vec![5.0]], 1e-3, 1e-8, 2_000_000)[0][0];
+        let b = net.equilibrium(vec![vec![500.0]], 1e-3, 1e-8, 2_000_000)[0][0];
+        assert!((a - b).abs() / a < 1e-3, "a {a} b {b}");
+    }
+
+    #[test]
+    fn two_reno_flows_share_a_bottleneck_equally() {
+        let mut net = FluidNet::new();
+        let l = net.add_link(FluidLink::new(1000.0));
+        for _ in 0..2 {
+            net.add_flow(FluidFlow {
+                model: CcModel::loss_based(Psi::Olia),
+                paths: vec![FluidPath::new(vec![l], 0.1)],
+            });
+        }
+        let x = net.equilibrium(vec![vec![10.0], vec![300.0]], 1e-3, 1e-8, 4_000_000);
+        let (a, b) = (x[0][0], x[1][0]);
+        assert!((a - b).abs() / a < 0.01, "unfair split {a} vs {b}");
+    }
+
+    #[test]
+    fn olia_on_two_paths_is_tcp_friendly() {
+        // Multipath OLIA over two disjoint equal links gets less aggregate
+        // than two independent Renos would (coupling), but more than one.
+        let net = disjoint_paths_net(CcModel::loss_based(Psi::Olia), &[1000.0, 1000.0], &[0.1, 0.1]);
+        let x = net.equilibrium(vec![vec![10.0, 10.0]], 1e-3, 1e-8, 2_000_000);
+        let total: f64 = x[0].iter().sum();
+        let single = reno_single(1000.0, 0.1)
+            .equilibrium(vec![vec![10.0]], 1e-3, 1e-8, 2_000_000)[0][0];
+        assert!(total > single * 1.05, "multipath should beat one path");
+        assert!(total < single * 2.0, "multipath must not beat two independent TCPs");
+    }
+
+    #[test]
+    fn dts_shifts_rate_to_good_ratio_path() {
+        let cfg = crate::dts::DtsConfig::default();
+        let mut net =
+            disjoint_paths_net(CcModel::dts(cfg), &[1000.0, 1000.0], &[0.1, 0.1]);
+        // Path 1 shows heavy RTT inflation (base ≪ rtt).
+        net.flows[0].paths[1].rtt = 0.2;
+        net.flows[0].paths[1].base_rtt = 0.05; // ratio 0.25
+        let x = net.equilibrium(vec![vec![10.0, 10.0]], 1e-3, 1e-8, 2_000_000);
+        assert!(
+            x[0][0] > 2.0 * x[0][1],
+            "DTS should favour the clean path: {:?}",
+            x[0]
+        );
+    }
+
+    #[test]
+    fn rates_never_drop_below_floor() {
+        let net = disjoint_paths_net(
+            CcModel::loss_based(Psi::Olia),
+            &[10.0, 10000.0],
+            &[1.0, 0.01],
+        );
+        let x = net.run(vec![vec![5.0, 5.0]], 1e-3, 100_000);
+        assert!(x[0].iter().all(|&v| v >= X_MIN));
+    }
+}

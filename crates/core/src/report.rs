@@ -1,0 +1,117 @@
+//! Plot-ready CSV export of experiment results.
+//!
+//! Every figure harness prints human-readable tables; these helpers emit the
+//! same data as CSV for external plotting (gnuplot, matplotlib, R).
+
+use crate::scenarios::{FleetResult, FlowResult};
+
+fn esc(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// CSV of single-flow results: one row per result.
+pub fn flow_results_csv(results: &[FlowResult]) -> String {
+    let mut out = String::from(
+        "algorithm,goodput_bps,energy_j,mean_power_w,finish_s,rexmits,timeouts\n",
+    );
+    for r in results {
+        out.push_str(&format!(
+            "{},{:.3},{:.3},{:.3},{},{},{}\n",
+            esc(&r.label),
+            r.goodput_bps,
+            r.energy.joules,
+            r.energy.mean_power_w,
+            r.finish_s.map_or(String::new(), |t| format!("{t:.3}")),
+            r.rexmits,
+            r.timeouts
+        ));
+    }
+    out
+}
+
+/// CSV of fleet results: one row per result.
+pub fn fleet_results_csv(results: &[FleetResult]) -> String {
+    let mut out = String::from(
+        "algorithm,total_energy_j,aggregate_goodput_bps,joules_per_gbit,mean_finish_s,completion_rate\n",
+    );
+    for r in results {
+        out.push_str(&format!(
+            "{},{:.3},{:.3},{:.3},{},{:.4}\n",
+            esc(&r.label),
+            r.total_energy_j,
+            r.aggregate_goodput_bps,
+            r.joules_per_gbit,
+            r.mean_finish_s.map_or(String::new(), |t| format!("{t:.3}")),
+            r.completion_rate
+        ));
+    }
+    out
+}
+
+/// CSV time series of one flow: `t_s, throughput_bps, power_w`.
+pub fn trace_csv(result: &FlowResult) -> String {
+    let mut out = String::from("t_s,throughput_bps,power_w\n");
+    let n = result.tput_trace.len().min(result.energy.trace.len());
+    for i in 0..n {
+        out.push_str(&format!(
+            "{:.4},{:.3},{:.4}\n",
+            result.tput_trace[i].0, result.tput_trace[i].1, result.energy.trace[i].1
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use energy_model::EnergyReport;
+
+    fn result(label: &str) -> FlowResult {
+        FlowResult {
+            label: label.to_owned(),
+            goodput_bps: 1e6,
+            energy: EnergyReport {
+                joules: 12.5,
+                duration_s: 1.0,
+                mean_power_w: 12.5,
+                trace: vec![(0.0, 12.0), (0.5, 13.0)],
+            },
+            finish_s: Some(1.0),
+            rexmits: 3,
+            timeouts: 0,
+            tput_trace: vec![(0.0, 9e5), (0.5, 1.1e6)],
+        }
+    }
+
+    #[test]
+    fn flow_csv_has_header_and_rows() {
+        let csv = flow_results_csv(&[result("lia"), result("dts")]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("algorithm,"));
+        assert!(lines[1].starts_with("lia,"));
+        assert!(lines[2].starts_with("dts,"));
+    }
+
+    #[test]
+    fn csv_escapes_awkward_labels() {
+        let mut r = result("weird,\"label\"");
+        r.finish_s = None;
+        let csv = flow_results_csv(&[r]);
+        assert!(csv.contains("\"weird,\"\"label\"\"\""));
+        // Missing finish time renders as an empty field.
+        assert!(csv.lines().nth(1).unwrap().contains(",,"));
+    }
+
+    #[test]
+    fn trace_csv_zips_series() {
+        let csv = trace_csv(&result("x"));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("0.0000,900000.000,12.0000"));
+    }
+}

@@ -1,0 +1,751 @@
+//! Ready-made experiment scenarios matching the paper's evaluation setups.
+//!
+//! Each runner builds a deterministic simulation (topology + workload +
+//! flows + energy model), runs it, and returns a plain result struct. The
+//! figure harnesses in `bench-harness` and the runnable examples are thin
+//! wrappers over these functions; see DESIGN.md for the figure-by-figure
+//! mapping and EXPERIMENTS.md for the scaling notes.
+
+use crate::dts::{Dts, DtsConfig};
+use crate::dts_phi::{DtsPhi, DtsPhiConfig};
+use congestion::{AlgorithmKind, MultipathCongestionControl};
+use energy_model::{
+    energy_of_flow, EnergyReport, HostLoadSeries, PhoneModel, PowerModel, WiredCpuModel,
+};
+use netsim::{SimDuration, SimTime, Simulator};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use topology::{BCube, Ec2Vpc, FatTree, Hierarchy, LinkParams, SharedBottleneck, TwoPath, Vl2};
+use transport::{attach_flow, FlowConfig, FlowHandle, PathSpec};
+use workload::{
+    attach_pareto_cross_traffic, permutation_pairs, short_flow_schedule, ParetoOnOffConfig,
+    ShortFlowConfig,
+};
+
+/// A congestion-control configuration: a baseline algorithm, DTS, or DTS-Φ.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CcChoice {
+    /// One of the literature baselines.
+    Base(AlgorithmKind),
+    /// The paper's Delay-based Traffic Shifting.
+    Dts(DtsConfig),
+    /// DTS extended with the energy-proportional price.
+    DtsPhi(DtsPhiConfig),
+}
+
+impl CcChoice {
+    /// DTS with default parameters.
+    pub fn dts() -> Self {
+        CcChoice::Dts(DtsConfig::default())
+    }
+
+    /// DTS-Φ with default parameters.
+    pub fn dts_phi() -> Self {
+        CcChoice::DtsPhi(DtsPhiConfig::default())
+    }
+
+    /// Instantiates the algorithm for `n_subflows` paths.
+    pub fn build(&self, n_subflows: usize) -> Box<dyn MultipathCongestionControl> {
+        match self {
+            CcChoice::Base(kind) => kind.build(n_subflows),
+            CcChoice::Dts(cfg) => Box::new(Dts::with_config(*cfg)),
+            CcChoice::DtsPhi(cfg) => Box::new(DtsPhi::with_config(*cfg)),
+        }
+    }
+
+    /// The display label used in experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            CcChoice::Base(kind) => kind.to_string(),
+            CcChoice::Dts(_) => "dts".to_owned(),
+            CcChoice::DtsPhi(_) => "dts-phi".to_owned(),
+        }
+    }
+}
+
+/// Result of a single-flow scenario.
+#[derive(Clone, Debug)]
+pub struct FlowResult {
+    /// Algorithm label.
+    pub label: String,
+    /// Mean goodput, bits/second.
+    pub goodput_bps: f64,
+    /// Host energy over the run, joules.
+    pub energy: EnergyReport,
+    /// Transfer completion time, if the flow was finite.
+    pub finish_s: Option<f64>,
+    /// Retransmissions.
+    pub rexmits: u64,
+    /// RTO events.
+    pub timeouts: u64,
+    /// `(t, throughput_bps)` trace.
+    pub tput_trace: Vec<(f64, f64)>,
+}
+
+impl FlowResult {
+    fn collect(
+        sim: &Simulator,
+        flow: FlowHandle,
+        label: String,
+        model: &mut dyn PowerModel,
+    ) -> FlowResult {
+        let sender = flow.sender_ref(sim);
+        let energy = energy_of_flow(model, sender.samples());
+        FlowResult {
+            label,
+            goodput_bps: sender.goodput_bps(sim.now()),
+            energy,
+            finish_s: sender.finished_at().map(|t| t.as_secs_f64()),
+            rexmits: sender.total_rexmits(),
+            timeouts: sender.total_timeouts(),
+            tput_trace: sender
+                .samples()
+                .iter()
+                .map(|s| (s.at.as_secs_f64(), s.total_throughput_bps()))
+                .collect(),
+        }
+    }
+}
+
+/// Options for the Fig. 5(b) two-path bursty scenario (Figs. 7, 8, 9).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstyOptions {
+    /// RNG seed.
+    pub seed: u64,
+    /// Run length, seconds.
+    pub duration_s: f64,
+    /// Path rate, bits/second (testbed NICs: 100 Mb/s).
+    pub link_bps: u64,
+    /// One-way propagation per path.
+    pub one_way: SimDuration,
+    /// Cross-traffic configuration (the paper's Pareto bursts).
+    pub cross: ParetoOnOffConfig,
+    /// Finite transfer size; `None` = long-lived.
+    pub transfer_bytes: Option<u64>,
+}
+
+impl Default for BurstyOptions {
+    fn default() -> Self {
+        BurstyOptions {
+            seed: 1,
+            duration_s: 120.0,
+            link_bps: 100_000_000,
+            one_way: SimDuration::from_millis(10),
+            cross: ParetoOnOffConfig::paper_fig5b(),
+            transfer_bytes: None,
+        }
+    }
+}
+
+/// Runs the Fig. 5(b) scenario: one MPTCP connection over two 100 Mb/s paths
+/// whose quality flips Bad/Good at random under Pareto cross-traffic bursts.
+pub fn run_two_path_bursty(cc: &CcChoice, opts: &BurstyOptions) -> FlowResult {
+    let mut sim = Simulator::new(opts.seed);
+    let params = LinkParams::new(opts.link_bps, opts.one_way).queue(100);
+    let tp = TwoPath::symmetric(&mut sim, params);
+    for link in tp.forward_links() {
+        attach_pareto_cross_traffic(&mut sim, vec![link], opts.cross);
+    }
+    let mut cfg = FlowConfig::new(0).sample_every(SimDuration::from_millis(20));
+    if let Some(bytes) = opts.transfer_bytes {
+        cfg = cfg.transfer_bytes(bytes);
+    }
+    let flow = attach_flow(&mut sim, cfg, cc.build(2), &tp.both(), SimDuration::ZERO);
+    sim.run_until(SimTime::from_secs_f64(opts.duration_s));
+    let mut model = WiredCpuModel::i7_3770();
+    FlowResult::collect(&sim, flow, cc.label(), &mut model)
+}
+
+/// Options for the Fig. 5(a) shared-bottleneck scenario (Fig. 6).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SharedOptions {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of MPTCP users `N` (the paper runs 10–100); `2N` TCP users
+    /// are added automatically.
+    pub n_users: usize,
+    /// Per-user transfer size, bytes (the paper: 16 MB).
+    pub transfer_bytes: u64,
+    /// Bottleneck rate, bits/second.
+    pub link_bps: u64,
+    /// One-way propagation.
+    pub one_way: SimDuration,
+    /// Safety horizon, seconds.
+    pub horizon_s: f64,
+}
+
+impl Default for SharedOptions {
+    fn default() -> Self {
+        SharedOptions {
+            seed: 1,
+            n_users: 10,
+            transfer_bytes: 16 * 1024 * 1024,
+            link_bps: 100_000_000,
+            one_way: SimDuration::from_millis(5),
+            horizon_s: 600.0,
+        }
+    }
+}
+
+/// Per-user energies (joules) for the Fig. 5(a) scenario: N MPTCP users
+/// (16 MB each) racing 2N long-lived TCP users over two shared bottlenecks.
+/// The host's idle power is attributed evenly across the N users.
+pub fn run_shared_bottleneck(cc: &CcChoice, opts: &SharedOptions) -> Vec<f64> {
+    use rand::Rng;
+    let mut sim = Simulator::new(opts.seed);
+    let mut stagger_rng = SmallRng::seed_from_u64(opts.seed ^ 0x5A);
+    let sb = SharedBottleneck::new(
+        &mut sim,
+        LinkParams::new(opts.link_bps, opts.one_way).queue(100),
+    );
+    // 2N competing TCP users, long-lived, randomly staggered starts.
+    for i in 0..2 * opts.n_users {
+        let start = SimDuration::from_millis(stagger_rng.gen_range(0..200));
+        attach_flow(
+            &mut sim,
+            FlowConfig::new(1000 + i as u64).sample_every(SimDuration::from_millis(100)),
+            AlgorithmKind::Reno.build(1),
+            &sb.tcp_path(i),
+            start,
+        );
+    }
+    // N MPTCP users under test.
+    let flows: Vec<FlowHandle> = (0..opts.n_users)
+        .map(|i| {
+            let start = SimDuration::from_millis(stagger_rng.gen_range(0..200));
+            attach_flow(
+                &mut sim,
+                FlowConfig::new(i as u64)
+                    .transfer_bytes(opts.transfer_bytes)
+                    .sample_every(SimDuration::from_millis(50)),
+                cc.build(2),
+                &sb.mptcp_paths(),
+                start,
+            )
+        })
+        .collect();
+    sim.run_until(SimTime::from_secs_f64(opts.horizon_s));
+    let mut model = WiredCpuModel::i7_3770();
+    model.idle_w /= opts.n_users as f64; // all N senders share one machine
+    flows
+        .iter()
+        .map(|f| energy_of_flow(&mut model, f.sender_ref(&sim).samples()).joules)
+        .collect()
+}
+
+/// Options for the EC2 scenario (Fig. 10).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ec2Options {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of instances (the paper rents 40).
+    pub n_hosts: usize,
+    /// Per-connection transfer, bytes (the paper: 10 GB; scaled in the
+    /// harness — see EXPERIMENTS.md).
+    pub transfer_bytes: u64,
+    /// Safety horizon, seconds.
+    pub horizon_s: f64,
+}
+
+impl Default for Ec2Options {
+    fn default() -> Self {
+        Ec2Options { seed: 1, n_hosts: 10, transfer_bytes: 64 * 1024 * 1024, horizon_s: 600.0 }
+    }
+}
+
+/// Result of a fleet scenario (EC2 / datacenter).
+#[derive(Clone, Debug)]
+pub struct FleetResult {
+    /// Algorithm label.
+    pub label: String,
+    /// Total sender-host energy, joules.
+    pub total_energy_j: f64,
+    /// Aggregate goodput across connections, bits/second.
+    pub aggregate_goodput_bps: f64,
+    /// Total data delivered, bits.
+    pub delivered_bits: f64,
+    /// Energy per gigabit delivered, joules.
+    pub joules_per_gbit: f64,
+    /// Mean per-flow completion time (finite transfers), seconds.
+    pub mean_finish_s: Option<f64>,
+    /// Fraction of finite transfers that completed within the horizon.
+    pub completion_rate: f64,
+}
+
+fn fleet_result(
+    sim: &Simulator,
+    flows: &[FlowHandle],
+    label: String,
+    model: &WiredCpuModel,
+) -> FleetResult {
+    let mut total_energy = 0.0;
+    let mut delivered_bits = 0.0;
+    let mut goodput = 0.0;
+    let mut finishes = Vec::new();
+    let mut finite = 0usize;
+    let mut done = 0usize;
+    for f in flows {
+        let sender = f.sender_ref(sim);
+        let mut m = model.clone();
+        total_energy += energy_of_flow(&mut m, sender.samples()).joules;
+        delivered_bits +=
+            sender.data_acked() as f64 * f64::from(sender.config().mss_bytes) * 8.0;
+        goodput += sender.goodput_bps(sim.now());
+        if sender.config().total_pkts.is_some() {
+            finite += 1;
+            if let Some(t) = sender.finished_at() {
+                done += 1;
+                let start = sender.started_at().unwrap_or(SimTime::ZERO);
+                finishes.push(t.saturating_since(start).as_secs_f64());
+            }
+        }
+    }
+    FleetResult {
+        label,
+        total_energy_j: total_energy,
+        aggregate_goodput_bps: goodput,
+        delivered_bits,
+        joules_per_gbit: if delivered_bits > 0.0 {
+            total_energy / (delivered_bits / 1e9)
+        } else {
+            f64::INFINITY
+        },
+        mean_finish_s: if finishes.is_empty() {
+            None
+        } else {
+            Some(finishes.iter().sum::<f64>() / finishes.len() as f64)
+        },
+        completion_rate: if finite == 0 { 1.0 } else { done as f64 / finite as f64 },
+    }
+}
+
+/// Runs the EC2 scenario: permutation traffic between multihomed instances,
+/// one finite transfer per pair. Single-path choices (TCP Reno, DCTCP) use
+/// one ENI; multipath choices use all four.
+pub fn run_ec2(cc: &CcChoice, opts: &Ec2Options) -> FleetResult {
+    let mut sim = Simulator::new(opts.seed);
+    let vpc = Ec2Vpc::paper_scale(&mut sim, opts.n_hosts);
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0xEC2);
+    let pairs = permutation_pairs(opts.n_hosts, &mut rng);
+    let single_path = matches!(cc, CcChoice::Base(AlgorithmKind::Reno | AlgorithmKind::Dctcp));
+    let flows: Vec<FlowHandle> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(src, dst))| {
+            let paths: Vec<PathSpec> = if single_path {
+                vpc.single_path(src, dst, 0)
+            } else {
+                vpc.paths(src, dst)
+            };
+            let n = paths.len();
+            attach_flow(
+                &mut sim,
+                FlowConfig::new(i as u64)
+                    .transfer_bytes(opts.transfer_bytes)
+                    .rcv_buf_pkts(1024)
+                    .min_rto(SimDuration::from_millis(20))
+                    .sample_every(SimDuration::from_millis(50)),
+                cc.build(n),
+                &paths,
+                SimDuration::from_millis(i as u64 % 20),
+            )
+        })
+        .collect();
+    sim.run_until(SimTime::from_secs_f64(opts.horizon_s));
+    fleet_result(&sim, &flows, cc.label(), &WiredCpuModel::xeon_e5())
+}
+
+/// Which datacenter fabric to build (Figs. 12–16).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DcKind {
+    /// k-ary FatTree.
+    FatTree {
+        /// The arity (paper scale: 8 → 128 hosts).
+        k: usize,
+    },
+    /// VL2 Clos at paper scale divided by `scale` (1 = 128 hosts).
+    Vl2 {
+        /// Divide the paper's host count by this factor.
+        scale: usize,
+    },
+    /// BCube(n, k).
+    BCube {
+        /// Switch port count.
+        n: usize,
+        /// Level count minus one.
+        k: usize,
+    },
+}
+
+impl DcKind {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DcKind::FatTree { .. } => "fattree",
+            DcKind::Vl2 { .. } => "vl2",
+            DcKind::BCube { .. } => "bcube",
+        }
+    }
+}
+
+/// Options for the datacenter scenarios.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DcOptions {
+    /// RNG seed.
+    pub seed: u64,
+    /// Subflows per connection.
+    pub n_subflows: usize,
+    /// Run length, seconds (the paper simulates 1000 s; scaled here).
+    pub duration_s: f64,
+    /// Host link rate, bits/second.
+    pub host_bps: u64,
+    /// Per-link one-way propagation.
+    pub link_delay: SimDuration,
+    /// DropTail queue bound per link, packets.
+    pub queue_pkts: usize,
+}
+
+impl Default for DcOptions {
+    fn default() -> Self {
+        DcOptions {
+            seed: 1,
+            n_subflows: 2,
+            duration_s: 10.0,
+            host_bps: 100_000_000,
+            link_delay: SimDuration::from_micros(100),
+            queue_pkts: 32,
+        }
+    }
+}
+
+/// Runs a datacenter scenario: a random permutation of long-lived flows,
+/// `n_subflows` sampled ECMP paths each.
+pub fn run_datacenter(kind: DcKind, cc: &CcChoice, opts: &DcOptions) -> FleetResult {
+    let mut sim = Simulator::new(opts.seed);
+    let params = LinkParams::new(opts.host_bps, opts.link_delay).queue(opts.queue_pkts);
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0xDC);
+    enum Fabric {
+        Ft(FatTree),
+        V(Vl2),
+        B(BCube),
+    }
+    let fabric = match kind {
+        DcKind::FatTree { k } => Fabric::Ft(FatTree::build(&mut sim, k, params)),
+        DcKind::Vl2 { scale } => {
+            let sw = LinkParams::new(opts.host_bps * 10, opts.link_delay).queue(opts.queue_pkts);
+            let cfg = topology::Vl2Config {
+                n_tor: (16 / scale.max(1)).max(2),
+                n_agg: (8 / scale.max(1)).max(2),
+                n_int: (4 / scale.max(1)).max(2),
+                hosts_per_tor: 8,
+                host_link: params,
+                switch_link: sw,
+            };
+            Fabric::V(Vl2::build(&mut sim, cfg))
+        }
+        DcKind::BCube { n, k } => Fabric::B(BCube::build(&mut sim, n, k, params)),
+    };
+    let hosts = match &fabric {
+        Fabric::Ft(f) => f.hosts(),
+        Fabric::V(v) => v.hosts(),
+        Fabric::B(b) => b.hosts(),
+    };
+    let pairs = permutation_pairs(hosts, &mut rng);
+    let min_rto = SimDuration::from_millis(10);
+    let flows: Vec<FlowHandle> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(src, dst))| {
+            let paths = match &fabric {
+                Fabric::Ft(f) => f.sample_paths(src, dst, opts.n_subflows, &mut rng),
+                Fabric::V(v) => v.sample_paths(src, dst, opts.n_subflows, &mut rng),
+                Fabric::B(b) => b.sample_paths(src, dst, opts.n_subflows, &mut rng),
+            };
+            let n = paths.len();
+            attach_flow(
+                &mut sim,
+                FlowConfig::new(i as u64)
+                    .min_rto(min_rto)
+                    .rcv_buf_pkts(512)
+                    .sample_every(SimDuration::from_millis(100)),
+                cc.build(n),
+                &paths,
+                SimDuration::from_millis((i as u64 * 7) % 100),
+            )
+        })
+        .collect();
+    sim.run_until(SimTime::from_secs_f64(opts.duration_s));
+    fleet_result(&sim, &flows, cc.label(), &WiredCpuModel::energy_proportional_server())
+}
+
+/// Options for the heterogeneous wireless scenario (Fig. 17).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WirelessOptions {
+    /// RNG seed.
+    pub seed: u64,
+    /// Run length, seconds (the paper simulates 200 s).
+    pub duration_s: f64,
+    /// Cross-traffic burst rate on the WiFi path, bits/second.
+    pub wifi_cross_bps: u64,
+    /// Cross-traffic burst rate on the 4G path, bits/second.
+    pub lte_cross_bps: u64,
+    /// Receive buffer, bytes. The ns-2 default is 64 KB; we default to
+    /// 256 KB so the congestion window (not flow control) governs — see
+    /// EXPERIMENTS.md.
+    pub rcv_buf_bytes: u64,
+}
+
+impl Default for WirelessOptions {
+    fn default() -> Self {
+        WirelessOptions {
+            seed: 1,
+            duration_s: 200.0,
+            wifi_cross_bps: 8_000_000,
+            lte_cross_bps: 16_000_000,
+            rcv_buf_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// Runs the Fig. 17 scenario: an infinite MPTCP flow over WiFi (10 Mb/s,
+/// 40 ms) + 4G (20 Mb/s, 100 ms) with bursty cross traffic on both links,
+/// energy measured with the phone radio model.
+pub fn run_wireless(cc: &CcChoice, opts: &WirelessOptions) -> FlowResult {
+    let mut sim = Simulator::new(opts.seed);
+    let tp = TwoPath::wireless(&mut sim);
+    let mut cross = ParetoOnOffConfig::paper_fig5b();
+    cross.burst_rate_bps = opts.wifi_cross_bps;
+    attach_pareto_cross_traffic(&mut sim, vec![tp.p1.fwd], cross);
+    cross.burst_rate_bps = opts.lte_cross_bps;
+    attach_pareto_cross_traffic(&mut sim, vec![tp.p2.fwd], cross);
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(0)
+            .rcv_buf_bytes(opts.rcv_buf_bytes)
+            .sample_every(SimDuration::from_millis(50)),
+        cc.build(2),
+        &tp.both(),
+        SimDuration::ZERO,
+    );
+    sim.run_until(SimTime::from_secs_f64(opts.duration_s));
+    let mut model = PhoneModel::nexus5_uplink();
+    FlowResult::collect(&sim, flow, cc.label(), &mut model)
+}
+
+/// Aggregate host-level energy for a machine running `flows` in parallel
+/// (used by the testbed figures where one machine hosts N senders).
+pub fn host_energy(
+    sim: &Simulator,
+    flows: &[FlowHandle],
+    model: &mut dyn PowerModel,
+    n_ifaces: usize,
+    bin_s: f64,
+) -> EnergyReport {
+    let horizon = sim.now().as_secs_f64();
+    let mut series = HostLoadSeries::new(n_ifaces, bin_s, horizon);
+    for f in flows {
+        let iface_map: Vec<usize> = (0..n_ifaces).collect();
+        series.add_flow(f.sender_ref(sim).samples(), &iface_map);
+    }
+    let last_finish = flows
+        .iter()
+        .filter_map(|f| f.finish_time(sim))
+        .map(|t| t.as_secs_f64())
+        .fold(0.0f64, f64::max);
+    series.energy(model, if last_finish > 0.0 { Some(last_finish) } else { None })
+}
+
+/// Options for the §V-C hierarchical-Internet scenario (the setting the
+/// compensative parameter φ is designed for).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HierarchyOptions {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of dual-homed end hosts.
+    pub n_users: usize,
+    /// Number of aggregation nodes.
+    pub n_agg: usize,
+    /// Access link rate, bits/second.
+    pub access_bps: u64,
+    /// Aggregation uplink rate, bits/second.
+    pub agg_bps: u64,
+    /// Shared backbone rate, bits/second (the concentration point).
+    pub core_bps: u64,
+    /// Run length, seconds.
+    pub duration_s: f64,
+}
+
+impl Default for HierarchyOptions {
+    fn default() -> Self {
+        HierarchyOptions {
+            seed: 1,
+            n_users: 12,
+            n_agg: 3,
+            access_bps: 20_000_000,
+            agg_bps: 60_000_000,
+            core_bps: 150_000_000,
+            duration_s: 30.0,
+        }
+    }
+}
+
+/// Result of the hierarchy scenario: fleet metrics plus backbone telemetry.
+#[derive(Clone, Debug)]
+pub struct HierarchyResult {
+    /// Fleet-level metrics (end-device energy, aggregate goodput).
+    pub fleet: FleetResult,
+    /// Mean backbone queue occupancy over the run, packets.
+    pub backbone_mean_queue: f64,
+    /// Backbone utilization over the run.
+    pub backbone_utilization: f64,
+}
+
+/// Runs the hierarchical-Internet scenario: every dual-homed user uploads a
+/// long-lived flow through the shared backbone.
+pub fn run_hierarchy(cc: &CcChoice, opts: &HierarchyOptions) -> HierarchyResult {
+    let mut sim = Simulator::new(opts.seed);
+    let access = LinkParams::new(opts.access_bps, SimDuration::from_millis(5)).queue(64);
+    let agg = LinkParams::new(opts.agg_bps, SimDuration::from_millis(5)).queue(64);
+    let core = LinkParams::new(opts.core_bps, SimDuration::from_millis(10)).queue(128);
+    let h = Hierarchy::build(&mut sim, opts.n_users, opts.n_agg, access, agg, core);
+    let flows: Vec<FlowHandle> = (0..opts.n_users)
+        .map(|u| {
+            attach_flow(
+                &mut sim,
+                FlowConfig::new(u as u64).sample_every(SimDuration::from_millis(50)),
+                cc.build(2),
+                &h.user_paths(u),
+                SimDuration::from_millis((u as u64 * 13) % 100),
+            )
+        })
+        .collect();
+    sim.run_until(SimTime::from_secs_f64(opts.duration_s));
+    let fleet = fleet_result(&sim, &flows, cc.label(), &WiredCpuModel::i7_3770());
+    HierarchyResult {
+        fleet,
+        backbone_mean_queue: sim.world().link(h.backbone()).mean_queue_len(sim.now()),
+        backbone_utilization: sim.world().link(h.backbone()).utilization(sim.now()),
+    }
+}
+
+/// Options for the short-flow (mice) datacenter experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShortFlowOptions {
+    /// RNG seed.
+    pub seed: u64,
+    /// FatTree arity.
+    pub k: usize,
+    /// Subflows per mouse.
+    pub n_subflows: usize,
+    /// The mice process.
+    pub mice: ShortFlowConfig,
+    /// Number of long-lived background elephants.
+    pub n_elephants: usize,
+    /// Safety horizon past the mice horizon, seconds.
+    pub drain_s: f64,
+}
+
+impl Default for ShortFlowOptions {
+    fn default() -> Self {
+        ShortFlowOptions {
+            seed: 1,
+            k: 4,
+            n_subflows: 2,
+            mice: ShortFlowConfig::default(),
+            n_elephants: 4,
+            drain_s: 10.0,
+        }
+    }
+}
+
+/// Result of the short-flow experiment: flow-completion-time statistics.
+#[derive(Clone, Debug)]
+pub struct ShortFlowResult {
+    /// Algorithm label.
+    pub label: String,
+    /// Completion times of finished mice, seconds (sorted).
+    pub fct_s: Vec<f64>,
+    /// Fraction of mice that completed.
+    pub completion_rate: f64,
+}
+
+impl ShortFlowResult {
+    /// FCT percentile (`p` in `[0, 1]`); NaN if nothing completed.
+    pub fn fct_percentile(&self, p: f64) -> f64 {
+        if self.fct_s.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((self.fct_s.len() - 1) as f64 * p).round() as usize;
+        self.fct_s[idx]
+    }
+}
+
+/// Runs Poisson mice over a FatTree whose links are partly occupied by
+/// long-lived elephants — the mixed workload of real fabrics (Benson et
+/// al.), measuring mouse flow-completion times under each algorithm.
+pub fn run_short_flows(cc: &CcChoice, opts: &ShortFlowOptions) -> ShortFlowResult {
+    use rand::Rng;
+    let mut sim = Simulator::new(opts.seed);
+    let params = LinkParams::new(100_000_000, SimDuration::from_micros(100)).queue(32);
+    let ft = FatTree::build(&mut sim, opts.k, params);
+    let hosts = ft.hosts();
+    let mut rng = SmallRng::seed_from_u64(opts.seed ^ 0x517);
+    // Background elephants.
+    for e in 0..opts.n_elephants {
+        let src = rng.gen_range(0..hosts);
+        let mut dst = rng.gen_range(0..hosts);
+        if dst == src {
+            dst = (dst + 1) % hosts;
+        }
+        let paths = ft.sample_paths(src, dst, opts.n_subflows, &mut rng);
+        let n = paths.len();
+        attach_flow(
+            &mut sim,
+            FlowConfig::new(100_000 + e as u64)
+                .min_rto(SimDuration::from_millis(10))
+                .sample_every(SimDuration::from_millis(200)),
+            cc.build(n),
+            &paths,
+            SimDuration::ZERO,
+        );
+    }
+    // Mice.
+    let schedule = short_flow_schedule(&opts.mice, &mut rng);
+    let mice: Vec<FlowHandle> = schedule
+        .iter()
+        .enumerate()
+        .map(|(i, sf)| {
+            let src = rng.gen_range(0..hosts);
+            let mut dst = rng.gen_range(0..hosts);
+            if dst == src {
+                dst = (dst + 1) % hosts;
+            }
+            let paths = ft.sample_paths(src, dst, opts.n_subflows, &mut rng);
+            let n = paths.len();
+            attach_flow(
+                &mut sim,
+                FlowConfig::new(i as u64)
+                    .transfer_bytes(sf.bytes)
+                    .min_rto(SimDuration::from_millis(10))
+                    .sample_every(SimDuration::from_millis(200)),
+                cc.build(n),
+                &paths,
+                sf.start,
+            )
+        })
+        .collect();
+    sim.run_until(SimTime::from_secs_f64(opts.mice.horizon_s + opts.drain_s));
+    let mut fct: Vec<f64> = mice
+        .iter()
+        .filter_map(|f| {
+            let s = f.sender_ref(&sim);
+            match (s.started_at(), s.finished_at()) {
+                (Some(a), Some(b)) => Some(b.saturating_since(a).as_secs_f64()),
+                _ => None,
+            }
+        })
+        .collect();
+    fct.sort_by(|a, b| a.partial_cmp(b).expect("NaN fct"));
+    let completion_rate = if mice.is_empty() { 1.0 } else { fct.len() as f64 / mice.len() as f64 };
+    ShortFlowResult { label: cc.label(), fct_s: fct, completion_rate }
+}

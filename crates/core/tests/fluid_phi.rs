@@ -1,0 +1,74 @@
+//! Fluid-level validation of the DTS-Φ price (Equation (9)): the φ term must
+//! lower the equilibrium rate relative to plain DTS, proportionally to κ,
+//! and the trajectory API must expose the transient.
+
+use mptcp_energy::{
+    disjoint_paths_net, CcModel, DtsConfig, DtsPhiConfig, FluidFlow, FluidLink, FluidNet,
+    FluidPath,
+};
+
+fn phi_cfg(kappa: f64) -> DtsPhiConfig {
+    DtsPhiConfig { kappa, rho: 1.0, queue_target_s: 0.005, ..DtsPhiConfig::default() }
+}
+
+fn equilibrium_total(model: CcModel) -> f64 {
+    let net = disjoint_paths_net(model, &[2000.0, 2000.0], &[0.05, 0.05]);
+    let x = net.equilibrium(vec![vec![10.0, 10.0]], 5e-4, 1e-8, 2_000_000);
+    x[0].iter().sum()
+}
+
+#[test]
+fn phi_price_lowers_equilibrium_rate_monotonically_in_kappa() {
+    let dts = equilibrium_total(CcModel::dts(DtsConfig::default()));
+    let weak = equilibrium_total(CcModel::dts_phi(phi_cfg(1e-6)));
+    let strong = equilibrium_total(CcModel::dts_phi(phi_cfg(1e-4)));
+    assert!(weak <= dts * 1.001, "weak phi {weak} vs dts {dts}");
+    assert!(strong < weak, "stronger kappa must price rate down: {strong} vs {weak}");
+    assert!(strong > 0.2 * dts, "the price must not collapse the flow");
+}
+
+#[test]
+fn trajectory_records_transient_and_converges() {
+    let net = disjoint_paths_net(
+        CcModel::dts(DtsConfig::default()),
+        &[1000.0, 1000.0],
+        &[0.05, 0.05],
+    );
+    let traj = net.trajectory(vec![vec![5.0, 5.0]], 1e-3, 200_000, 10_000);
+    assert!(traj.len() > 10);
+    // Time stamps increase; rates move from the start point.
+    for pair in traj.windows(2) {
+        assert!(pair[0].0 < pair[1].0);
+    }
+    let first: f64 = traj[0].1[0].iter().sum();
+    let last: f64 = traj.last().unwrap().1[0].iter().sum();
+    assert!(last > first, "flow should grow from a cold start");
+    // The tail of the trajectory is near-stationary.
+    let prev: f64 = traj[traj.len() - 2].1[0].iter().sum();
+    assert!((last - prev).abs() / last < 0.05, "tail not settled: {prev} -> {last}");
+}
+
+#[test]
+fn shared_bottleneck_with_price_yields_to_unpriced_flow() {
+    // Two DTS flows share one link; one carries the energy price. At
+    // equilibrium the priced flow takes the smaller share — the φ tradeoff
+    // the paper's Fig. 17 measures.
+    let mut net = FluidNet::new();
+    let l = net.add_link(FluidLink::new(2000.0));
+    net.add_flow(FluidFlow {
+        model: CcModel::dts(DtsConfig::default()),
+        paths: vec![FluidPath::new(vec![l], 0.05)],
+    });
+    net.add_flow(FluidFlow {
+        model: CcModel::dts_phi(phi_cfg(5e-5)),
+        paths: vec![FluidPath::new(vec![l], 0.05)],
+    });
+    let x = net.equilibrium(vec![vec![100.0], vec![100.0]], 5e-4, 1e-8, 2_000_000);
+    assert!(
+        x[1][0] < x[0][0],
+        "priced flow {} should yield to unpriced {}",
+        x[1][0],
+        x[0][0]
+    );
+    assert!(x[1][0] > 0.05 * x[0][0], "but not starve");
+}

@@ -1,0 +1,36 @@
+//! # energy-model — power and energy accounting for multipath transport
+//!
+//! The measurement substrate of the reproduction. The paper reads Intel RAPL
+//! counters and phone batteries; this crate provides parametric power models
+//! whose *shapes* are calibrated to the paper's §III findings, plus the
+//! integration machinery that turns transport telemetry into joules:
+//!
+//! * [`cpu::WiredCpuModel`] — concave CPU-power-vs-throughput with RTT and
+//!   subflow-count sensitivity (Figs. 1, 3a, 4);
+//! * [`radio::WifiModel`], [`radio::LteModel`], [`radio::PhoneModel`] —
+//!   linear radio power with the LTE RRC promotion/tail machine
+//!   (Figs. 2, 3b), after Huang et al. (MobiSys 2012);
+//! * [`meter::energy_of_flow`] / [`meter::HostLoadSeries`] — integrate any
+//!   [`PowerModel`] over per-flow or per-host load series, implementing the
+//!   paper's Equation (2).
+//!
+//! # Examples
+//!
+//! ```
+//! use energy_model::{PathLoad, PowerModel, WiredCpuModel};
+//!
+//! let mut cpu = WiredCpuModel::i7_3770();
+//! let one_path = cpu.power_w(0.0, &[PathLoad::new(200e6, 0.02)]);
+//! let idle = cpu.power_w(0.0, &[]);
+//! assert!(one_path > idle);
+//! ```
+
+pub mod cpu;
+pub mod load;
+pub mod meter;
+pub mod radio;
+
+pub use cpu::WiredCpuModel;
+pub use load::{PathLoad, PowerModel};
+pub use meter::{energy_of_flow, loads_of, EnergyReport, HostLoadSeries};
+pub use radio::{LteModel, PhoneModel, RrcState, WifiModel};

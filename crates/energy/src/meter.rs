@@ -1,0 +1,206 @@
+//! Energy integration: turn transport telemetry into joules.
+//!
+//! The paper computes `E_total = (M/τ̄)·Σ_r P_r(τ_r, RTT_r)` (its Equation
+//! (2)) by reading RAPL counters during a transfer. Here the transport layer
+//! records per-subflow load samples and this module integrates a
+//! [`PowerModel`] over them: `E = Σ_i P(t_i, loads_i)·Δt_i`.
+
+use crate::load::{PathLoad, PowerModel};
+use transport::FlowSample;
+
+/// The result of integrating a power model over a load series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EnergyReport {
+    /// Total energy, joules.
+    pub joules: f64,
+    /// Series duration, seconds.
+    pub duration_s: f64,
+    /// Time-averaged power, watts.
+    pub mean_power_w: f64,
+    /// `(t, watts)` power trace for figures.
+    pub trace: Vec<(f64, f64)>,
+}
+
+impl EnergyReport {
+    /// Energy per delivered bit, joules/bit, given total delivered bits.
+    pub fn joules_per_bit(&self, delivered_bits: f64) -> f64 {
+        if delivered_bits > 0.0 {
+            self.joules / delivered_bits
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Converts one telemetry sample into per-path loads.
+pub fn loads_of(sample: &FlowSample) -> Vec<PathLoad> {
+    sample
+        .subflows
+        .iter()
+        .map(|s| PathLoad {
+            throughput_bps: s.throughput_bps,
+            rtt_s: s.srtt_s,
+            base_rtt_s: s.base_rtt_s,
+            active: s.active && s.throughput_bps > 0.0,
+        })
+        .collect()
+}
+
+/// Integrates `model` over a flow's telemetry series.
+///
+/// The model is `reset` first, so stateful models start from idle.
+pub fn energy_of_flow(model: &mut dyn PowerModel, samples: &[FlowSample]) -> EnergyReport {
+    model.reset();
+    let mut joules = 0.0;
+    let mut duration = 0.0;
+    let mut trace = Vec::with_capacity(samples.len());
+    for s in samples {
+        let loads = loads_of(s);
+        let at = s.at.as_secs_f64();
+        let p = model.power_w(at, &loads);
+        joules += p * s.interval_s;
+        duration += s.interval_s;
+        trace.push((at, p));
+    }
+    EnergyReport {
+        joules,
+        duration_s: duration,
+        mean_power_w: if duration > 0.0 { joules / duration } else { 0.0 },
+        trace,
+    }
+}
+
+/// A host-level load series: per-interface loads on a fixed time grid,
+/// aggregated across all flows originating at one host.
+///
+/// Used when several parallel connections share one host CPU (the paper's
+/// Fig. 6 scenario runs N senders on one machine).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HostLoadSeries {
+    /// Grid step, seconds.
+    pub bin_s: f64,
+    /// `bins[t][iface]` load at grid point `t`.
+    pub bins: Vec<Vec<PathLoad>>,
+}
+
+impl HostLoadSeries {
+    /// Builds a grid of `n_ifaces` interfaces with `bin_s` resolution
+    /// covering `horizon_s`.
+    pub fn new(n_ifaces: usize, bin_s: f64, horizon_s: f64) -> Self {
+        let n = (horizon_s / bin_s).ceil() as usize;
+        HostLoadSeries { bin_s, bins: vec![vec![PathLoad::IDLE; n_ifaces]; n] }
+    }
+
+    /// Accumulates a flow's samples. `iface_of[subflow]` maps the flow's
+    /// subflow index to the host interface it uses.
+    pub fn add_flow(&mut self, samples: &[FlowSample], iface_of: &[usize]) {
+        for s in samples {
+            let idx = (s.at.as_secs_f64() / self.bin_s) as usize;
+            let Some(bin) = self.bins.get_mut(idx) else { continue };
+            for (r, sub) in s.subflows.iter().enumerate() {
+                let iface = iface_of.get(r).copied().unwrap_or(r);
+                let Some(slot) = bin.get_mut(iface) else { continue };
+                // Sum throughput; carry the worst RTT as the interface RTT
+                // (the CPU cost term is driven by the flows still queuing).
+                slot.throughput_bps += sub.throughput_bps;
+                if sub.srtt_s > slot.rtt_s {
+                    slot.rtt_s = sub.srtt_s;
+                    slot.base_rtt_s = sub.base_rtt_s;
+                }
+                slot.active |= sub.active && sub.throughput_bps > 0.0;
+            }
+        }
+    }
+
+    /// Integrates a power model over the host series, stopping after
+    /// `until_s` if given (e.g. the last flow's completion).
+    pub fn energy(&self, model: &mut dyn PowerModel, until_s: Option<f64>) -> EnergyReport {
+        model.reset();
+        let mut joules = 0.0;
+        let mut duration = 0.0;
+        let mut trace = Vec::with_capacity(self.bins.len());
+        for (i, bin) in self.bins.iter().enumerate() {
+            let at = i as f64 * self.bin_s;
+            if let Some(limit) = until_s {
+                if at >= limit {
+                    break;
+                }
+            }
+            let p = model.power_w(at, bin);
+            joules += p * self.bin_s;
+            duration += self.bin_s;
+            trace.push((at, p));
+        }
+        EnergyReport {
+            joules,
+            duration_s: duration,
+            mean_power_w: if duration > 0.0 { joules / duration } else { 0.0 },
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::WiredCpuModel;
+    use netsim::SimTime;
+    use transport::SubflowSample;
+
+    fn sample(at_s: f64, mbps: f64) -> FlowSample {
+        FlowSample {
+            at: SimTime::from_secs_f64(at_s),
+            interval_s: 0.1,
+            subflows: vec![SubflowSample {
+                throughput_bps: mbps * 1e6,
+                srtt_s: 0.02,
+                base_rtt_s: 0.02,
+                cwnd_pkts: 10.0,
+                active: mbps > 0.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn constant_power_integrates_linearly() {
+        let mut m = WiredCpuModel::i7_3770();
+        let samples: Vec<_> = (0..10).map(|i| sample(i as f64 * 0.1, 100.0)).collect();
+        let report = energy_of_flow(&mut m, &samples);
+        assert!((report.duration_s - 1.0).abs() < 1e-9);
+        assert!((report.joules - report.mean_power_w).abs() < 1e-9);
+        assert_eq!(report.trace.len(), 10);
+        // All samples identical → flat trace.
+        let p0 = report.trace[0].1;
+        assert!(report.trace.iter().all(|(_, p)| (p - p0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn joules_per_bit_guards_zero() {
+        let r = EnergyReport { joules: 10.0, duration_s: 1.0, mean_power_w: 10.0, trace: vec![] };
+        assert!(r.joules_per_bit(0.0).is_infinite());
+        assert!((r.joules_per_bit(100.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn host_series_aggregates_two_flows() {
+        let mut series = HostLoadSeries::new(1, 0.1, 1.0);
+        let f1: Vec<_> = (0..10).map(|i| sample(i as f64 * 0.1, 10.0)).collect();
+        let f2: Vec<_> = (0..10).map(|i| sample(i as f64 * 0.1, 20.0)).collect();
+        series.add_flow(&f1, &[0]);
+        series.add_flow(&f2, &[0]);
+        assert!((series.bins[0][0].throughput_bps - 30e6).abs() < 1.0);
+        let mut m = WiredCpuModel::i7_3770();
+        let report = series.energy(&mut m, None);
+        assert!(report.joules > 0.0);
+    }
+
+    #[test]
+    fn until_limit_truncates() {
+        let series = HostLoadSeries::new(1, 0.1, 2.0);
+        let mut m = WiredCpuModel::i7_3770();
+        let full = series.energy(&mut m, None);
+        let half = series.energy(&mut m, Some(1.0));
+        assert!((half.duration_s - 1.0).abs() < 1e-9);
+        assert!(half.joules < full.joules);
+    }
+}

@@ -1,0 +1,128 @@
+//! The event queue.
+//!
+//! Events are ordered by `(time, insertion sequence)` so that simultaneous
+//! events fire in FIFO order, which makes runs deterministic regardless of
+//! heap internals.
+
+use crate::packet::{AgentId, LinkId, Packet};
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Kinds of scheduled work.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// Deliver a packet to its destination agent.
+    Deliver { agent: AgentId, pkt: Packet },
+    /// A link finished serializing its in-service packet.
+    LinkTxDone { link: LinkId },
+    /// A packet arrives at (is offered to) a link after propagation.
+    LinkEnqueue { link: LinkId, pkt: Packet },
+    /// A timer registered by an agent fires.
+    Timer { agent: AgentId, token: u64 },
+}
+
+#[derive(Debug)]
+pub(crate) struct Event {
+    pub at: SimTime,
+    seq: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A monotonic priority queue of events.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[allow(dead_code)] // used by tests and kept for API symmetry
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_fifo_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_nanos(20), EventKind::Timer { agent: 0, token: 1 });
+        q.push(SimTime::from_nanos(10), EventKind::Timer { agent: 0, token: 2 });
+        q.push(SimTime::from_nanos(10), EventKind::Timer { agent: 0, token: 3 });
+
+        let first = q.pop().unwrap();
+        assert_eq!(first.at, SimTime::from_nanos(10));
+        match first.kind {
+            EventKind::Timer { token, .. } => assert_eq!(token, 2),
+            _ => panic!("wrong kind"),
+        }
+        let second = q.pop().unwrap();
+        match second.kind {
+            EventKind::Timer { token, .. } => assert_eq!(token, 3),
+            _ => panic!("wrong kind"),
+        }
+        let third = q.pop().unwrap();
+        assert_eq!(third.at, SimTime::from_nanos(20));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_nanos(5), EventKind::Timer { agent: 1, token: 0 });
+        q.push(SimTime::from_nanos(2), EventKind::Timer { agent: 1, token: 0 });
+        assert_eq!(q.peek_time(), Some(SimTime::from_nanos(2)));
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,330 @@
+//! Links: bandwidth, propagation delay, DropTail queues, ECN marking.
+//!
+//! A [`Link`] is a unidirectional store-and-forward pipe. Packets that arrive
+//! while the link is transmitting join a FIFO queue bounded by
+//! [`LinkConfig::queue_limit_pkts`]; arrivals beyond the bound are dropped
+//! (DropTail). If an ECN threshold is configured, packets that enqueue behind
+//! `K` or more packets are marked Congestion-Experienced, which is the DCTCP
+//! marking discipline.
+
+use crate::packet::Packet;
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Configuration of a unidirectional link.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkConfig {
+    /// Transmission rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// One-way propagation delay.
+    pub propagation: SimDuration,
+    /// DropTail queue bound, in packets (excluding the packet in service).
+    pub queue_limit_pkts: usize,
+    /// ECN marking threshold `K` in packets: a packet is CE-marked when it
+    /// enqueues behind `K` or more packets. `None` disables marking.
+    pub ecn_threshold_pkts: Option<usize>,
+}
+
+impl LinkConfig {
+    /// A link with the given rate (bits/s) and propagation delay and a default
+    /// 100-packet DropTail queue, no ECN.
+    pub fn new(bandwidth_bps: u64, propagation: SimDuration) -> Self {
+        LinkConfig {
+            bandwidth_bps,
+            propagation,
+            queue_limit_pkts: 100,
+            ecn_threshold_pkts: None,
+        }
+    }
+
+    /// Sets the DropTail queue bound in packets.
+    pub fn queue_limit(mut self, pkts: usize) -> Self {
+        self.queue_limit_pkts = pkts;
+        self
+    }
+
+    /// Enables ECN marking at threshold `k` packets.
+    pub fn ecn_threshold(mut self, k: usize) -> Self {
+        self.ecn_threshold_pkts = Some(k);
+        self
+    }
+
+    /// Serialization delay of `bytes` at this link's rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured bandwidth is zero.
+    pub fn serialization(&self, bytes: u32) -> SimDuration {
+        assert!(self.bandwidth_bps > 0, "link bandwidth must be positive");
+        let ns = (bytes as u128 * 8 * 1_000_000_000) / self.bandwidth_bps as u128;
+        SimDuration::from_nanos(ns as u64)
+    }
+}
+
+/// Counters accumulated by a link over a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Packets fully transmitted.
+    pub tx_pkts: u64,
+    /// Bytes fully transmitted.
+    pub tx_bytes: u64,
+    /// Packets dropped by DropTail.
+    pub drops: u64,
+    /// Packets CE-marked by ECN.
+    pub ecn_marks: u64,
+    /// High-water mark of queue occupancy (packets, excluding in-service).
+    pub max_qlen: usize,
+}
+
+/// Runtime state of a unidirectional link.
+#[derive(Debug)]
+pub struct Link {
+    cfg: LinkConfig,
+    queue: VecDeque<Packet>,
+    in_flight: Option<Packet>,
+    /// Integral of queue length over time (packet-seconds), for mean-queue
+    /// telemetry used by energy-proportional pricing.
+    qlen_integral: f64,
+    last_q_change: SimTime,
+    stats: LinkStats,
+}
+
+/// What happened when a packet was offered to a link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Enqueue {
+    /// The link was idle; transmission starts now and completes after the
+    /// contained serialization delay.
+    StartTx(SimDuration),
+    /// The packet joined the queue.
+    Queued,
+    /// The queue was full; the packet was dropped.
+    Dropped,
+}
+
+impl Link {
+    /// Creates an idle link.
+    pub fn new(cfg: LinkConfig) -> Self {
+        Link {
+            cfg,
+            queue: VecDeque::new(),
+            in_flight: None,
+            qlen_integral: 0.0,
+            last_q_change: SimTime::ZERO,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// The link's configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.cfg
+    }
+
+    /// Changes the link rate at runtime (failure injection / rate
+    /// adaptation). The packet currently in service keeps its old
+    /// serialization schedule; subsequent packets use the new rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bps` is zero.
+    pub fn set_bandwidth(&mut self, bps: u64) {
+        assert!(bps > 0, "bandwidth must be positive");
+        self.cfg.bandwidth_bps = bps;
+    }
+
+    /// Changes the propagation delay at runtime (mobility / path change
+    /// injection). Applies to packets completing transmission afterwards.
+    pub fn set_propagation(&mut self, propagation: SimDuration) {
+        self.cfg.propagation = propagation;
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+
+    /// Current queue occupancy in packets (excluding the packet in service).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the link is currently transmitting a packet.
+    pub fn is_busy(&self) -> bool {
+        self.in_flight.is_some()
+    }
+
+    /// Mean queue length in packets over `[0, now]`.
+    pub fn mean_queue_len(&self, now: SimTime) -> f64 {
+        let secs = now.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            let tail =
+                self.queue.len() as f64 * (now.saturating_since(self.last_q_change)).as_secs_f64();
+            (self.qlen_integral + tail) / secs
+        }
+    }
+
+    /// Utilization of the link over `[0, now]`: transmitted bits divided by
+    /// capacity-time.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let secs = now.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            (self.stats.tx_bytes as f64 * 8.0) / (self.cfg.bandwidth_bps as f64 * secs)
+        }
+    }
+
+    fn note_q_change(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last_q_change).as_secs_f64();
+        self.qlen_integral += self.queue.len() as f64 * dt;
+        self.last_q_change = now;
+    }
+
+    /// Offers `pkt` to the link at time `now`.
+    ///
+    /// The caller (the simulator) is responsible for scheduling the
+    /// transmission-complete event when `StartTx` is returned.
+    pub fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> Enqueue {
+        if self.in_flight.is_none() {
+            debug_assert!(self.queue.is_empty());
+            let ser = self.cfg.serialization(pkt.size_bytes);
+            self.in_flight = Some(pkt);
+            Enqueue::StartTx(ser)
+        } else if self.queue.len() < self.cfg.queue_limit_pkts {
+            if let Some(k) = self.cfg.ecn_threshold_pkts {
+                if self.queue.len() + 1 >= k {
+                    pkt.ecn_ce = true;
+                    self.stats.ecn_marks += 1;
+                }
+            }
+            self.note_q_change(now);
+            self.queue.push_back(pkt);
+            self.stats.max_qlen = self.stats.max_qlen.max(self.queue.len());
+            Enqueue::Queued
+        } else {
+            self.stats.drops += 1;
+            Enqueue::Dropped
+        }
+    }
+
+    /// Completes the in-service transmission at time `now`, returning the
+    /// transmitted packet and, if the queue was non-empty, the next packet's
+    /// serialization delay (its transmission starts immediately).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link was not transmitting.
+    pub fn tx_done(&mut self, now: SimTime) -> (Packet, Option<SimDuration>) {
+        let pkt = self.in_flight.take().expect("tx_done on idle link");
+        self.stats.tx_pkts += 1;
+        self.stats.tx_bytes += u64::from(pkt.size_bytes);
+        let next = if let Some(next_pkt) = {
+            self.note_q_change(now);
+            self.queue.pop_front()
+        } {
+            let ser = self.cfg.serialization(next_pkt.size_bytes);
+            self.in_flight = Some(next_pkt);
+            Some(ser)
+        } else {
+            None
+        };
+        (pkt, next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{Payload, Route};
+
+    fn pkt(size: u32) -> Packet {
+        Packet {
+            id: 0,
+            src: 0,
+            size_bytes: size,
+            sent_at: SimTime::ZERO,
+            ecn_ce: false,
+            hop: 0,
+            route: Route::direct(0),
+            payload: Payload::Raw,
+        }
+    }
+
+    #[test]
+    fn serialization_delay() {
+        let cfg = LinkConfig::new(100_000_000, SimDuration::from_millis(1));
+        // 1500 bytes at 100 Mb/s = 120 us.
+        assert_eq!(cfg.serialization(1500), SimDuration::from_micros(120));
+    }
+
+    #[test]
+    fn idle_link_starts_transmitting() {
+        let mut l = Link::new(LinkConfig::new(8_000_000, SimDuration::ZERO));
+        match l.enqueue(pkt(1000), SimTime::ZERO) {
+            Enqueue::StartTx(d) => assert_eq!(d, SimDuration::from_millis(1)),
+            other => panic!("expected StartTx, got {other:?}"),
+        }
+        assert!(l.is_busy());
+    }
+
+    #[test]
+    fn droptail_drops_beyond_limit() {
+        let cfg = LinkConfig::new(8_000_000, SimDuration::ZERO).queue_limit(2);
+        let mut l = Link::new(cfg);
+        assert!(matches!(l.enqueue(pkt(100), SimTime::ZERO), Enqueue::StartTx(_)));
+        assert_eq!(l.enqueue(pkt(100), SimTime::ZERO), Enqueue::Queued);
+        assert_eq!(l.enqueue(pkt(100), SimTime::ZERO), Enqueue::Queued);
+        assert_eq!(l.enqueue(pkt(100), SimTime::ZERO), Enqueue::Dropped);
+        assert_eq!(l.stats().drops, 1);
+        assert_eq!(l.queue_len(), 2);
+    }
+
+    #[test]
+    fn tx_done_chains_queue() {
+        let cfg = LinkConfig::new(8_000_000, SimDuration::ZERO);
+        let mut l = Link::new(cfg);
+        let _ = l.enqueue(pkt(1000), SimTime::ZERO);
+        let _ = l.enqueue(pkt(500), SimTime::ZERO);
+        let (done, next) = l.tx_done(SimTime::from_secs_f64(0.001));
+        assert_eq!(done.size_bytes, 1000);
+        assert_eq!(next, Some(SimDuration::from_micros(500)));
+        let (done2, next2) = l.tx_done(SimTime::from_secs_f64(0.0015));
+        assert_eq!(done2.size_bytes, 500);
+        assert_eq!(next2, None);
+        assert!(!l.is_busy());
+        assert_eq!(l.stats().tx_pkts, 2);
+        assert_eq!(l.stats().tx_bytes, 1500);
+    }
+
+    #[test]
+    fn ecn_marks_above_threshold() {
+        let cfg = LinkConfig::new(8_000_000, SimDuration::ZERO)
+            .queue_limit(10)
+            .ecn_threshold(2);
+        let mut l = Link::new(cfg);
+        let _ = l.enqueue(pkt(100), SimTime::ZERO); // in service
+        let _ = l.enqueue(pkt(100), SimTime::ZERO); // queue pos 1 (below K)
+        let _ = l.enqueue(pkt(100), SimTime::ZERO); // queue pos 2 -> marked
+        assert_eq!(l.stats().ecn_marks, 1);
+    }
+
+    #[test]
+    fn utilization_and_mean_queue() {
+        let cfg = LinkConfig::new(8_000_000, SimDuration::ZERO);
+        let mut l = Link::new(cfg);
+        let _ = l.enqueue(pkt(1000), SimTime::ZERO);
+        let _ = l.tx_done(SimTime::from_secs_f64(0.001));
+        // 8000 bits sent in 1 ms over an 8 Mb/s link => 100% busy for that ms.
+        let u = l.utilization(SimTime::from_secs_f64(0.001));
+        assert!((u - 1.0).abs() < 1e-9, "utilization {u}");
+        assert!(l.mean_queue_len(SimTime::from_secs_f64(0.001)) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn tx_done_on_idle_panics() {
+        let mut l = Link::new(LinkConfig::new(1_000_000, SimDuration::ZERO));
+        let _ = l.tx_done(SimTime::ZERO);
+    }
+}

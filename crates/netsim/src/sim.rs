@@ -1,0 +1,504 @@
+//! The discrete-event simulator core.
+//!
+//! A [`Simulator`] owns a set of [`Link`]s, a set of [`Agent`]s (protocol
+//! endpoints and traffic sources), and a monotonic event queue. It is strictly
+//! single-threaded and deterministic: given the same topology, agents, and
+//! seed, two runs produce bit-identical results.
+//!
+//! # Examples
+//!
+//! ```
+//! use netsim::prelude::*;
+//!
+//! /// An agent that counts delivered packets.
+//! #[derive(Default)]
+//! struct Counter { received: u64 }
+//!
+//! impl Agent for Counter {
+//!     fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) { self.received += 1; }
+//!     fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+//! }
+//!
+//! let mut sim = Simulator::new(42);
+//! let link = sim.add_link(LinkConfig::new(1_000_000, SimDuration::from_millis(1)));
+//! let sink = sim.add_agent(Box::new(Counter::default()));
+//! let route = Route::new(vec![link], sink);
+//! sim.world_mut().send_packet(sink, route, 125, Payload::Raw);
+//! sim.run_until(SimTime::from_secs_f64(1.0));
+//! assert_eq!(sim.agent::<Counter>(sink).received, 1);
+//! ```
+
+use crate::event::{EventKind, EventQueue};
+use crate::link::{Enqueue, Link, LinkConfig};
+use crate::packet::{AgentId, LinkId, Packet, Payload, Route};
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::any::Any;
+use std::sync::Arc;
+
+/// A protocol endpoint or traffic source/sink driven by the simulator.
+///
+/// Agents receive packets addressed to them and timer callbacks they have
+/// scheduled. All interaction with the network goes through the [`Ctx`]
+/// passed to each callback.
+pub trait Agent: Any {
+    /// Called when a packet whose route terminates at this agent is delivered.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
+    /// Called when a timer scheduled by this agent fires. `token` is the value
+    /// passed to [`Ctx::schedule_in`]; agents use it to distinguish and to
+    /// invalidate stale timers.
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>);
+}
+
+/// Shared simulation state: links, clock, event queue, RNG.
+///
+/// Exposed to agents through [`Ctx`] and to experiment drivers through
+/// [`Simulator::world`] / [`Simulator::world_mut`].
+#[derive(Debug)]
+pub struct World {
+    now: SimTime,
+    links: Vec<Link>,
+    queue: EventQueue,
+    rng: SmallRng,
+    next_pkt_id: u64,
+    /// Total packets dropped by DropTail across all links.
+    pub dropped_pkts: u64,
+}
+
+impl World {
+    fn new(seed: u64) -> Self {
+        World {
+            now: SimTime::ZERO,
+            links: Vec::new(),
+            queue: EventQueue::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            next_pkt_id: 0,
+            dropped_pkts: 0,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The deterministic simulation RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Immutable access to a link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a registered link.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id]
+    }
+
+    /// Mutable access to a link, for mid-run degradation or failure
+    /// injection between [`crate::sim::Simulator::run_until`] calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a registered link.
+    pub fn link_mut(&mut self, id: LinkId) -> &mut Link {
+        &mut self.links[id]
+    }
+
+    /// Number of registered links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Schedules `token` to fire at `agent` after `delay`.
+    pub fn schedule_in(&mut self, agent: AgentId, delay: SimDuration, token: u64) {
+        self.queue.push(self.now + delay, EventKind::Timer { agent, token });
+    }
+
+    /// Injects a packet from `src` along `route` at the current time.
+    /// Returns the assigned packet id.
+    pub fn send_packet(
+        &mut self,
+        src: AgentId,
+        route: Arc<Route>,
+        size_bytes: u32,
+        payload: Payload,
+    ) -> u64 {
+        let id = self.next_pkt_id;
+        self.next_pkt_id += 1;
+        let pkt = Packet {
+            id,
+            src,
+            size_bytes,
+            sent_at: self.now,
+            ecn_ce: false,
+            hop: 0,
+            route,
+            payload,
+        };
+        if pkt.route.links.is_empty() {
+            let agent = pkt.route.dst;
+            self.queue.push(self.now, EventKind::Deliver { agent, pkt });
+        } else {
+            let link = pkt.route.links[0];
+            self.offer_to_link(link, pkt);
+        }
+        id
+    }
+
+    fn offer_to_link(&mut self, link: LinkId, pkt: Packet) {
+        match self.links[link].enqueue(pkt, self.now) {
+            Enqueue::StartTx(ser) => {
+                self.queue.push(self.now + ser, EventKind::LinkTxDone { link });
+            }
+            Enqueue::Queued => {}
+            Enqueue::Dropped => {
+                self.dropped_pkts += 1;
+            }
+        }
+    }
+
+    fn forward_after_tx(&mut self, link: LinkId, mut pkt: Packet) {
+        let prop = self.links[link].config().propagation;
+        pkt.hop += 1;
+        let arrival = self.now + prop;
+        if pkt.at_last_hop() {
+            let agent = pkt.route.dst;
+            self.queue.push(arrival, EventKind::Deliver { agent, pkt });
+        } else {
+            let next = pkt.route.links[pkt.hop];
+            self.queue.push(arrival, EventKind::LinkEnqueue { link: next, pkt });
+        }
+    }
+}
+
+/// The per-callback handle agents use to interact with the simulation.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    world: &'a mut World,
+    self_id: AgentId,
+}
+
+impl Ctx<'_> {
+    /// The id of the agent being called.
+    pub fn self_id(&self) -> AgentId {
+        self.self_id
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// The deterministic simulation RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.world.rng()
+    }
+
+    /// Sends a packet from this agent along `route`. Returns the packet id.
+    pub fn send(&mut self, route: Arc<Route>, size_bytes: u32, payload: Payload) -> u64 {
+        self.world.send_packet(self.self_id, route, size_bytes, payload)
+    }
+
+    /// Schedules `token` to fire back at this agent after `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, token: u64) {
+        self.world.schedule_in(self.self_id, delay, token);
+    }
+
+    /// Read-only access to a link (e.g. to observe queue occupancy).
+    pub fn link(&self, id: LinkId) -> &Link {
+        self.world.link(id)
+    }
+}
+
+/// The simulator: links + agents + event loop.
+pub struct Simulator {
+    world: World,
+    agents: Vec<Option<Box<dyn Agent>>>,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.world.now)
+            .field("links", &self.world.links.len())
+            .field("agents", &self.agents.len())
+            .field("pending_events", &self.world.queue.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Creates an empty simulator with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator { world: World::new(seed), agents: Vec::new() }
+    }
+
+    /// Registers a link and returns its id.
+    pub fn add_link(&mut self, cfg: LinkConfig) -> LinkId {
+        self.world.links.push(Link::new(cfg));
+        self.world.links.len() - 1
+    }
+
+    /// Registers an agent and returns its id.
+    pub fn add_agent(&mut self, agent: Box<dyn Agent>) -> AgentId {
+        self.agents.push(Some(agent));
+        self.agents.len() - 1
+    }
+
+    /// Registers an agent built from its own id (for agents that must embed
+    /// their address in packets they send).
+    pub fn add_agent_with<F>(&mut self, build: F) -> AgentId
+    where
+        F: FnOnce(AgentId) -> Box<dyn Agent>,
+    {
+        let id = self.agents.len();
+        self.agents.push(Some(build(id)));
+        id
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.world.now
+    }
+
+    /// Shared state (links, clock, RNG).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable shared state, for experiment setup (packet injection, timer
+    /// kicks).
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// Typed access to an agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown, the agent is mid-dispatch, or `T` is not its
+    /// concrete type.
+    pub fn agent<T: Agent>(&self, id: AgentId) -> &T {
+        let a = self.agents[id].as_ref().expect("agent is mid-dispatch");
+        (&**a as &dyn Any).downcast_ref::<T>().expect("agent type mismatch")
+    }
+
+    /// Typed mutable access to an agent.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Simulator::agent`].
+    pub fn agent_mut<T: Agent>(&mut self, id: AgentId) -> &mut T {
+        let a = self.agents[id].as_mut().expect("agent is mid-dispatch");
+        (&mut **a as &mut dyn Any).downcast_mut::<T>().expect("agent type mismatch")
+    }
+
+    /// Schedules a timer for `agent` after `delay` from now. The conventional
+    /// way to start protocol agents (token 0 as the "go" signal).
+    pub fn kick(&mut self, agent: AgentId, delay: SimDuration, token: u64) {
+        self.world.schedule_in(agent, delay, token);
+    }
+
+    fn dispatch(&mut self, agent: AgentId, f: impl FnOnce(&mut dyn Agent, &mut Ctx<'_>)) {
+        let mut a = self.agents[agent].take().expect("reentrant agent dispatch");
+        {
+            let mut ctx = Ctx { world: &mut self.world, self_id: agent };
+            f(a.as_mut(), &mut ctx);
+        }
+        self.agents[agent] = Some(a);
+    }
+
+    /// Processes the next event, if any. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.world.queue.pop() else { return false };
+        debug_assert!(ev.at >= self.world.now, "event queue went backwards");
+        self.world.now = ev.at;
+        match ev.kind {
+            EventKind::Deliver { agent, pkt } => {
+                self.dispatch(agent, |a, ctx| a.on_packet(pkt, ctx));
+            }
+            EventKind::Timer { agent, token } => {
+                self.dispatch(agent, |a, ctx| a.on_timer(token, ctx));
+            }
+            EventKind::LinkTxDone { link } => {
+                let (pkt, next) = self.world.links[link].tx_done(self.world.now);
+                if let Some(ser) = next {
+                    self.world.queue.push(self.world.now + ser, EventKind::LinkTxDone { link });
+                }
+                self.world.forward_after_tx(link, pkt);
+            }
+            EventKind::LinkEnqueue { link, pkt } => {
+                self.world.offer_to_link(link, pkt);
+            }
+        }
+        true
+    }
+
+    /// Runs until the event queue is exhausted or `deadline` is reached,
+    /// whichever comes first. The clock ends at exactly `deadline` if it was
+    /// reached.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.world.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.world.now < deadline {
+            self.world.now = deadline;
+        }
+    }
+
+    /// Runs for `dur` of simulated time from the current clock.
+    pub fn run_for(&mut self, dur: SimDuration) {
+        let deadline = self.world.now + dur;
+        self.run_until(deadline);
+    }
+
+    /// Runs until no events remain (only safe for workloads that terminate).
+    pub fn run_to_completion(&mut self) {
+        while self.step() {}
+    }
+
+    /// Number of pending events (diagnostics).
+    pub fn pending_events(&self) -> usize {
+        self.world.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Sink {
+        received: Vec<(SimTime, u64)>,
+        timers: Vec<u64>,
+    }
+
+    impl Sink {
+        fn new() -> Self {
+            Self::default()
+        }
+    }
+
+    impl Agent for Sink {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            self.received.push((ctx.now(), pkt.id));
+        }
+        fn on_timer(&mut self, token: u64, _ctx: &mut Ctx<'_>) {
+            self.timers.push(token);
+        }
+    }
+
+    /// Echoes every packet straight back along a reverse route.
+    struct Echo {
+        reverse: Arc<Route>,
+    }
+
+    impl Agent for Echo {
+        fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+            ctx.send(self.reverse.clone(), pkt.size_bytes, Payload::Raw);
+        }
+        fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+    }
+
+    #[test]
+    fn packet_delivery_timing_includes_serialization_and_propagation() {
+        let mut sim = Simulator::new(1);
+        // 1 Mb/s, 10 ms propagation: 1250 B => 10 ms serialization.
+        let l = sim.add_link(LinkConfig::new(1_000_000, SimDuration::from_millis(10)));
+        let sink = sim.add_agent(Box::new(Sink::new()));
+        let route = Route::new(vec![l], sink);
+        sim.world_mut().send_packet(sink, route, 1250, Payload::Raw);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        let got = &sim.agent::<Sink>(sink).received;
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0, ms(20));
+    }
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_nanos(v * 1_000_000)
+    }
+
+    #[test]
+    fn two_hop_route_store_and_forward() {
+        let mut sim = Simulator::new(1);
+        let l1 = sim.add_link(LinkConfig::new(1_000_000, SimDuration::from_millis(5)));
+        let l2 = sim.add_link(LinkConfig::new(1_000_000, SimDuration::from_millis(5)));
+        let sink = sim.add_agent(Box::new(Sink::new()));
+        let route = Route::new(vec![l1, l2], sink);
+        sim.world_mut().send_packet(sink, route, 1250, Payload::Raw);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        // 10 ms ser + 5 ms prop + 10 ms ser + 5 ms prop = 30 ms.
+        assert_eq!(sim.agent::<Sink>(sink).received[0].0, ms(30));
+    }
+
+    #[test]
+    fn round_trip_through_echo_agent() {
+        let mut sim = Simulator::new(1);
+        let fwd = sim.add_link(LinkConfig::new(10_000_000, SimDuration::from_millis(1)));
+        let back = sim.add_link(LinkConfig::new(10_000_000, SimDuration::from_millis(1)));
+        let sink = sim.add_agent(Box::new(Sink::new()));
+        let echo = sim.add_agent(Box::new(Echo { reverse: Route::new(vec![back], sink) }));
+        let route = Route::new(vec![fwd], echo);
+        sim.world_mut().send_packet(sink, route, 125, Payload::Raw);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(sim.agent::<Sink>(sink).received.len(), 1);
+        // 0.1 ms ser + 1 ms prop each way = 2.2 ms total.
+        let t = sim.agent::<Sink>(sink).received[0].0;
+        assert_eq!(t, SimTime::from_nanos(2_200_000));
+    }
+
+    #[test]
+    fn timers_fire_in_order_with_tokens() {
+        let mut sim = Simulator::new(1);
+        let sink = sim.add_agent(Box::new(Sink::new()));
+        sim.kick(sink, SimDuration::from_millis(2), 20);
+        sim.kick(sink, SimDuration::from_millis(1), 10);
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(sim.agent::<Sink>(sink).timers, vec![10, 20]);
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut sim = Simulator::new(1);
+        sim.run_until(SimTime::from_secs_f64(3.0));
+        assert_eq!(sim.now(), SimTime::from_secs_f64(3.0));
+    }
+
+    #[test]
+    fn droptail_losses_are_counted_globally() {
+        let mut sim = Simulator::new(1);
+        let l = sim.add_link(LinkConfig::new(1_000_000, SimDuration::ZERO).queue_limit(1));
+        let sink = sim.add_agent(Box::new(Sink::new()));
+        let route = Route::new(vec![l], sink);
+        for _ in 0..5 {
+            sim.world_mut().send_packet(sink, route.clone(), 1250, Payload::Raw);
+        }
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        // 1 in service + 1 queued survive; 3 dropped.
+        assert_eq!(sim.world().dropped_pkts, 3);
+        assert_eq!(sim.agent::<Sink>(sink).received.len(), 2);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run() -> Vec<(SimTime, u64)> {
+            let mut sim = Simulator::new(99);
+            let l = sim.add_link(LinkConfig::new(5_000_000, SimDuration::from_micros(100)));
+            let sink = sim.add_agent(Box::new(Sink::new()));
+            let route = Route::new(vec![l], sink);
+            for _ in 0..50 {
+                sim.world_mut().send_packet(sink, route.clone(), 1500, Payload::Raw);
+            }
+            sim.run_until(SimTime::from_secs_f64(1.0));
+            sim.agent::<Sink>(sink).received.clone()
+        }
+        assert_eq!(run(), run());
+    }
+}

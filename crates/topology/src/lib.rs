@@ -1,0 +1,51 @@
+//! # topology — network topology builders
+//!
+//! Every network scenario the paper evaluates, as source-routed link graphs
+//! plus path enumerations over the [`netsim`] simulator:
+//!
+//! * [`twopath::TwoPath`] — dual-NIC testbed machines (Figs. 1, 3, 4), the
+//!   Fig. 5(b) traffic-shifting scenario (Figs. 7–9), and the heterogeneous
+//!   WiFi + 4G wireless scenario (Fig. 17);
+//! * [`shared::SharedBottleneck`] — the Fig. 5(a) scenario where N MPTCP
+//!   users compete with 2N TCP users (Fig. 6);
+//! * [`fattree::FatTree`] — k-ary FatTree (Fig. 13, 15, 16);
+//! * [`vl2::Vl2`] — VL2 Clos with fast switch links (Fig. 14, 15, 16);
+//! * [`bcube::BCube`] — server-centric BCube with host relaying (Fig. 12);
+//! * [`ec2::Ec2Vpc`] — four-ENI multihomed cloud instances (Fig. 10);
+//! * [`hierarchy::Hierarchy`] — the §V-C aggregation/backbone Internet
+//!   hierarchy that motivates the compensative parameter φ.
+//!
+//! All builders return plain data (link ids + path enumerations); attach
+//! flows with [`transport::attach_flow`].
+//!
+//! # Examples
+//!
+//! ```
+//! use netsim::{SimDuration, Simulator};
+//! use topology::{FatTree, LinkParams};
+//!
+//! let mut sim = Simulator::new(1);
+//! let ft = FatTree::build(&mut sim, 4,
+//!     LinkParams::new(100_000_000, SimDuration::from_micros(100)));
+//! assert_eq!(ft.hosts(), 16);
+//! let paths = ft.paths(0, 15);
+//! assert_eq!(paths.len(), 4); // one per core switch
+//! ```
+
+pub mod bcube;
+pub mod duplex;
+pub mod ec2;
+pub mod fattree;
+pub mod hierarchy;
+pub mod shared;
+pub mod twopath;
+pub mod vl2;
+
+pub use bcube::BCube;
+pub use duplex::{duplex, Duplex, LinkParams};
+pub use ec2::{Ec2Vpc, ENIS_PER_HOST};
+pub use fattree::FatTree;
+pub use hierarchy::Hierarchy;
+pub use shared::SharedBottleneck;
+pub use twopath::TwoPath;
+pub use vl2::{Vl2, Vl2Config};

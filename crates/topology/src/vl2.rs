@@ -1,0 +1,198 @@
+//! VL2 topology (Greenberg et al., SIGCOMM 2009), as used by the paper's
+//! htsim experiments (Figs. 14, 15, 16).
+//!
+//! VL2 is a Clos: hosts hang off ToR switches; each ToR connects to two
+//! aggregation switches; aggregation and intermediate switches form a
+//! complete bipartite graph. Switch-to-switch links are faster than host
+//! links (the paper uses 1 Gb/s switch links over 100 Mb/s host links).
+//! Valiant load balancing gives each inter-ToR host pair
+//! `2 × n_int × 2` equal-cost paths.
+
+use crate::duplex::LinkParams;
+use netsim::{LinkId, Simulator};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use transport::PathSpec;
+
+/// VL2 dimensioning and link parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Vl2Config {
+    /// Number of ToR switches.
+    pub n_tor: usize,
+    /// Number of aggregation switches.
+    pub n_agg: usize,
+    /// Number of intermediate switches.
+    pub n_int: usize,
+    /// Hosts per ToR.
+    pub hosts_per_tor: usize,
+    /// Host ↔ ToR link parameters.
+    pub host_link: LinkParams,
+    /// Switch ↔ switch link parameters (faster, per the paper).
+    pub switch_link: LinkParams,
+}
+
+/// A VL2 network's links and path enumeration.
+#[derive(Clone, Debug)]
+pub struct Vl2 {
+    cfg: Vl2Config,
+    host_up: Vec<LinkId>,
+    host_down: Vec<LinkId>,
+    /// `t2a[tor][sel]`: ToR → its `sel`-th aggregation switch.
+    t2a: Vec<[LinkId; 2]>,
+    /// `a2t[tor][sel]`: that aggregation switch → ToR.
+    a2t: Vec<[LinkId; 2]>,
+    /// `a2i[agg][int]`, `i2a[agg][int]`.
+    a2i: Vec<Vec<LinkId>>,
+    i2a: Vec<Vec<LinkId>>,
+}
+
+impl Vl2 {
+    /// Builds a VL2 network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `n_agg < 2`.
+    pub fn build(sim: &mut Simulator, cfg: Vl2Config) -> Self {
+        assert!(cfg.n_tor > 0 && cfg.n_agg >= 2 && cfg.n_int > 0 && cfg.hosts_per_tor > 0);
+        let hosts = cfg.n_tor * cfg.hosts_per_tor;
+        let host_up = (0..hosts).map(|_| sim.add_link(cfg.host_link.to_config())).collect();
+        let host_down = (0..hosts).map(|_| sim.add_link(cfg.host_link.to_config())).collect();
+        let sw = |sim: &mut Simulator| sim.add_link(cfg.switch_link.to_config());
+        let t2a = (0..cfg.n_tor).map(|_| [sw(sim), sw(sim)]).collect();
+        let a2t = (0..cfg.n_tor).map(|_| [sw(sim), sw(sim)]).collect();
+        let a2i =
+            (0..cfg.n_agg).map(|_| (0..cfg.n_int).map(|_| sw(sim)).collect()).collect();
+        let i2a =
+            (0..cfg.n_agg).map(|_| (0..cfg.n_int).map(|_| sw(sim)).collect()).collect();
+        Vl2 { cfg, host_up, host_down, t2a, a2t, a2i, i2a }
+    }
+
+    /// The paper-scale instance: 128 hosts (16 ToRs × 8), 8 aggregation and
+    /// 4 intermediate switches, 100 Mb/s host links, 1 Gb/s switch links.
+    pub fn paper_scale(sim: &mut Simulator, host_link: LinkParams, switch_link: LinkParams) -> Self {
+        Vl2::build(
+            sim,
+            Vl2Config {
+                n_tor: 16,
+                n_agg: 8,
+                n_int: 4,
+                hosts_per_tor: 8,
+                host_link,
+                switch_link,
+            },
+        )
+    }
+
+    /// Number of hosts.
+    pub fn hosts(&self) -> usize {
+        self.cfg.n_tor * self.cfg.hosts_per_tor
+    }
+
+    fn tor_of(&self, host: usize) -> usize {
+        host / self.cfg.hosts_per_tor
+    }
+
+    /// The aggregation switch index for `(tor, sel)`.
+    fn agg_of(&self, tor: usize, sel: usize) -> usize {
+        (2 * tor + sel) % self.cfg.n_agg
+    }
+
+    fn forward_paths(&self, src: usize, dst: usize) -> Vec<Vec<LinkId>> {
+        assert_ne!(src, dst, "src and dst must differ");
+        let (ts, td) = (self.tor_of(src), self.tor_of(dst));
+        let mut out = Vec::new();
+        if ts == td {
+            out.push(vec![self.host_up[src], self.host_down[dst]]);
+            return out;
+        }
+        for a_sel in 0..2 {
+            for i in 0..self.cfg.n_int {
+                for b_sel in 0..2 {
+                    let agg_a = self.agg_of(ts, a_sel);
+                    let agg_b = self.agg_of(td, b_sel);
+                    out.push(vec![
+                        self.host_up[src],
+                        self.t2a[ts][a_sel],
+                        self.a2i[agg_a][i],
+                        self.i2a[agg_b][i],
+                        self.a2t[td][b_sel],
+                        self.host_down[dst],
+                    ]);
+                }
+            }
+        }
+        out
+    }
+
+    /// All equal-cost bidirectional paths between two hosts.
+    pub fn paths(&self, src: usize, dst: usize) -> Vec<PathSpec> {
+        let fwd = self.forward_paths(src, dst);
+        let rev = self.forward_paths(dst, src);
+        fwd.into_iter().zip(rev).map(|(f, r)| PathSpec::new(f, r)).collect()
+    }
+
+    /// Samples `n` paths for a connection's subflows.
+    pub fn sample_paths<R: Rng>(&self, src: usize, dst: usize, n: usize, rng: &mut R) -> Vec<PathSpec> {
+        let mut all = self.paths(src, dst);
+        all.shuffle(rng);
+        if n <= all.len() {
+            all.truncate(n);
+            all
+        } else {
+            let mut out = Vec::with_capacity(n);
+            while out.len() < n {
+                out.extend(all.iter().cloned().take(n - out.len()));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimDuration;
+
+    fn build() -> (Simulator, Vl2) {
+        let mut sim = Simulator::new(1);
+        let host = LinkParams::new(100_000_000, SimDuration::from_micros(100));
+        let sw = LinkParams::new(1_000_000_000, SimDuration::from_micros(100));
+        let v = Vl2::paper_scale(&mut sim, host, sw);
+        (sim, v)
+    }
+
+    #[test]
+    fn paper_scale_dimensions() {
+        let (_, v) = build();
+        assert_eq!(v.hosts(), 128);
+    }
+
+    #[test]
+    fn same_tor_single_path() {
+        let (_, v) = build();
+        let p = v.paths(0, 1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].fwd.len(), 2);
+    }
+
+    #[test]
+    fn inter_tor_valiant_path_count() {
+        let (_, v) = build();
+        // 2 src-agg × 4 intermediates × 2 dst-agg = 16.
+        let p = v.paths(0, 127);
+        assert_eq!(p.len(), 16);
+        for spec in &p {
+            assert_eq!(spec.fwd.len(), 6);
+        }
+    }
+
+    #[test]
+    fn switch_links_are_faster() {
+        let (sim, v) = build();
+        let p = v.paths(0, 127);
+        let host_link = sim.world().link(p[0].fwd[0]).config().bandwidth_bps;
+        let sw_link = sim.world().link(p[0].fwd[2]).config().bandwidth_bps;
+        assert_eq!(host_link, 100_000_000);
+        assert_eq!(sw_link, 1_000_000_000);
+    }
+}

@@ -1,0 +1,162 @@
+//! Connection configuration.
+
+use netsim::SimDuration;
+
+/// Default wire size of a data segment (Ethernet MTU).
+pub const DEFAULT_MSS_BYTES: u32 = 1_500;
+
+/// Default wire size of a pure ACK.
+pub const DEFAULT_ACK_BYTES: u32 = 40;
+
+/// How new data is striped over subflows with window space.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Scheduler {
+    /// Prefer the subflow with the smallest smoothed RTT (the MPTCP Linux
+    /// kernel default).
+    #[default]
+    LowestSrtt,
+    /// Rotate over subflows with space (the kernel's `roundrobin` module).
+    RoundRobin,
+}
+
+/// Configuration of one (MP)TCP connection.
+///
+/// Build with [`FlowConfig::new`] and chain setters:
+///
+/// ```
+/// use transport::FlowConfig;
+/// use netsim::SimDuration;
+///
+/// let cfg = FlowConfig::new(1)
+///     .transfer_bytes(16 * 1024 * 1024)
+///     .min_rto(SimDuration::from_millis(50));
+/// assert_eq!(cfg.total_pkts, Some(11185));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowConfig {
+    /// Connection identifier carried in every segment.
+    pub conn_id: u64,
+    /// Data segment wire size in bytes.
+    pub mss_bytes: u32,
+    /// ACK wire size in bytes.
+    pub ack_bytes: u32,
+    /// Number of MSS-sized packets to transfer; `None` = long-lived flow.
+    pub total_pkts: Option<u64>,
+    /// Receive buffer (connection-level reordering window), in packets.
+    /// The paper's ns-2 wireless scenario uses the 64 KB default ≈ 44 pkts.
+    pub rcv_buf_pkts: u64,
+    /// RTO floor (Linux default 200 ms; datacenter experiments lower it).
+    pub min_rto: SimDuration,
+    /// Initial congestion window in packets.
+    pub initial_cwnd: f64,
+    /// Telemetry sampling interval.
+    pub sample_every: SimDuration,
+    /// Packet scheduler for striping new data over subflows.
+    pub scheduler: Scheduler,
+    /// Opportunistic reinjection + penalization (the MPTCP kernel's
+    /// countermeasures against head-of-line blocking by a slow subflow:
+    /// re-send the blocking segment on a faster subflow and halve the
+    /// blocker's window). Off by default; see `tests/reinjection.rs`.
+    pub reinjection: bool,
+}
+
+impl FlowConfig {
+    /// A long-lived flow with Linux-like defaults.
+    pub fn new(conn_id: u64) -> Self {
+        FlowConfig {
+            conn_id,
+            mss_bytes: DEFAULT_MSS_BYTES,
+            ack_bytes: DEFAULT_ACK_BYTES,
+            total_pkts: None,
+            rcv_buf_pkts: 256,
+            min_rto: SimDuration::from_millis(200),
+            initial_cwnd: congestion::INITIAL_CWND,
+            sample_every: SimDuration::from_millis(10),
+            scheduler: Scheduler::LowestSrtt,
+            reinjection: false,
+        }
+    }
+
+    /// Sets a finite transfer size in bytes (rounded up to whole packets).
+    pub fn transfer_bytes(mut self, bytes: u64) -> Self {
+        let mss = u64::from(self.mss_bytes);
+        self.total_pkts = Some(bytes.div_ceil(mss));
+        self
+    }
+
+    /// Sets a finite transfer size in packets.
+    pub fn transfer_pkts(mut self, pkts: u64) -> Self {
+        self.total_pkts = Some(pkts);
+        self
+    }
+
+    /// Sets the receive buffer in packets.
+    pub fn rcv_buf_pkts(mut self, pkts: u64) -> Self {
+        self.rcv_buf_pkts = pkts;
+        self
+    }
+
+    /// Sets the receive buffer from a byte size (e.g. the 64 KB ns-2
+    /// default).
+    pub fn rcv_buf_bytes(mut self, bytes: u64) -> Self {
+        self.rcv_buf_pkts = (bytes / u64::from(self.mss_bytes)).max(2);
+        self
+    }
+
+    /// Sets the RTO floor.
+    pub fn min_rto(mut self, rto: SimDuration) -> Self {
+        self.min_rto = rto;
+        self
+    }
+
+    /// Sets the telemetry sampling interval.
+    pub fn sample_every(mut self, interval: SimDuration) -> Self {
+        self.sample_every = interval;
+        self
+    }
+
+    /// Sets the initial congestion window (packets).
+    pub fn initial_cwnd(mut self, pkts: f64) -> Self {
+        self.initial_cwnd = pkts;
+        self
+    }
+
+    /// Sets the packet scheduler.
+    pub fn scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Enables opportunistic reinjection + penalization.
+    pub fn reinjection(mut self, on: bool) -> Self {
+        self.reinjection = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_bytes_rounds_up() {
+        let cfg = FlowConfig::new(0).transfer_bytes(1);
+        assert_eq!(cfg.total_pkts, Some(1));
+        let cfg = FlowConfig::new(0).transfer_bytes(3001);
+        assert_eq!(cfg.total_pkts, Some(3));
+    }
+
+    #[test]
+    fn rcv_buf_bytes_converts_to_packets() {
+        let cfg = FlowConfig::new(0).rcv_buf_bytes(64 * 1024);
+        assert_eq!(cfg.rcv_buf_pkts, 43);
+    }
+
+    #[test]
+    fn defaults_are_long_lived() {
+        let cfg = FlowConfig::new(3);
+        assert_eq!(cfg.total_pkts, None);
+        assert_eq!(cfg.conn_id, 3);
+        assert_eq!(cfg.mss_bytes, DEFAULT_MSS_BYTES);
+    }
+}

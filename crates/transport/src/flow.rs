@@ -1,0 +1,97 @@
+//! Connection wiring: attach a sender/receiver pair to a simulator.
+
+use crate::config::FlowConfig;
+use crate::receiver::MptcpReceiver;
+use crate::sample::FlowSample;
+use crate::sender::{MptcpSender, TK_START};
+use congestion::MultipathCongestionControl;
+use netsim::{AgentId, LinkId, Route, SimDuration, SimTime, Simulator};
+
+/// One bidirectional path for a connection: the forward (data) link sequence
+/// and the reverse (ACK) link sequence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathSpec {
+    /// Links from sender to receiver, in order.
+    pub fwd: Vec<LinkId>,
+    /// Links from receiver back to sender, in order.
+    pub rev: Vec<LinkId>,
+}
+
+impl PathSpec {
+    /// Creates a path from forward and reverse link sequences.
+    pub fn new(fwd: Vec<LinkId>, rev: Vec<LinkId>) -> Self {
+        PathSpec { fwd, rev }
+    }
+}
+
+/// Handle to an attached connection: the sender/receiver agent ids plus
+/// convenience accessors that read their state back out of the simulator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowHandle {
+    /// Agent id of the sender endpoint.
+    pub sender: AgentId,
+    /// Agent id of the receiver endpoint.
+    pub receiver: AgentId,
+    /// The connection id from the [`FlowConfig`].
+    pub conn_id: u64,
+}
+
+impl FlowHandle {
+    /// The sender endpoint.
+    pub fn sender_ref<'a>(&self, sim: &'a Simulator) -> &'a MptcpSender {
+        sim.agent::<MptcpSender>(self.sender)
+    }
+
+    /// The receiver endpoint.
+    pub fn receiver_ref<'a>(&self, sim: &'a Simulator) -> &'a MptcpReceiver {
+        sim.agent::<MptcpReceiver>(self.receiver)
+    }
+
+    /// Whether a finite transfer has been fully acknowledged.
+    pub fn is_finished(&self, sim: &Simulator) -> bool {
+        self.sender_ref(sim).is_finished()
+    }
+
+    /// Transfer completion time, if finished.
+    pub fn finish_time(&self, sim: &Simulator) -> Option<SimTime> {
+        self.sender_ref(sim).finished_at()
+    }
+
+    /// Mean goodput in bits/second (up to `sim.now()` for long-lived flows).
+    pub fn goodput_bps(&self, sim: &Simulator) -> f64 {
+        self.sender_ref(sim).goodput_bps(sim.now())
+    }
+
+    /// The recorded telemetry series.
+    pub fn samples<'a>(&self, sim: &'a Simulator) -> &'a [FlowSample] {
+        self.sender_ref(sim).samples()
+    }
+}
+
+/// Attaches a connection to `sim`: registers the two endpoint agents, wires
+/// one subflow per [`PathSpec`], and schedules the sender to start after
+/// `start_at`.
+///
+/// # Panics
+///
+/// Panics if `paths` is empty.
+pub fn attach_flow(
+    sim: &mut Simulator,
+    cfg: FlowConfig,
+    cc: Box<dyn MultipathCongestionControl>,
+    paths: &[PathSpec],
+    start_at: SimDuration,
+) -> FlowHandle {
+    assert!(!paths.is_empty(), "a connection needs at least one path");
+    let conn_id = cfg.conn_id;
+    let ack_bytes = cfg.ack_bytes;
+    let rcv_buf = cfg.rcv_buf_pkts;
+    let sender = sim.add_agent(Box::new(MptcpSender::new(cfg, cc)));
+    let receiver = sim.add_agent(Box::new(MptcpReceiver::new(conn_id, ack_bytes, rcv_buf)));
+    for p in paths {
+        sim.agent_mut::<MptcpSender>(sender).add_path(Route::new(p.fwd.clone(), receiver));
+        sim.agent_mut::<MptcpReceiver>(receiver).add_path(Route::new(p.rev.clone(), sender));
+    }
+    sim.kick(sender, start_at, TK_START);
+    FlowHandle { sender, receiver, conn_id }
+}

@@ -1,0 +1,202 @@
+//! The MPTCP receiver endpoint.
+//!
+//! Acknowledges every data segment with a per-subflow cumulative ACK plus a
+//! connection-level data ACK, echoes the segment timestamp (for Karn-safe RTT
+//! sampling at the sender) and the ECN CE mark (DCTCP-style per-packet echo),
+//! and advertises the remaining connection-level reorder-buffer space as the
+//! receive window.
+
+use netsim::{Agent, Ctx, Packet, Payload, Route, SimTime};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Per-subflow receive state.
+#[derive(Debug, Default)]
+struct SubflowRecv {
+    /// Next expected subflow sequence.
+    rcv_nxt: u64,
+    /// Out-of-order subflow sequences held for reassembly.
+    ooo: BTreeSet<u64>,
+    /// One past the highest sequence ever received (the SACK hint).
+    sack_high: u64,
+}
+
+/// The receiving endpoint of an (MP)TCP connection.
+#[derive(Debug)]
+pub struct MptcpReceiver {
+    conn_id: u64,
+    ack_bytes: u32,
+    rcv_buf_pkts: u64,
+    /// Reverse (ACK) route per subflow.
+    reverse: Vec<Arc<Route>>,
+    subflows: Vec<SubflowRecv>,
+    /// Next expected connection-level data sequence.
+    data_rcv_nxt: u64,
+    /// Out-of-order data sequences buffered at the connection level.
+    data_ooo: BTreeSet<u64>,
+    /// Total data segments that arrived (including duplicates).
+    pub segments_received: u64,
+    /// Duplicate segments discarded.
+    pub duplicates: u64,
+    /// Time of the most recent in-order delivery advance.
+    pub last_delivery: Option<SimTime>,
+}
+
+impl MptcpReceiver {
+    /// Creates a receiver; wire subflow ACK routes with
+    /// [`MptcpReceiver::add_path`].
+    pub fn new(conn_id: u64, ack_bytes: u32, rcv_buf_pkts: u64) -> Self {
+        MptcpReceiver {
+            conn_id,
+            ack_bytes,
+            rcv_buf_pkts: rcv_buf_pkts.max(2),
+            reverse: Vec::new(),
+            subflows: Vec::new(),
+            data_rcv_nxt: 0,
+            data_ooo: BTreeSet::new(),
+            segments_received: 0,
+            duplicates: 0,
+            last_delivery: None,
+        }
+    }
+
+    /// Adds the ACK route for the next subflow (must terminate at the paired
+    /// sender).
+    pub fn add_path(&mut self, reverse: Arc<Route>) {
+        self.reverse.push(reverse);
+        self.subflows.push(SubflowRecv::default());
+    }
+
+    /// Packets delivered in order at the connection level.
+    pub fn data_delivered(&self) -> u64 {
+        self.data_rcv_nxt
+    }
+
+    /// Current advertised window in packets.
+    pub fn rwnd_pkts(&self) -> u64 {
+        self.rcv_buf_pkts.saturating_sub(self.data_ooo.len() as u64).max(1)
+    }
+
+    fn accept_data(&mut self, r: usize, seq: u64, data_seq: u64, now: SimTime) {
+        self.segments_received += 1;
+        // Subflow-level reassembly (drives cumulative ACK / dupACK signal).
+        let sf = &mut self.subflows[r];
+        sf.sack_high = sf.sack_high.max(seq + 1);
+        if seq == sf.rcv_nxt {
+            sf.rcv_nxt += 1;
+            while sf.ooo.remove(&sf.rcv_nxt) {
+                sf.rcv_nxt += 1;
+            }
+        } else if seq > sf.rcv_nxt {
+            sf.ooo.insert(seq);
+        } else {
+            self.duplicates += 1;
+        }
+        // Connection-level reordering (drives the data ACK and rwnd).
+        if data_seq == self.data_rcv_nxt {
+            self.data_rcv_nxt += 1;
+            while self.data_ooo.remove(&self.data_rcv_nxt) {
+                self.data_rcv_nxt += 1;
+            }
+            self.last_delivery = Some(now);
+        } else if data_seq > self.data_rcv_nxt {
+            self.data_ooo.insert(data_seq);
+        }
+    }
+}
+
+impl Agent for MptcpReceiver {
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        let Payload::Data { conn, subflow, seq, data_seq, .. } = pkt.payload else {
+            return;
+        };
+        if conn != self.conn_id {
+            return;
+        }
+        let r = subflow as usize;
+        if r >= self.subflows.len() {
+            return; // unknown subflow — wiring error upstream
+        }
+        self.accept_data(r, seq, data_seq, ctx.now());
+        let ack = Payload::Ack {
+            conn: self.conn_id,
+            subflow,
+            cum_ack: self.subflows[r].rcv_nxt,
+            sack_high: self.subflows[r].sack_high,
+            for_seq: seq,
+            data_ack: self.data_rcv_nxt,
+            rwnd_pkts: self.rwnd_pkts(),
+            ecn_echo: pkt.ecn_ce,
+            ts_echo: pkt.sent_at,
+        };
+        let route = self.reverse[r].clone();
+        ctx.send(route, self.ack_bytes, ack);
+    }
+
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn recv() -> MptcpReceiver {
+        let mut r = MptcpReceiver::new(1, 40, 16);
+        r.add_path(Route::direct(0));
+        r
+    }
+
+    #[test]
+    fn in_order_advances_both_levels() {
+        let mut r = recv();
+        r.accept_data(0, 0, 0, SimTime::ZERO);
+        r.accept_data(0, 1, 1, SimTime::ZERO);
+        assert_eq!(r.subflows[0].rcv_nxt, 2);
+        assert_eq!(r.data_delivered(), 2);
+        assert_eq!(r.rwnd_pkts(), 16);
+    }
+
+    #[test]
+    fn gap_is_held_then_released() {
+        let mut r = recv();
+        r.accept_data(0, 0, 0, SimTime::ZERO);
+        r.accept_data(0, 2, 2, SimTime::ZERO); // hole at 1
+        assert_eq!(r.subflows[0].rcv_nxt, 1);
+        assert_eq!(r.data_delivered(), 1);
+        assert_eq!(r.rwnd_pkts(), 15);
+        r.accept_data(0, 1, 1, SimTime::ZERO);
+        assert_eq!(r.subflows[0].rcv_nxt, 3);
+        assert_eq!(r.data_delivered(), 3);
+        assert_eq!(r.rwnd_pkts(), 16);
+    }
+
+    #[test]
+    fn duplicates_are_counted() {
+        let mut r = recv();
+        r.accept_data(0, 0, 0, SimTime::ZERO);
+        r.accept_data(0, 0, 0, SimTime::ZERO);
+        assert_eq!(r.duplicates, 1);
+        assert_eq!(r.data_delivered(), 1);
+    }
+
+    #[test]
+    fn connection_level_reorders_across_subflows() {
+        let mut r = recv();
+        r.add_path(Route::direct(0)); // second subflow
+        // Data 0 on subflow 1, data 1 on subflow 0: both in subflow order.
+        r.accept_data(1, 0, 1, SimTime::ZERO);
+        assert_eq!(r.data_delivered(), 0); // waiting for data 0
+        r.accept_data(0, 0, 0, SimTime::ZERO);
+        assert_eq!(r.data_delivered(), 2);
+    }
+
+    #[test]
+    fn rwnd_floor_is_one() {
+        let mut r = MptcpReceiver::new(1, 40, 2);
+        r.add_path(Route::direct(0));
+        r.accept_data(0, 1, 1, SimTime::ZERO);
+        r.accept_data(0, 2, 2, SimTime::ZERO);
+        r.accept_data(0, 3, 3, SimTime::ZERO);
+        assert_eq!(r.rwnd_pkts(), 1);
+    }
+}

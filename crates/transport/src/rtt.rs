@@ -1,0 +1,113 @@
+//! RTT estimation and retransmission-timeout computation (RFC 6298).
+
+use netsim::SimDuration;
+
+/// Smoothed RTT / RTO estimator per RFC 6298.
+///
+/// `srtt ← 7/8·srtt + 1/8·sample`, `rttvar ← 3/4·rttvar + 1/4·|srtt−sample|`,
+/// `rto = srtt + 4·rttvar`, clamped to `[min_rto, max_rto]`.
+#[derive(Clone, Debug)]
+pub struct RttEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    min_rto: SimDuration,
+    max_rto: SimDuration,
+}
+
+impl RttEstimator {
+    /// Creates an estimator with the given RTO floor. The ceiling is 60 s.
+    pub fn new(min_rto: SimDuration) -> Self {
+        RttEstimator {
+            srtt: None,
+            rttvar: 0.0,
+            min_rto,
+            max_rto: SimDuration::from_secs(60),
+        }
+    }
+
+    /// Feeds an RTT sample (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `sample` is not positive.
+    pub fn observe(&mut self, sample: f64) {
+        debug_assert!(sample > 0.0, "RTT sample must be positive");
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - sample).abs();
+                self.srtt = Some(0.875 * srtt + 0.125 * sample);
+            }
+        }
+    }
+
+    /// The smoothed RTT in seconds, if any sample has been taken.
+    pub fn srtt(&self) -> Option<f64> {
+        self.srtt
+    }
+
+    /// The current retransmission timeout (before exponential backoff).
+    pub fn rto(&self) -> SimDuration {
+        let raw = match self.srtt {
+            None => SimDuration::from_secs(1), // RFC 6298 initial RTO
+            Some(srtt) => SimDuration::from_secs_f64(srtt + 4.0 * self.rttvar),
+        };
+        raw.clamp(self.min_rto, self.max_rto)
+    }
+
+    /// The RTO after `backoff` doublings, capped at the ceiling.
+    pub fn rto_backed_off(&self, backoff: u32) -> SimDuration {
+        let base = self.rto();
+        let factor = 1u64 << backoff.min(16);
+        (base * factor).min(self.max_rto)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RttEstimator::new(SimDuration::from_millis(200));
+        assert_eq!(e.rto(), SimDuration::from_secs(1));
+        e.observe(0.1);
+        assert_eq!(e.srtt(), Some(0.1));
+        // rto = 0.1 + 4*0.05 = 0.3s
+        assert_eq!(e.rto(), SimDuration::from_millis(300));
+    }
+
+    #[test]
+    fn steady_samples_converge_to_min_variance() {
+        let mut e = RttEstimator::new(SimDuration::from_millis(10));
+        for _ in 0..200 {
+            e.observe(0.05);
+        }
+        assert!((e.srtt().unwrap() - 0.05).abs() < 1e-9);
+        // Variance decays toward zero; RTO approaches srtt but respects floor.
+        assert!(e.rto() >= SimDuration::from_millis(10));
+        assert!(e.rto() <= SimDuration::from_millis(60));
+    }
+
+    #[test]
+    fn rto_floor_applies() {
+        let mut e = RttEstimator::new(SimDuration::from_millis(200));
+        for _ in 0..100 {
+            e.observe(0.001);
+        }
+        assert_eq!(e.rto(), SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut e = RttEstimator::new(SimDuration::from_millis(200));
+        e.observe(0.1);
+        let base = e.rto();
+        assert_eq!(e.rto_backed_off(1), base * 2);
+        assert_eq!(e.rto_backed_off(2), base * 4);
+        assert_eq!(e.rto_backed_off(30), SimDuration::from_secs(60));
+    }
+}

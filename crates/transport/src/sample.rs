@@ -1,0 +1,75 @@
+//! Periodic per-flow telemetry used for energy accounting and traces.
+
+use netsim::SimTime;
+
+/// One subflow's load during a sampling interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SubflowSample {
+    /// Goodput over the interval, in bits/second (acked packets × MSS).
+    pub throughput_bps: f64,
+    /// Smoothed RTT at the sample instant, in seconds (0 before any sample).
+    pub srtt_s: f64,
+    /// Minimum RTT observed so far, in seconds (0 before any sample).
+    pub base_rtt_s: f64,
+    /// Congestion window at the sample instant, in packets.
+    pub cwnd_pkts: f64,
+    /// Whether the subflow was actively sending during the interval.
+    pub active: bool,
+}
+
+/// A snapshot of a connection's per-subflow load at an instant.
+///
+/// The sender records one of these every [`crate::FlowConfig::sample_every`];
+/// the energy crate integrates a power model over the resulting series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlowSample {
+    /// Sample timestamp.
+    pub at: SimTime,
+    /// Interval covered by the sample, in seconds.
+    pub interval_s: f64,
+    /// Per-subflow loads, indexed by subflow.
+    pub subflows: Vec<SubflowSample>,
+}
+
+impl FlowSample {
+    /// Aggregate throughput across subflows, bits/second.
+    pub fn total_throughput_bps(&self) -> f64 {
+        self.subflows.iter().map(|s| s.throughput_bps).sum()
+    }
+
+    /// Number of subflows actively sending.
+    pub fn active_subflows(&self) -> usize {
+        self.subflows.iter().filter(|s| s.active).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let s = FlowSample {
+            at: SimTime::ZERO,
+            interval_s: 0.01,
+            subflows: vec![
+                SubflowSample {
+                    throughput_bps: 1e6,
+                    srtt_s: 0.01,
+                    base_rtt_s: 0.01,
+                    cwnd_pkts: 10.0,
+                    active: true,
+                },
+                SubflowSample {
+                    throughput_bps: 2e6,
+                    srtt_s: 0.02,
+                    base_rtt_s: 0.01,
+                    cwnd_pkts: 5.0,
+                    active: false,
+                },
+            ],
+        };
+        assert_eq!(s.total_throughput_bps(), 3e6);
+        assert_eq!(s.active_subflows(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! End-to-end transport tests: full sender/receiver pairs over simulated
+//! links, exercising slow start, loss recovery, multipath striping, and flow
+//! control.
+
+use congestion::AlgorithmKind;
+use netsim::prelude::*;
+use transport::{attach_flow, FlowConfig, FlowHandle, PathSpec};
+
+/// Builds a symmetric bidirectional path: one forward link, one reverse link.
+fn duplex(sim: &mut Simulator, bps: u64, one_way: SimDuration, qlimit: usize) -> PathSpec {
+    let fwd = sim.add_link(LinkConfig::new(bps, one_way).queue_limit(qlimit));
+    let rev = sim.add_link(LinkConfig::new(bps, one_way).queue_limit(qlimit));
+    PathSpec::new(vec![fwd], vec![rev])
+}
+
+fn run_single_path(
+    bytes: u64,
+    bps: u64,
+    one_way_ms: u64,
+    qlimit: usize,
+    horizon_s: f64,
+) -> (Simulator, FlowHandle) {
+    let mut sim = Simulator::new(7);
+    let path = duplex(&mut sim, bps, SimDuration::from_millis(one_way_ms), qlimit);
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(0).transfer_bytes(bytes),
+        AlgorithmKind::Reno.build(1),
+        &[path],
+        SimDuration::ZERO,
+    );
+    sim.run_until(SimTime::from_secs_f64(horizon_s));
+    (sim, flow)
+}
+
+#[test]
+fn bulk_transfer_completes_and_uses_most_of_the_link() {
+    // 2 MB over 10 Mb/s, 10 ms one-way: ideal time ≈ 1.6 s + slow start.
+    let (sim, flow) = run_single_path(2_000_000, 10_000_000, 10, 100, 30.0);
+    assert!(flow.is_finished(&sim), "transfer did not finish");
+    let goodput = flow.goodput_bps(&sim);
+    assert!(
+        goodput > 0.6 * 10_000_000.0,
+        "goodput {goodput} too far below line rate"
+    );
+    assert!(goodput <= 10_000_000.0 * 1.01, "goodput {goodput} exceeds line rate");
+}
+
+#[test]
+fn tiny_queue_forces_losses_but_transfer_still_completes() {
+    let (sim, flow) = run_single_path(1_000_000, 5_000_000, 5, 4, 60.0);
+    assert!(flow.is_finished(&sim));
+    let s = flow.sender_ref(&sim);
+    assert!(s.total_rexmits() > 0, "expected fast retransmits with a 4-packet queue");
+    // Every data packet was delivered exactly once in order at the end.
+    assert_eq!(flow.receiver_ref(&sim).data_delivered(), s.data_acked());
+}
+
+#[test]
+fn goodput_respects_delay_bandwidth_product_with_small_rwnd() {
+    // rwnd = 10 packets, RTT = 100 ms → max ≈ 10 * 1500 B / 0.1 s = 1.2 Mb/s.
+    let mut sim = Simulator::new(3);
+    let path = duplex(&mut sim, 100_000_000, SimDuration::from_millis(50), 200);
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(0).transfer_bytes(2_000_000).rcv_buf_pkts(10),
+        AlgorithmKind::Reno.build(1),
+        &[path],
+        SimDuration::ZERO,
+    );
+    sim.run_until(SimTime::from_secs_f64(60.0));
+    assert!(flow.is_finished(&sim));
+    let goodput = flow.goodput_bps(&sim);
+    let cap = 10.0 * 1500.0 * 8.0 / 0.1;
+    assert!(goodput <= cap * 1.1, "goodput {goodput} exceeds rwnd-limited cap {cap}");
+    assert!(goodput > cap * 0.5, "goodput {goodput} far below rwnd-limited cap {cap}");
+}
+
+#[test]
+fn two_subflows_aggregate_bandwidth() {
+    // Two disjoint 5 Mb/s paths: MPTCP should beat one path's 5 Mb/s.
+    let mut sim = Simulator::new(11);
+    let p1 = duplex(&mut sim, 5_000_000, SimDuration::from_millis(10), 100);
+    let p2 = duplex(&mut sim, 5_000_000, SimDuration::from_millis(10), 100);
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(0).transfer_bytes(4_000_000),
+        AlgorithmKind::Lia.build(2),
+        &[p1, p2],
+        SimDuration::ZERO,
+    );
+    sim.run_until(SimTime::from_secs_f64(30.0));
+    assert!(flow.is_finished(&sim));
+    let goodput = flow.goodput_bps(&sim);
+    assert!(goodput > 6_000_000.0, "aggregate goodput {goodput} should exceed one path");
+    // Both subflows carried data.
+    let s = flow.sender_ref(&sim);
+    assert!(s.subflow(0).tx_pkts > 100);
+    assert!(s.subflow(1).tx_pkts > 100);
+}
+
+#[test]
+fn scheduler_prefers_low_rtt_path() {
+    // Path 0: 10 ms RTT; path 1: 200 ms RTT; same rate. The lowest-SRTT
+    // scheduler plus LIA's coupling should put most packets on path 0.
+    let mut sim = Simulator::new(13);
+    let fast = duplex(&mut sim, 10_000_000, SimDuration::from_millis(5), 100);
+    let slow = duplex(&mut sim, 10_000_000, SimDuration::from_millis(100), 100);
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(0).transfer_bytes(5_000_000),
+        AlgorithmKind::Lia.build(2),
+        &[fast, slow],
+        SimDuration::ZERO,
+    );
+    sim.run_until(SimTime::from_secs_f64(60.0));
+    assert!(flow.is_finished(&sim));
+    let s = flow.sender_ref(&sim);
+    assert!(
+        s.subflow(0).tx_pkts > s.subflow(1).tx_pkts,
+        "fast path {} vs slow path {}",
+        s.subflow(0).tx_pkts,
+        s.subflow(1).tx_pkts
+    );
+}
+
+#[test]
+fn long_lived_flow_keeps_sampling() {
+    let mut sim = Simulator::new(17);
+    let path = duplex(&mut sim, 10_000_000, SimDuration::from_millis(10), 100);
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(0), // no transfer bound
+        AlgorithmKind::Olia.build(1),
+        &[path],
+        SimDuration::ZERO,
+    );
+    sim.run_until(SimTime::from_secs_f64(2.0));
+    assert!(!flow.is_finished(&sim));
+    let samples = flow.samples(&sim);
+    // 2 s at 10 ms sampling ≈ 200 samples.
+    assert!(samples.len() > 150, "only {} samples", samples.len());
+    // Average over the second half (past slow start): should use most of the
+    // 10 Mb/s link.
+    let half = &samples[samples.len() / 2..];
+    let avg = half.iter().map(|s| s.total_throughput_bps()).sum::<f64>() / half.len() as f64;
+    assert!(avg > 5_000_000.0, "avg throughput {avg}");
+    assert!(half.iter().all(|s| s.subflows[0].srtt_s > 0.019));
+}
+
+#[test]
+fn losses_do_not_deadlock_even_with_severe_drops() {
+    // Queue of 2 packets at the bottleneck: heavy loss, but RTO must keep the
+    // transfer moving to completion.
+    let (sim, flow) = run_single_path(300_000, 2_000_000, 20, 2, 120.0);
+    assert!(flow.is_finished(&sim), "transfer deadlocked under heavy loss");
+    assert!(flow.sender_ref(&sim).total_rexmits() > 0);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let (sim1, f1) = run_single_path(500_000, 5_000_000, 10, 20, 30.0);
+    let (sim2, f2) = run_single_path(500_000, 5_000_000, 10, 20, 30.0);
+    assert_eq!(f1.finish_time(&sim1), f2.finish_time(&sim2));
+    assert_eq!(
+        f1.sender_ref(&sim1).total_rexmits(),
+        f2.sender_ref(&sim2).total_rexmits()
+    );
+}
+
+#[test]
+fn per_algorithm_smoke_over_two_paths() {
+    for kind in AlgorithmKind::ALL {
+        let mut sim = Simulator::new(23);
+        let p1 = duplex(&mut sim, 5_000_000, SimDuration::from_millis(10), 50);
+        let p2 = duplex(&mut sim, 5_000_000, SimDuration::from_millis(30), 50);
+        let flow = attach_flow(
+            &mut sim,
+            FlowConfig::new(0).transfer_bytes(1_000_000),
+            kind.build(2),
+            &[p1, p2],
+            SimDuration::ZERO,
+        );
+        sim.run_until(SimTime::from_secs_f64(120.0));
+        assert!(flow.is_finished(&sim), "{kind} did not complete the transfer");
+        assert_eq!(
+            flow.receiver_ref(&sim).data_delivered(),
+            flow.sender_ref(&sim).data_acked(),
+            "{kind} delivered/acked mismatch"
+        );
+    }
+}

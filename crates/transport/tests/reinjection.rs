@@ -1,0 +1,91 @@
+//! Opportunistic reinjection + penalization: the MPTCP kernel mechanisms
+//! against head-of-line blocking (Raiciu et al., NSDI 2012), as an optional
+//! transport feature.
+
+use congestion::AlgorithmKind;
+use netsim::prelude::*;
+use transport::{attach_flow, FlowConfig, FlowHandle, PathSpec};
+
+/// One fast path and one painfully slow, lossy path; a small connection
+/// window so the slow path's stuck packets stall the whole connection.
+fn hol_scenario(reinject: bool, seed: u64) -> (Simulator, FlowHandle) {
+    let mut sim = Simulator::new(seed);
+    let fast_f = sim.add_link(LinkConfig::new(20_000_000, SimDuration::from_millis(5)));
+    let fast_r = sim.add_link(LinkConfig::new(20_000_000, SimDuration::from_millis(5)));
+    // Slow path: 500 kb/s, 100 ms, 3-packet queue — stuck and lossy.
+    let slow_f =
+        sim.add_link(LinkConfig::new(500_000, SimDuration::from_millis(100)).queue_limit(3));
+    let slow_r = sim.add_link(LinkConfig::new(500_000, SimDuration::from_millis(100)));
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(0)
+            .transfer_bytes(3_000_000)
+            .rcv_buf_pkts(32) // small: HoL blocking bites
+            .reinjection(reinject),
+        AlgorithmKind::Lia.build(2),
+        &[
+            PathSpec::new(vec![fast_f], vec![fast_r]),
+            PathSpec::new(vec![slow_f], vec![slow_r]),
+        ],
+        SimDuration::ZERO,
+    );
+    sim.run_until(SimTime::from_secs_f64(300.0));
+    (sim, flow)
+}
+
+#[test]
+fn reinjection_rescues_head_of_line_blocking() {
+    let (sim_off, off) = hol_scenario(false, 31);
+    let (sim_on, on) = hol_scenario(true, 31);
+    assert!(on.is_finished(&sim_on), "transfer with reinjection must finish");
+    let t_on = on.finish_time(&sim_on).unwrap().as_secs_f64();
+    let t_off = off
+        .finish_time(&sim_off)
+        .map(|t| t.as_secs_f64())
+        .unwrap_or(f64::INFINITY);
+    assert!(
+        t_on < 0.85 * t_off,
+        "reinjection should cut completion time: {t_on:.1}s vs {t_off:.1}s"
+    );
+    let sender = on.sender_ref(&sim_on);
+    assert!(sender.reinjections > 0, "reinjection should have fired");
+    assert!(sender.subflow(1).penalties > 0, "the slow path should be penalized");
+}
+
+#[test]
+fn reinjection_is_harmless_on_symmetric_paths() {
+    let run = |reinject: bool| {
+        let mut sim = Simulator::new(32);
+        let p1_f = sim.add_link(LinkConfig::new(10_000_000, SimDuration::from_millis(10)));
+        let p1_r = sim.add_link(LinkConfig::new(10_000_000, SimDuration::from_millis(10)));
+        let p2_f = sim.add_link(LinkConfig::new(10_000_000, SimDuration::from_millis(10)));
+        let p2_r = sim.add_link(LinkConfig::new(10_000_000, SimDuration::from_millis(10)));
+        let flow = attach_flow(
+            &mut sim,
+            FlowConfig::new(0).transfer_bytes(4_000_000).reinjection(reinject),
+            AlgorithmKind::Lia.build(2),
+            &[
+                PathSpec::new(vec![p1_f], vec![p1_r]),
+                PathSpec::new(vec![p2_f], vec![p2_r]),
+            ],
+            SimDuration::ZERO,
+        );
+        sim.run_until(SimTime::from_secs_f64(120.0));
+        assert!(flow.is_finished(&sim));
+        flow.finish_time(&sim).unwrap().as_secs_f64()
+    };
+    let plain = run(false);
+    let with = run(true);
+    assert!(
+        (with - plain).abs() / plain < 0.1,
+        "reinjection should be near-neutral on healthy paths: {with:.2}s vs {plain:.2}s"
+    );
+}
+
+#[test]
+fn delivery_remains_exactly_once_with_reinjection() {
+    let (sim, flow) = hol_scenario(true, 33);
+    assert!(flow.is_finished(&sim));
+    let pkts = flow.sender_ref(&sim).data_acked();
+    assert_eq!(flow.receiver_ref(&sim).data_delivered(), pkts);
+}

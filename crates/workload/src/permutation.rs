@@ -1,0 +1,56 @@
+//! Random permutation traffic matrices for datacenter experiments.
+//!
+//! The paper's htsim methodology (§VI-C1): "Each host sends a long-lived
+//! MPTCP flow to another host, which is chosen at random."
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Produces a random derangement-style pairing: every host sends to exactly
+/// one other host and none sends to itself.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn permutation_pairs<R: Rng>(n: usize, rng: &mut R) -> Vec<(usize, usize)> {
+    assert!(n >= 2, "need at least two hosts");
+    let mut dst: Vec<usize> = (0..n).collect();
+    dst.shuffle(rng);
+    // Repair fixed points by swapping with a neighbour (cyclically).
+    for i in 0..n {
+        if dst[i] == i {
+            let j = (i + 1) % n;
+            dst.swap(i, j);
+        }
+    }
+    (0..n).map(|i| (i, dst[i])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn no_fixed_points_and_each_dst_once() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for n in [2usize, 3, 8, 64, 128] {
+            let pairs = permutation_pairs(n, &mut rng);
+            assert_eq!(pairs.len(), n);
+            let mut seen = vec![false; n];
+            for (src, dst) in pairs {
+                assert_ne!(src, dst, "fixed point at {src} (n={n})");
+                assert!(!seen[dst], "dst {dst} reused (n={n})");
+                seen[dst] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = permutation_pairs(16, &mut SmallRng::seed_from_u64(7));
+        let b = permutation_pairs(16, &mut SmallRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,182 @@
+//! `mptcp-energy-repro` — command-line front end to the reproduction.
+//!
+//! ```text
+//! mptcp-energy-repro list
+//! mptcp-energy-repro bursty   --cc dts --seed 1 --transfer-mb 8 [--csv|--trace-csv]
+//! mptcp-energy-repro wireless --cc dts-phi --duration 60 [--csv]
+//! mptcp-energy-repro ec2      --cc lia --hosts 6 --transfer-mb 16 [--csv]
+//! mptcp-energy-repro dc       --fabric fattree --cc lia --subflows 2 --duration 5 [--csv]
+//! ```
+
+use congestion::AlgorithmKind;
+use mptcp_energy::report::{fleet_results_csv, flow_results_csv, trace_csv};
+use mptcp_energy::scenarios::{
+    run_datacenter, run_ec2, run_two_path_bursty, run_wireless, BurstyOptions, CcChoice, DcKind,
+    DcOptions, Ec2Options, FleetResult, FlowResult, WirelessOptions,
+};
+
+fn parse_cc(s: &str) -> Result<CcChoice, String> {
+    match s {
+        "dts" => Ok(CcChoice::dts()),
+        "dts-phi" => Ok(CcChoice::dts_phi()),
+        other => other
+            .parse::<AlgorithmKind>()
+            .map(CcChoice::Base)
+            .map_err(|e| e.to_string()),
+    }
+}
+
+/// Minimal flag parser: `--key value` pairs plus boolean flags.
+struct Args {
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(args: &[String]) -> Result<Args, String> {
+        let mut flags = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(key) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{a}`"));
+            };
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => Some(it.next().unwrap().clone()),
+                _ => None,
+            };
+            flags.push((key.to_owned(), value));
+        }
+        Ok(Args { flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|(k, _)| k == key)
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid --{key} value `{v}`")),
+        }
+    }
+}
+
+fn print_flow(r: &FlowResult, csv: bool, trace: bool) {
+    if trace {
+        print!("{}", trace_csv(r));
+    } else if csv {
+        print!("{}", flow_results_csv(std::slice::from_ref(r)));
+    } else {
+        println!(
+            "{}: {:.2} Mb/s, {:.1} J ({:.2} W mean), fct {}, {} rexmits, {} timeouts",
+            r.label,
+            r.goodput_bps / 1e6,
+            r.energy.joules,
+            r.energy.mean_power_w,
+            r.finish_s.map_or("-".into(), |t| format!("{t:.2}s")),
+            r.rexmits,
+            r.timeouts
+        );
+    }
+}
+
+fn print_fleet(r: &FleetResult, csv: bool) {
+    if csv {
+        print!("{}", fleet_results_csv(std::slice::from_ref(r)));
+    } else {
+        println!(
+            "{}: {:.0} J total, {:.1} Mb/s aggregate, {:.1} J/Gbit, mean fct {}, {:.0}% done",
+            r.label,
+            r.total_energy_j,
+            r.aggregate_goodput_bps / 1e6,
+            r.joules_per_gbit,
+            r.mean_finish_s.map_or("-".into(), |t| format!("{t:.2}s")),
+            100.0 * r.completion_rate
+        );
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        return Err("usage: mptcp-energy-repro <list|bursty|wireless|ec2|dc> [flags]".into());
+    };
+    if cmd == "list" {
+        println!("congestion-control algorithms:");
+        for kind in AlgorithmKind::ALL {
+            println!("  {kind}");
+        }
+        println!("  dts        (this paper, §V-B)");
+        println!("  dts-phi    (this paper, §V-C)");
+        println!("scenarios: bursty (Fig 5b), wireless (Fig 17), ec2 (Fig 10), dc (Figs 12-16)");
+        return Ok(());
+    }
+    let args = Args::parse(&argv[1..])?;
+    let cc = parse_cc(args.get("cc").unwrap_or("dts"))?;
+    let csv = args.has("csv");
+    match cmd.as_str() {
+        "bursty" => {
+            let opts = BurstyOptions {
+                seed: args.num("seed", 1u64)?,
+                transfer_bytes: Some(args.num("transfer-mb", 8u64)? * 1_000_000),
+                duration_s: args.num("duration", 600.0f64)?,
+                ..BurstyOptions::default()
+            };
+            let r = run_two_path_bursty(&cc, &opts);
+            print_flow(&r, csv, args.has("trace-csv"));
+        }
+        "wireless" => {
+            let opts = WirelessOptions {
+                seed: args.num("seed", 1u64)?,
+                duration_s: args.num("duration", 100.0f64)?,
+                ..WirelessOptions::default()
+            };
+            let r = run_wireless(&cc, &opts);
+            print_flow(&r, csv, args.has("trace-csv"));
+        }
+        "ec2" => {
+            let opts = Ec2Options {
+                seed: args.num("seed", 1u64)?,
+                n_hosts: args.num("hosts", 8usize)?,
+                transfer_bytes: args.num("transfer-mb", 32u64)? * 1_000_000,
+                horizon_s: args.num("duration", 600.0f64)?,
+            };
+            let r = run_ec2(&cc, &opts);
+            print_fleet(&r, csv);
+        }
+        "dc" => {
+            let fabric = match args.get("fabric").unwrap_or("fattree") {
+                "fattree" => DcKind::FatTree { k: args.num("k", 4usize)? },
+                "vl2" => DcKind::Vl2 { scale: args.num("scale", 4usize)? },
+                "bcube" => DcKind::BCube {
+                    n: args.num("n", 4usize)?,
+                    k: args.num("levels", 2usize)?,
+                },
+                other => return Err(format!("unknown fabric `{other}`")),
+            };
+            let opts = DcOptions {
+                seed: args.num("seed", 1u64)?,
+                n_subflows: args.num("subflows", 2usize)?,
+                duration_s: args.num("duration", 5.0f64)?,
+                ..DcOptions::default()
+            };
+            let r = run_datacenter(fabric, &cc, &opts);
+            print_fleet(&r, csv);
+        }
+        other => return Err(format!("unknown command `{other}`")),
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    }
+}

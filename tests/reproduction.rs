@@ -1,0 +1,169 @@
+//! Cross-crate integration tests pinning the paper's headline claims at
+//! reduced scale. Each test asserts the *direction* of a published result
+//! (who wins, roughly by how much); EXPERIMENTS.md tracks the quantitative
+//! comparison at full scale.
+
+use congestion::AlgorithmKind;
+use mptcp_energy::scenarios::{
+    run_datacenter, run_ec2, run_shared_bottleneck, run_two_path_bursty, run_wireless,
+    BurstyOptions, CcChoice, DcKind, DcOptions, Ec2Options, SharedOptions, WirelessOptions,
+};
+
+fn bursty_opts() -> BurstyOptions {
+    BurstyOptions {
+        transfer_bytes: Some(8_000_000),
+        duration_s: 120.0,
+        ..BurstyOptions::default()
+    }
+}
+
+#[test]
+fn fig9_dts_uses_less_energy_than_lia_on_bursty_paths() {
+    let lia = run_two_path_bursty(&CcChoice::Base(AlgorithmKind::Lia), &bursty_opts());
+    let dts = run_two_path_bursty(&CcChoice::dts(), &bursty_opts());
+    assert!(lia.finish_s.is_some() && dts.finish_s.is_some());
+    assert!(
+        dts.energy.joules < lia.energy.joules,
+        "dts {} J should beat lia {} J",
+        dts.energy.joules,
+        lia.energy.joules
+    );
+    // ...without degrading throughput (the paper's Fig. 8 claim).
+    assert!(
+        dts.goodput_bps >= 0.95 * lia.goodput_bps,
+        "dts tput {} vs lia {}",
+        dts.goodput_bps,
+        lia.goodput_bps
+    );
+}
+
+#[test]
+fn fig10_multipath_saves_energy_over_single_path_on_ec2() {
+    let opts = Ec2Options {
+        n_hosts: 4,
+        transfer_bytes: 8 * 1024 * 1024,
+        horizon_s: 120.0,
+        ..Ec2Options::default()
+    };
+    let tcp = run_ec2(&CcChoice::Base(AlgorithmKind::Reno), &opts);
+    let lia = run_ec2(&CcChoice::Base(AlgorithmKind::Lia), &opts);
+    let dts = run_ec2(&CcChoice::dts(), &opts);
+    assert_eq!(tcp.completion_rate, 1.0);
+    assert_eq!(lia.completion_rate, 1.0);
+    // Multipath finishes ~4x sooner on 4 ENIs and saves a large energy
+    // fraction (the paper reports up to 70%).
+    assert!(
+        lia.total_energy_j < 0.6 * tcp.total_energy_j,
+        "lia {} vs tcp {}",
+        lia.total_energy_j,
+        tcp.total_energy_j
+    );
+    // DTS behaves like LIA in this benign network (paper Fig. 10).
+    let ratio = dts.total_energy_j / lia.total_energy_j;
+    assert!((0.8..1.2).contains(&ratio), "dts/lia energy ratio {ratio}");
+}
+
+#[test]
+fn fig6_four_friendly_algorithms_complete_with_bounded_energy_spread() {
+    // At reduced scale the paper's OLIA-first ordering is inside the noise
+    // (see EXPERIMENTS.md); what must hold is that all four TCP-friendly
+    // algorithms finish every transfer and land in the same energy regime.
+    let opts = SharedOptions {
+        n_users: 10,
+        transfer_bytes: 2 * 1024 * 1024,
+        ..SharedOptions::default()
+    };
+    let mut means = Vec::new();
+    for kind in AlgorithmKind::PAPER_FOUR {
+        let energies = run_shared_bottleneck(&CcChoice::Base(kind), &opts);
+        assert_eq!(energies.len(), opts.n_users, "{kind}: all users must finish");
+        assert!(energies.iter().all(|e| e.is_finite() && *e > 0.0), "{kind}");
+        means.push(mptcp_energy::mean(&energies));
+    }
+    let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = means.iter().cloned().fold(0.0f64, f64::max);
+    assert!(hi / lo < 1.4, "energy spread too wide: {means:?}");
+}
+
+#[test]
+fn fig12_more_subflows_reduce_bcube_energy_overhead() {
+    let kind = DcKind::BCube { n: 4, k: 2 };
+    let base = DcOptions { duration_s: 3.0, ..DcOptions::default() };
+    // The energy-proportional server model applies to the DC scenarios.
+    let one = run_datacenter(
+        kind,
+        &CcChoice::Base(AlgorithmKind::Lia),
+        &DcOptions { n_subflows: 1, ..base },
+    );
+    let three = run_datacenter(
+        kind,
+        &CcChoice::Base(AlgorithmKind::Lia),
+        &DcOptions { n_subflows: 3, ..base },
+    );
+    assert!(
+        three.joules_per_gbit < one.joules_per_gbit,
+        "3 subflows {} J/Gb should beat 1 subflow {} J/Gb in BCube",
+        three.joules_per_gbit,
+        one.joules_per_gbit
+    );
+    assert!(three.aggregate_goodput_bps > one.aggregate_goodput_bps);
+}
+
+#[test]
+fn fig13_fattree_gains_little_from_extra_subflows() {
+    let kind = DcKind::FatTree { k: 4 };
+    let base = DcOptions { duration_s: 3.0, ..DcOptions::default() };
+    let one = run_datacenter(
+        kind,
+        &CcChoice::Base(AlgorithmKind::Lia),
+        &DcOptions { n_subflows: 1, ..base },
+    );
+    let four = run_datacenter(
+        kind,
+        &CcChoice::Base(AlgorithmKind::Lia),
+        &DcOptions { n_subflows: 4, ..base },
+    );
+    // FatTree hosts have one NIC, so aggregate goodput is capped by host
+    // access capacity regardless of subflow count (extra subflows only
+    // resolve core collisions — the Raiciu et al. effect).
+    let capacity = 16.0 * 100e6;
+    assert!(one.aggregate_goodput_bps <= capacity * 1.01);
+    assert!(four.aggregate_goodput_bps <= capacity * 1.01);
+    let gain = four.aggregate_goodput_bps / one.aggregate_goodput_bps;
+    assert!(gain < 2.5, "FatTree subflow goodput gain {gain} bounded by one NIC");
+}
+
+#[test]
+fn fig16_dts_matches_lia_utilization_in_fattree() {
+    let kind = DcKind::FatTree { k: 4 };
+    let opts = DcOptions { n_subflows: 2, duration_s: 3.0, ..DcOptions::default() };
+    let lia = run_datacenter(kind, &CcChoice::Base(AlgorithmKind::Lia), &opts);
+    let dts = run_datacenter(kind, &CcChoice::dts(), &opts);
+    let ratio = dts.aggregate_goodput_bps / lia.aggregate_goodput_bps;
+    assert!(ratio > 0.9, "dts/lia aggregate throughput {ratio}");
+}
+
+#[test]
+fn fig17_wireless_runs_and_phi_trades_throughput_for_energy() {
+    let opts = WirelessOptions { duration_s: 60.0, ..WirelessOptions::default() };
+    let lia = run_wireless(&CcChoice::Base(AlgorithmKind::Lia), &opts);
+    let phi = run_wireless(&CcChoice::dts_phi(), &opts);
+    assert!(lia.goodput_bps > 1_000_000.0, "lia should move traffic");
+    assert!(phi.goodput_bps > 1_000_000.0, "phi should move traffic");
+    // Energy per bit must improve even where total energy is noisy.
+    let lia_jpb = lia.energy.joules / (lia.goodput_bps * opts.duration_s);
+    let phi_jpb = phi.energy.joules / (phi.goodput_bps * opts.duration_s);
+    assert!(
+        phi_jpb < lia_jpb * 1.05,
+        "phi J/bit {phi_jpb} should not exceed lia {lia_jpb}"
+    );
+}
+
+#[test]
+fn scenarios_are_deterministic() {
+    let a = run_two_path_bursty(&CcChoice::dts(), &bursty_opts());
+    let b = run_two_path_bursty(&CcChoice::dts(), &bursty_opts());
+    assert_eq!(a.finish_s, b.finish_s);
+    assert_eq!(a.energy.joules, b.energy.joules);
+    assert_eq!(a.rexmits, b.rexmits);
+}
