@@ -4,8 +4,8 @@
 
 use congestion::{AlgorithmKind, SubflowCc};
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use mptcp_energy::{epsilon_exact, epsilon_fixed_point, CcChoice};
+use std::time::Duration;
 
 fn flows() -> Vec<SubflowCc> {
     let mut out = Vec::new();

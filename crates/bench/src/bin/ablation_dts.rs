@@ -19,11 +19,7 @@ fn opts(scale: Scale) -> BurstyOptions {
         Scale::Quick => 24_000_000,
         Scale::Full => 100_000_000,
     };
-    BurstyOptions {
-        transfer_bytes: Some(transfer),
-        duration_s: 600.0,
-        ..BurstyOptions::default()
-    }
+    BurstyOptions { transfer_bytes: Some(transfer), duration_s: 600.0, ..BurstyOptions::default() }
 }
 
 fn run_cfg(cfg: DtsConfig, o: &BurstyOptions) -> (f64, f64, f64) {
@@ -71,10 +67,7 @@ fn main() {
             format!("{friend:.3}"),
         ]);
     }
-    print!(
-        "{}",
-        table(&["c", "energy (J)", "fct (s)", "Mb/s", "fluid friendliness"], &rows)
-    );
+    print!("{}", table(&["c", "energy (J)", "fct (s)", "Mb/s", "fluid friendliness"], &rows));
 
     println!("\n== exact exp vs Algorithm 1 fixed-point Taylor ==");
     let mut rows = Vec::new();

@@ -30,19 +30,12 @@ fn scenario(psi: Psi, n_users: usize) -> (f64, f64) {
             paths: vec![FluidPath::new(vec![l], rtt)],
         });
     }
-    let x0: Vec<Vec<f64>> = net
-        .flows
-        .iter()
-        .map(|f| vec![50.0; f.paths.len()])
-        .collect();
+    let x0: Vec<Vec<f64>> = net.flows.iter().map(|f| vec![50.0; f.paths.len()]).collect();
     let x = net.equilibrium(x0, 5e-4, 1e-7, 2_000_000);
     let mptcp_mean: f64 =
         x[..n_users].iter().map(|r| r.iter().sum::<f64>()).sum::<f64>() / n_users as f64;
-    let tcp_mean: f64 = x[n_users..]
-        .iter()
-        .map(|r| r.iter().sum::<f64>())
-        .sum::<f64>()
-        / (2 * n_users) as f64;
+    let tcp_mean: f64 =
+        x[n_users..].iter().map(|r| r.iter().sum::<f64>()).sum::<f64>() / (2 * n_users) as f64;
     (mptcp_mean, tcp_mean)
 }
 
@@ -74,10 +67,7 @@ fn main() {
     );
     print!(
         "{}",
-        table(
-            &["psi", "mptcp x* (pkt/s)", "tcp x* (pkt/s)", "mptcp/tcp", "16MB time (s)"],
-            &rows
-        )
+        table(&["psi", "mptcp x* (pkt/s)", "tcp x* (pkt/s)", "mptcp/tcp", "16MB time (s)"], &rows)
     );
     println!("\nmptcp/tcp near 1 = TCP-friendly; higher mptcp x* = shorter transfers = less energy (Eq. 2).");
 }

@@ -20,8 +20,7 @@ fn ethernet_point(total_bps: u64, bytes: u64) -> (f64, f64, f64) {
     // power curve isolates the throughput term (the paper's Fig. 3a).
     let nic_bps = total_bps / 2;
     let bdp_pkts = ((nic_bps as f64 * 0.008) / (1500.0 * 8.0)).ceil() as usize;
-    let params =
-        LinkParams::new(nic_bps, SimDuration::from_millis(2)).queue(bdp_pkts.max(16));
+    let params = LinkParams::new(nic_bps, SimDuration::from_millis(2)).queue(bdp_pkts.max(16));
     let tp = TwoPath::symmetric(&mut sim, params);
     let flow = attach_flow(
         &mut sim,
@@ -87,8 +86,5 @@ pub fn run(scale: Scale) -> String {
             crate::mbps(g),
         ]);
     }
-    table(
-        &["medium", "bandwidth (Mb/s)", "energy (J)", "mean power (W)", "goodput (Mb/s)"],
-        &rows,
-    )
+    table(&["medium", "bandwidth (Mb/s)", "energy (J)", "mean power (W)", "goodput (Mb/s)"], &rows)
 }

@@ -47,14 +47,10 @@ pub fn run(scale: Scale) -> String {
         Scale::Full => 90.0,
     };
     let mut rows = Vec::new();
-    for (label, per_nic) in [("1 subflow/NIC (low RTT)", 1usize), ("2 subflows/NIC (high RTT)", 2)] {
+    for (label, per_nic) in [("1 subflow/NIC (low RTT)", 1usize), ("2 subflows/NIC (high RTT)", 2)]
+    {
         let (p, g, srtt) = point(per_nic, duration);
-        rows.push(vec![
-            label.to_owned(),
-            format!("{srtt:.1}"),
-            format!("{p:.2}"),
-            crate::mbps(g),
-        ]);
+        rows.push(vec![label.to_owned(), format!("{srtt:.1}"), format!("{p:.2}"), crate::mbps(g)]);
     }
     table(&["config", "srtt (ms)", "mean power (W)", "goodput (Mb/s)"], &rows)
 }

@@ -20,11 +20,8 @@ pub fn run(scale: Scale) -> String {
     let mut rows = Vec::new();
     for &n in n_values {
         for kind in AlgorithmKind::PAPER_FOUR {
-            let opts = SharedOptions {
-                n_users: n,
-                transfer_bytes: transfer,
-                ..SharedOptions::default()
-            };
+            let opts =
+                SharedOptions { n_users: n, transfer_bytes: transfer, ..SharedOptions::default() };
             let energies = run_shared_bottleneck(&CcChoice::Base(kind), &opts);
             let summary = FiveNumber::of(&energies);
             rows.push(vec![

@@ -46,10 +46,8 @@ pub fn run(scale: Scale) -> String {
             format!("{:.2}", d.2),
         ]);
     }
-    let mut out = table(
-        &["t (s)", "lia tput (Mb/s)", "lia P (W)", "dts tput (Mb/s)", "dts P (W)"],
-        &rows,
-    );
+    let mut out =
+        table(&["t (s)", "lia tput (Mb/s)", "lia P (W)", "dts tput (Mb/s)", "dts P (W)"], &rows);
     out.push_str(&format!(
         "totals: lia {:.1} J @ {} Mb/s | dts {:.1} J @ {} Mb/s\n",
         lia.energy.joules,

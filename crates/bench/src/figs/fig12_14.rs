@@ -16,29 +16,17 @@ use mptcp_energy::scenarios::{run_datacenter, CcChoice, DcKind, DcOptions};
 pub fn run(scale: Scale) -> String {
     let (fabrics, subflows, duration): (Vec<DcKind>, &[usize], f64) = match scale {
         Scale::Smoke => (
-            vec![
-                DcKind::BCube { n: 4, k: 1 },
-                DcKind::FatTree { k: 4 },
-                DcKind::Vl2 { scale: 8 },
-            ],
+            vec![DcKind::BCube { n: 4, k: 1 }, DcKind::FatTree { k: 4 }, DcKind::Vl2 { scale: 8 }],
             &[1, 2],
             1.0,
         ),
         Scale::Quick => (
-            vec![
-                DcKind::BCube { n: 4, k: 2 },
-                DcKind::FatTree { k: 4 },
-                DcKind::Vl2 { scale: 4 },
-            ],
+            vec![DcKind::BCube { n: 4, k: 2 }, DcKind::FatTree { k: 4 }, DcKind::Vl2 { scale: 4 }],
             &[1, 2, 4],
             5.0,
         ),
         Scale::Full => (
-            vec![
-                DcKind::BCube { n: 4, k: 3 },
-                DcKind::FatTree { k: 8 },
-                DcKind::Vl2 { scale: 1 },
-            ],
+            vec![DcKind::BCube { n: 4, k: 3 }, DcKind::FatTree { k: 8 }, DcKind::Vl2 { scale: 1 }],
             &[1, 2, 4, 8],
             20.0,
         ),
@@ -57,8 +45,5 @@ pub fn run(scale: Scale) -> String {
             ]);
         }
     }
-    table(
-        &["fabric", "subflows", "J/Gbit", "agg goodput (Mb/s)", "energy (J)"],
-        &rows,
-    )
+    table(&["fabric", "subflows", "J/Gbit", "agg goodput (Mb/s)", "energy (J)"], &rows)
 }

@@ -21,13 +21,9 @@ pub fn run(scale: Scale) -> String {
     let (fabrics, subflows, duration) = fabric_set(scale);
     // A heavier price weight suits datacenter windows (κ per Equation (7) is
     // a per-user weight; DC BDPs are tiny, so the w² drain needs more κ).
-    let dc_phi = mptcp_energy::DtsPhiConfig {
-        kappa: 1e-3,
-        queue_target_s: 1e-3,
-        ..Default::default()
-    };
-    let choices =
-        [CcChoice::Base(AlgorithmKind::Lia), CcChoice::dts(), CcChoice::DtsPhi(dc_phi)];
+    let dc_phi =
+        mptcp_energy::DtsPhiConfig { kappa: 1e-3, queue_target_s: 1e-3, ..Default::default() };
+    let choices = [CcChoice::Base(AlgorithmKind::Lia), CcChoice::dts(), CcChoice::DtsPhi(dc_phi)];
     let mut rows = Vec::new();
     for fabric in &fabrics {
         let mut lia_energy = None;

@@ -10,8 +10,7 @@ use mptcp_energy::scenarios::{run_datacenter, CcChoice, DcOptions};
 /// Runs the Fig. 16 harness.
 pub fn run(scale: Scale) -> String {
     let (fabrics, subflows, duration) = super::fig15::fabric_set(scale);
-    let choices =
-        [CcChoice::Base(AlgorithmKind::Lia), CcChoice::dts(), CcChoice::dts_phi()];
+    let choices = [CcChoice::Base(AlgorithmKind::Lia), CcChoice::dts(), CcChoice::dts_phi()];
     let mut rows = Vec::new();
     for fabric in &fabrics {
         let mut lia_tput = None;

@@ -19,8 +19,7 @@ pub fn run(scale: Scale) -> String {
     // The radio scenario wants a strong price weight: the LTE path's delay
     // excess is large (≈ 100 ms over a 5 ms target), and throttling it is
     // where the radio energy lives (κ per Equation (7) is per-deployment).
-    let wireless_phi =
-        mptcp_energy::DtsPhiConfig { kappa: 2e-3, ..Default::default() };
+    let wireless_phi = mptcp_energy::DtsPhiConfig { kappa: 2e-3, ..Default::default() };
     let choices =
         [CcChoice::Base(AlgorithmKind::Lia), CcChoice::dts(), CcChoice::DtsPhi(wireless_phi)];
     let mut rows = Vec::new();
@@ -42,8 +41,5 @@ pub fn run(scale: Scale) -> String {
             ]);
         }
     }
-    table(
-        &["seed", "algorithm", "energy (J)", "saving vs lia", "goodput (Mb/s)"],
-        &rows,
-    )
+    table(&["seed", "algorithm", "energy (J)", "saving vs lia", "goodput (Mb/s)"], &rows)
 }

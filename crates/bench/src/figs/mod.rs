@@ -16,10 +16,13 @@ pub mod fig17;
 
 use crate::Scale;
 
+/// A named figure harness entry point.
+type FigRunner = (&'static str, fn(Scale) -> String);
+
 /// Runs every figure harness at the given scale, returning the concatenated
 /// report (the `figures` bench target uses `Scale::Smoke`).
 pub fn run_all(scale: Scale) -> String {
-    let parts: Vec<(&str, fn(Scale) -> String)> = vec![
+    let parts: Vec<FigRunner> = vec![
         ("Fig 1", fig01::run),
         ("Fig 2", fig02::run),
         ("Fig 3", fig03::run),

@@ -90,10 +90,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = table(
             &["alg", "energy"],
-            &[
-                vec!["lia".into(), "10.0".into()],
-                vec!["dts-phi".into(), "8.123".into()],
-            ],
+            &[vec!["lia".into(), "10.0".into()], vec!["dts-phi".into(), "8.123".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -107,9 +107,8 @@ impl MultipathCongestionControl for Dwc {
         }
         // Increase: LIA-coupled across the congested group; Reno otherwise.
         let in_group = self.paths[r].congested;
-        let group_members: Vec<usize> = (0..flows.len())
-            .filter(|&k| self.paths.get(k).is_some_and(|p| p.congested))
-            .collect();
+        let group_members: Vec<usize> =
+            (0..flows.len()).filter(|&k| self.paths.get(k).is_some_and(|p| p.congested)).collect();
         let delta = if in_group && group_members.len() >= 2 {
             let wt: f64 = group_members.iter().map(|&k| flows[k].cwnd).sum();
             let xt: f64 = group_members.iter().map(|&k| flows[k].rate()).sum();

@@ -73,7 +73,8 @@ mod tests {
     #[test]
     fn four_paths_grow_at_half_reno_rate() {
         let mut cc = Ewtcp::new();
-        let mut flows = [ca_flow(10.0, 0.1), ca_flow(10.0, 0.1), ca_flow(10.0, 0.1), ca_flow(10.0, 0.1)];
+        let mut flows =
+            [ca_flow(10.0, 0.1), ca_flow(10.0, 0.1), ca_flow(10.0, 0.1), ca_flow(10.0, 0.1)];
         cc.on_ack(0, &mut flows, 1, false);
         // 1/(√4·10) = 0.05.
         assert!((flows[0].cwnd - 10.05).abs() < 1e-9);

@@ -110,10 +110,7 @@ mod tests {
         let alpha = Lia::alpha(&flows);
         let wt = total_cwnd(&flows);
         // Per-round aggregate growth: Σ_r w_r·min(α/wt, 1/w_r) ≤ 1.
-        let growth: f64 = flows
-            .iter()
-            .map(|f| f.cwnd * (alpha / wt).min(1.0 / f.cwnd))
-            .sum();
+        let growth: f64 = flows.iter().map(|f| f.cwnd * (alpha / wt).min(1.0 / f.cwnd)).sum();
         assert!(growth <= 1.0 + 1e-9, "round growth {growth}");
     }
 

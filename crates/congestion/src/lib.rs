@@ -62,7 +62,9 @@ pub use ewtcp::Ewtcp;
 pub use lia::Lia;
 pub use olia::Olia;
 pub use reno::Reno;
-pub use state::{active_count, total_cwnd, total_rate, SubflowCc, INITIAL_CWND, MAX_CWND, MIN_CWND};
+pub use state::{
+    active_count, total_cwnd, total_rate, SubflowCc, INITIAL_CWND, MAX_CWND, MIN_CWND,
+};
 pub use wvegas::WVegas;
 
 use std::fmt;
@@ -147,12 +149,8 @@ impl AlgorithmKind {
     ];
 
     /// The four TCP-friendly algorithms compared in the paper's Fig. 6.
-    pub const PAPER_FOUR: [AlgorithmKind; 4] = [
-        AlgorithmKind::Lia,
-        AlgorithmKind::Olia,
-        AlgorithmKind::Balia,
-        AlgorithmKind::EcMtcp,
-    ];
+    pub const PAPER_FOUR: [AlgorithmKind; 4] =
+        [AlgorithmKind::Lia, AlgorithmKind::Olia, AlgorithmKind::Balia, AlgorithmKind::EcMtcp];
 
     /// Instantiates the algorithm for a connection with `n_subflows` paths.
     pub fn build(self, n_subflows: usize) -> Box<dyn MultipathCongestionControl> {

@@ -62,7 +62,8 @@ impl Olia {
     pub fn alphas(&self, flows: &[SubflowCc]) -> Vec<f64> {
         let n = flows.len();
         let mut alphas = vec![0.0; n];
-        let usable: Vec<usize> = (0..n).filter(|&k| flows[k].active && flows[k].has_rtt()).collect();
+        let usable: Vec<usize> =
+            (0..n).filter(|&k| flows[k].active && flows[k].has_rtt()).collect();
         if usable.len() < 2 {
             return alphas;
         }
@@ -76,13 +77,9 @@ impl Olia {
         let wmax = usable.iter().map(|&k| flows[k].cwnd).fold(0.0f64, f64::max);
         let best: Vec<usize> =
             usable.iter().copied().filter(|&k| quality(k) >= qmax * (1.0 - 1e-9)).collect();
-        let maxw: Vec<usize> = usable
-            .iter()
-            .copied()
-            .filter(|&k| flows[k].cwnd >= wmax * (1.0 - 1e-9))
-            .collect();
-        let b_minus_m: Vec<usize> =
-            best.iter().copied().filter(|k| !maxw.contains(k)).collect();
+        let maxw: Vec<usize> =
+            usable.iter().copied().filter(|&k| flows[k].cwnd >= wmax * (1.0 - 1e-9)).collect();
+        let b_minus_m: Vec<usize> = best.iter().copied().filter(|k| !maxw.contains(k)).collect();
         if b_minus_m.is_empty() {
             return alphas; // collected = ∅: no transfer needed.
         }

@@ -98,10 +98,7 @@ fn lia_matches_its_psi_when_uncapped() {
         let fs = flows(ws, rtts);
         let mut cc = Lia::new();
         for r in 0..fs.len() {
-            let best = fs
-                .iter()
-                .map(|f| f.cwnd / (f.srtt * f.srtt))
-                .fold(0.0f64, f64::max);
+            let best = fs.iter().map(|f| f.cwnd / (f.srtt * f.srtt)).fold(0.0f64, f64::max);
             let psi = best * fs[r].srtt * fs[r].srtt / fs[r].cwnd;
             let coupled = model_delta(psi, r, &fs);
             let uncoupled = 1.0 / fs[r].cwnd;
@@ -144,8 +141,8 @@ fn ecmtcp_matches_its_psi() {
         let min_rtt = fs.iter().map(|f| f.srtt).fold(f64::INFINITY, f64::min);
         let mut cc = EcMtcp::new();
         for r in 0..fs.len() {
-            let psi = fs[r].srtt.powi(3) * sum_x(&fs).powi(2)
-                / (n * min_rtt * fs[r].cwnd * sum_w(&fs));
+            let psi =
+                fs[r].srtt.powi(3) * sum_x(&fs).powi(2) / (n * min_rtt * fs[r].cwnd * sum_w(&fs));
             let native = native_delta(&mut cc, r, &fs);
             let model = model_delta(psi, r, &fs);
             assert!(
@@ -164,10 +161,7 @@ fn olia_base_term_is_psi_one() {
     for r in 0..2 {
         let native = native_delta(cc.as_mut(), r, &fs);
         let model = model_delta(1.0, r, &fs);
-        assert!(
-            (native - model).abs() < 1e-12,
-            "olia r={r}: native {native} model {model}"
-        );
+        assert!((native - model).abs() < 1e-12, "olia r={r}: native {native} model {model}");
     }
 }
 
@@ -186,11 +180,7 @@ fn all_friendly_algorithms_reduce_to_reno_alone() {
             let fs = flows(&[w], &[rtt]);
             let mut cc = kind.build(1);
             let native = native_delta(cc.as_mut(), 0, &fs);
-            assert!(
-                (native - 1.0 / w).abs() < 1e-12,
-                "{kind} at w={w}: {native} vs {}",
-                1.0 / w
-            );
+            assert!((native - 1.0 / w).abs() < 1e-12, "{kind} at w={w}: {native} vs {}", 1.0 / w);
         }
     }
 }

@@ -100,14 +100,10 @@ pub fn friendliness_ratio(model: CcModel, cap: f64, rtt: f64, n_paths: usize) ->
     let l = net.add_link(crate::fluid::FluidLink::new(cap));
     net.add_flow(crate::fluid::FluidFlow {
         model,
-        paths: (0..n_paths)
-            .map(|_| crate::fluid::FluidPath::new(vec![l], rtt))
-            .collect(),
+        paths: (0..n_paths).map(|_| crate::fluid::FluidPath::new(vec![l], rtt)).collect(),
     });
-    let multi: f64 = net
-        .equilibrium(vec![vec![10.0; n_paths]], 1e-3, 1e-8, 2_000_000)[0]
-        .iter()
-        .sum();
+    let multi: f64 =
+        net.equilibrium(vec![vec![10.0; n_paths]], 1e-3, 1e-8, 2_000_000)[0].iter().sum();
     let single_net = disjoint_paths_net(CcModel::loss_based(Psi::Olia), &[cap], &[rtt]);
     let single = single_net.equilibrium(vec![vec![10.0]], 1e-3, 1e-8, 2_000_000)[0][0];
     multi / single

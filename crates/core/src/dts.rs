@@ -154,10 +154,7 @@ mod tests {
         for ratio in [0.4, 0.45, 0.5, 0.55, 0.6] {
             let exact = epsilon_exact(ratio, 10.0, 0.5);
             let fixed = epsilon_fixed_point(ratio);
-            assert!(
-                (exact - fixed).abs() < 0.08,
-                "ratio {ratio}: exact {exact} vs fixed {fixed}"
-            );
+            assert!((exact - fixed).abs() < 0.08, "ratio {ratio}: exact {exact} vs fixed {fixed}");
         }
     }
 
@@ -175,10 +172,9 @@ mod tests {
         // The paper's c = 1 fairness argument: E[ε(U)] ≈ 1 for U ~ Uniform(0,1)
         // by the sigmoid's symmetry around (1/2, 1).
         let n = 100_000;
-        let mean: f64 = (0..n)
-            .map(|i| epsilon_exact((i as f64 + 0.5) / n as f64, 10.0, 0.5))
-            .sum::<f64>()
-            / n as f64;
+        let mean: f64 =
+            (0..n).map(|i| epsilon_exact((i as f64 + 0.5) / n as f64, 10.0, 0.5)).sum::<f64>()
+                / n as f64;
         assert!((mean - 1.0).abs() < 1e-3, "E[ε] = {mean}");
     }
 
@@ -216,10 +212,7 @@ mod tests {
         let b1 = flows[1].cwnd;
         cc.on_ack(1, &mut flows, 1, false);
         let d_bad = flows[1].cwnd - b1;
-        assert!(
-            d_good > 10.0 * d_bad,
-            "good {d_good} should dwarf bad {d_bad}"
-        );
+        assert!(d_good > 10.0 * d_bad, "good {d_good} should dwarf bad {d_bad}");
     }
 
     #[test]

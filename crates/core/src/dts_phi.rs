@@ -104,8 +104,7 @@ impl MultipathCongestionControl for DtsPhi {
         if f.cwnd >= f.ssthresh {
             let grad = {
                 let fr = &*f;
-                let excess =
-                    (DtsPhi::queue_delay_estimate(fr) - self.cfg.queue_target_s).max(0.0);
+                let excess = (DtsPhi::queue_delay_estimate(fr) - self.cfg.queue_target_s).max(0.0);
                 self.cfg.rho + self.cfg.eta * excess / self.cfg.queue_target_s
             };
             f.cwnd -= self.cfg.kappa * f.cwnd * grad * newly_acked as f64;
@@ -167,12 +166,7 @@ mod tests {
             dts.on_ack(0, &mut a, 1, false);
             phi.on_ack(0, &mut b, 1, false);
         }
-        assert!(
-            b[0].cwnd < a[0].cwnd,
-            "phi {} should stay below dts {}",
-            b[0].cwnd,
-            a[0].cwnd
-        );
+        assert!(b[0].cwnd < a[0].cwnd, "phi {} should stay below dts {}", b[0].cwnd, a[0].cwnd);
     }
 
     #[test]

@@ -111,8 +111,7 @@ impl FluidNet {
     /// `dx/dt` for every flow-path under state `x`.
     pub fn derivatives(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
         let y = self.link_rates(x);
-        let prices: Vec<f64> =
-            self.links.iter().zip(&y).map(|(l, &yl)| l.price(yl)).collect();
+        let prices: Vec<f64> = self.links.iter().zip(&y).map(|(l, &yl)| l.price(yl)).collect();
         self.flows
             .iter()
             .enumerate()
@@ -181,8 +180,7 @@ impl FluidNet {
                 xr.iter()
                     .enumerate()
                     .map(|(p, &v)| {
-                        let d =
-                            (k1[f][p] + 2.0 * k2[f][p] + 2.0 * k3[f][p] + k4[f][p]) / 6.0;
+                        let d = (k1[f][p] + 2.0 * k2[f][p] + 2.0 * k3[f][p] + k4[f][p]) / 6.0;
                         (v + dt * d).max(X_MIN)
                     })
                     .collect()
@@ -192,7 +190,13 @@ impl FluidNet {
 
     /// Runs to (approximate) equilibrium: integrates until the max relative
     /// rate change over a window falls below `tol`, or `max_steps` elapse.
-    pub fn equilibrium(&self, x0: Vec<Vec<f64>>, dt: f64, tol: f64, max_steps: usize) -> Vec<Vec<f64>> {
+    pub fn equilibrium(
+        &self,
+        x0: Vec<Vec<f64>>,
+        dt: f64,
+        tol: f64,
+        max_steps: usize,
+    ) -> Vec<Vec<f64>> {
         let mut x = x0;
         let window = 200;
         let mut since_check = x.clone();
@@ -218,13 +222,8 @@ impl FluidNet {
 pub fn disjoint_paths_net(model: CcModel, caps: &[f64], rtts: &[f64]) -> FluidNet {
     assert_eq!(caps.len(), rtts.len());
     let mut net = FluidNet::new();
-    let links: Vec<usize> =
-        caps.iter().map(|&c| net.add_link(FluidLink::new(c))).collect();
-    let paths = links
-        .iter()
-        .zip(rtts)
-        .map(|(&l, &rtt)| FluidPath::new(vec![l], rtt))
-        .collect();
+    let links: Vec<usize> = caps.iter().map(|&c| net.add_link(FluidLink::new(c))).collect();
+    let paths = links.iter().zip(rtts).map(|(&l, &rtt)| FluidPath::new(vec![l], rtt)).collect();
     net.add_flow(FluidFlow { model, paths });
     net
 }
@@ -246,10 +245,7 @@ mod tests {
         let xr = x[0][0];
         // Analytic fixed point: 1/rtt² = ½·p0·(x/c)^B·x² → x* = (2c^B/(p0·rtt²))^(1/(B+2)).
         let expected = (2.0 * 1000.0f64.powi(4) / (1e-2 * 0.01)).powf(1.0 / 6.0);
-        assert!(
-            (xr - expected).abs() / expected < 0.01,
-            "x* = {xr}, expected {expected}"
-        );
+        assert!((xr - expected).abs() / expected < 0.01, "x* = {xr}, expected {expected}");
     }
 
     #[test]
@@ -279,11 +275,12 @@ mod tests {
     fn olia_on_two_paths_is_tcp_friendly() {
         // Multipath OLIA over two disjoint equal links gets less aggregate
         // than two independent Renos would (coupling), but more than one.
-        let net = disjoint_paths_net(CcModel::loss_based(Psi::Olia), &[1000.0, 1000.0], &[0.1, 0.1]);
+        let net =
+            disjoint_paths_net(CcModel::loss_based(Psi::Olia), &[1000.0, 1000.0], &[0.1, 0.1]);
         let x = net.equilibrium(vec![vec![10.0, 10.0]], 1e-3, 1e-8, 2_000_000);
         let total: f64 = x[0].iter().sum();
-        let single = reno_single(1000.0, 0.1)
-            .equilibrium(vec![vec![10.0]], 1e-3, 1e-8, 2_000_000)[0][0];
+        let single =
+            reno_single(1000.0, 0.1).equilibrium(vec![vec![10.0]], 1e-3, 1e-8, 2_000_000)[0][0];
         assert!(total > single * 1.05, "multipath should beat one path");
         assert!(total < single * 2.0, "multipath must not beat two independent TCPs");
     }
@@ -291,26 +288,18 @@ mod tests {
     #[test]
     fn dts_shifts_rate_to_good_ratio_path() {
         let cfg = crate::dts::DtsConfig::default();
-        let mut net =
-            disjoint_paths_net(CcModel::dts(cfg), &[1000.0, 1000.0], &[0.1, 0.1]);
+        let mut net = disjoint_paths_net(CcModel::dts(cfg), &[1000.0, 1000.0], &[0.1, 0.1]);
         // Path 1 shows heavy RTT inflation (base ≪ rtt).
         net.flows[0].paths[1].rtt = 0.2;
         net.flows[0].paths[1].base_rtt = 0.05; // ratio 0.25
         let x = net.equilibrium(vec![vec![10.0, 10.0]], 1e-3, 1e-8, 2_000_000);
-        assert!(
-            x[0][0] > 2.0 * x[0][1],
-            "DTS should favour the clean path: {:?}",
-            x[0]
-        );
+        assert!(x[0][0] > 2.0 * x[0][1], "DTS should favour the clean path: {:?}", x[0]);
     }
 
     #[test]
     fn rates_never_drop_below_floor() {
-        let net = disjoint_paths_net(
-            CcModel::loss_based(Psi::Olia),
-            &[10.0, 10000.0],
-            &[1.0, 0.01],
-        );
+        let net =
+            disjoint_paths_net(CcModel::loss_based(Psi::Olia), &[10.0, 10000.0], &[1.0, 0.01]);
         let x = net.run(vec![vec![5.0, 5.0]], 1e-3, 100_000);
         assert!(x[0].iter().all(|&v| v >= X_MIN));
     }

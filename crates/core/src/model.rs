@@ -94,9 +94,8 @@ impl Psi {
                 v.rtt[r] * v.rtt[r] * sx * sx / (sw * sw)
             }
             Psi::Lia => {
-                let best = (0..v.n())
-                    .map(|k| v.w(k) / (v.rtt[k] * v.rtt[k]))
-                    .fold(0.0f64, f64::max);
+                let best =
+                    (0..v.n()).map(|k| v.w(k) / (v.rtt[k] * v.rtt[k])).fold(0.0f64, f64::max);
                 best * v.rtt[r] * v.rtt[r] / v.w(r)
             }
             Psi::Olia => 1.0,

@@ -87,6 +87,7 @@ pub fn run_wireless_with_policy(
 ) -> FlowResult {
     let mut sim = Simulator::new(opts.seed);
     let tp = TwoPath::wireless(&mut sim);
+    crate::scenarios::apply_wireless_loss(&mut sim, &tp, opts);
     let mut cross = ParetoOnOffConfig::paper_fig5b();
     cross.burst_rate_bps = opts.wifi_cross_bps;
     attach_pareto_cross_traffic(&mut sim, vec![tp.p1.fwd], cross);
@@ -163,10 +164,7 @@ mod tests {
     #[test]
     fn lte_uplink_costs_more_per_bit_at_nominal_rates() {
         let [wifi, lte] = wireless_path_costs(10.0, 20.0);
-        assert!(
-            lte > wifi,
-            "LTE uplink ({lte} J/Mb) should cost more than WiFi ({wifi} J/Mb)"
-        );
+        assert!(lte > wifi, "LTE uplink ({lte} J/Mb) should cost more than WiFi ({wifi} J/Mb)");
     }
 
     #[test]

@@ -15,9 +15,8 @@ fn esc(field: &str) -> String {
 
 /// CSV of single-flow results: one row per result.
 pub fn flow_results_csv(results: &[FlowResult]) -> String {
-    let mut out = String::from(
-        "algorithm,goodput_bps,energy_j,mean_power_w,finish_s,rexmits,timeouts\n",
-    );
+    let mut out =
+        String::from("algorithm,goodput_bps,energy_j,mean_power_w,finish_s,rexmits,timeouts\n");
     for r in results {
         out.push_str(&format!(
             "{},{:.3},{:.3},{:.3},{},{},{}\n",

@@ -12,7 +12,7 @@ use congestion::{AlgorithmKind, MultipathCongestionControl};
 use energy_model::{
     energy_of_flow, EnergyReport, HostLoadSeries, PhoneModel, PowerModel, WiredCpuModel,
 };
-use netsim::{SimDuration, SimTime, Simulator};
+use netsim::{LossModel, SimDuration, SimTime, Simulator};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use topology::{BCube, Ec2Vpc, FatTree, Hierarchy, LinkParams, SharedBottleneck, TwoPath, Vl2};
@@ -194,10 +194,8 @@ pub fn run_shared_bottleneck(cc: &CcChoice, opts: &SharedOptions) -> Vec<f64> {
     use rand::Rng;
     let mut sim = Simulator::new(opts.seed);
     let mut stagger_rng = SmallRng::seed_from_u64(opts.seed ^ 0x5A);
-    let sb = SharedBottleneck::new(
-        &mut sim,
-        LinkParams::new(opts.link_bps, opts.one_way).queue(100),
-    );
+    let sb =
+        SharedBottleneck::new(&mut sim, LinkParams::new(opts.link_bps, opts.one_way).queue(100));
     // 2N competing TCP users, long-lived, randomly staggered starts.
     for i in 0..2 * opts.n_users {
         let start = SimDuration::from_millis(stagger_rng.gen_range(0..200));
@@ -227,10 +225,7 @@ pub fn run_shared_bottleneck(cc: &CcChoice, opts: &SharedOptions) -> Vec<f64> {
     sim.run_until(SimTime::from_secs_f64(opts.horizon_s));
     let mut model = WiredCpuModel::i7_3770();
     model.idle_w /= opts.n_users as f64; // all N senders share one machine
-    flows
-        .iter()
-        .map(|f| energy_of_flow(&mut model, f.sender_ref(&sim).samples()).joules)
-        .collect()
+    flows.iter().map(|f| energy_of_flow(&mut model, f.sender_ref(&sim).samples()).joules).collect()
 }
 
 /// Options for the EC2 scenario (Fig. 10).
@@ -288,8 +283,7 @@ fn fleet_result(
         let sender = f.sender_ref(sim);
         let mut m = model.clone();
         total_energy += energy_of_flow(&mut m, sender.samples()).joules;
-        delivered_bits +=
-            sender.data_acked() as f64 * f64::from(sender.config().mss_bytes) * 8.0;
+        delivered_bits += sender.data_acked() as f64 * f64::from(sender.config().mss_bytes) * 8.0;
         goodput += sender.goodput_bps(sim.now());
         if sender.config().total_pkts.is_some() {
             finite += 1;
@@ -332,11 +326,8 @@ pub fn run_ec2(cc: &CcChoice, opts: &Ec2Options) -> FleetResult {
         .iter()
         .enumerate()
         .map(|(i, &(src, dst))| {
-            let paths: Vec<PathSpec> = if single_path {
-                vpc.single_path(src, dst, 0)
-            } else {
-                vpc.paths(src, dst)
-            };
+            let paths: Vec<PathSpec> =
+                if single_path { vpc.single_path(src, dst, 0) } else { vpc.paths(src, dst) };
             let n = paths.len();
             attach_flow(
                 &mut sim,
@@ -493,6 +484,12 @@ pub struct WirelessOptions {
     /// 256 KB so the congestion window (not flow control) governs — see
     /// EXPERIMENTS.md.
     pub rcv_buf_bytes: u64,
+    /// Random (i.i.d.) uplink loss probability on the WiFi path, applied
+    /// through the link impairment layer. The default, `0.0`, keeps the
+    /// scenario lossless (and bit-identical to the pre-impairment runs).
+    pub wifi_loss: f64,
+    /// Random uplink loss probability on the 4G path.
+    pub lte_loss: f64,
 }
 
 impl Default for WirelessOptions {
@@ -503,8 +500,18 @@ impl Default for WirelessOptions {
             wifi_cross_bps: 8_000_000,
             lte_cross_bps: 16_000_000,
             rcv_buf_bytes: 256 * 1024,
+            wifi_loss: 0.0,
+            lte_loss: 0.0,
         }
     }
+}
+
+/// Installs the wireless scenario's random-loss impairments on the uplink
+/// (data-direction) hops. `LossModel::iid(0.0)` is `LossModel::None`, so the
+/// lossless defaults draw nothing from the RNG.
+pub(crate) fn apply_wireless_loss(sim: &mut Simulator, tp: &TwoPath, opts: &WirelessOptions) {
+    sim.world_mut().link_mut(tp.p1.fwd).impairment_mut().set_loss(LossModel::iid(opts.wifi_loss));
+    sim.world_mut().link_mut(tp.p2.fwd).impairment_mut().set_loss(LossModel::iid(opts.lte_loss));
 }
 
 /// Runs the Fig. 17 scenario: an infinite MPTCP flow over WiFi (10 Mb/s,
@@ -513,6 +520,7 @@ impl Default for WirelessOptions {
 pub fn run_wireless(cc: &CcChoice, opts: &WirelessOptions) -> FlowResult {
     let mut sim = Simulator::new(opts.seed);
     let tp = TwoPath::wireless(&mut sim);
+    apply_wireless_loss(&mut sim, &tp, opts);
     let mut cross = ParetoOnOffConfig::paper_fig5b();
     cross.burst_rate_bps = opts.wifi_cross_bps;
     attach_pareto_cross_traffic(&mut sim, vec![tp.p1.fwd], cross);

@@ -3,8 +3,7 @@
 //! and the trajectory API must expose the transient.
 
 use mptcp_energy::{
-    disjoint_paths_net, CcModel, DtsConfig, DtsPhiConfig, FluidFlow, FluidLink, FluidNet,
-    FluidPath,
+    disjoint_paths_net, CcModel, DtsConfig, DtsPhiConfig, FluidFlow, FluidLink, FluidNet, FluidPath,
 };
 
 fn phi_cfg(kappa: f64) -> DtsPhiConfig {
@@ -29,11 +28,8 @@ fn phi_price_lowers_equilibrium_rate_monotonically_in_kappa() {
 
 #[test]
 fn trajectory_records_transient_and_converges() {
-    let net = disjoint_paths_net(
-        CcModel::dts(DtsConfig::default()),
-        &[1000.0, 1000.0],
-        &[0.05, 0.05],
-    );
+    let net =
+        disjoint_paths_net(CcModel::dts(DtsConfig::default()), &[1000.0, 1000.0], &[0.05, 0.05]);
     let traj = net.trajectory(vec![vec![5.0, 5.0]], 1e-3, 200_000, 10_000);
     assert!(traj.len() > 10);
     // Time stamps increase; rates move from the start point.
@@ -64,11 +60,6 @@ fn shared_bottleneck_with_price_yields_to_unpriced_flow() {
         paths: vec![FluidPath::new(vec![l], 0.05)],
     });
     let x = net.equilibrium(vec![vec![100.0], vec![100.0]], 5e-4, 1e-8, 2_000_000);
-    assert!(
-        x[1][0] < x[0][0],
-        "priced flow {} should yield to unpriced {}",
-        x[1][0],
-        x[0][0]
-    );
+    assert!(x[1][0] < x[0][0], "priced flow {} should yield to unpriced {}", x[1][0], x[0][0]);
     assert!(x[1][0] > 0.05 * x[0][0], "but not starve");
 }

@@ -204,10 +204,7 @@ mod tests {
         // Paper Fig. 1.
         let mut m = WiredCpuModel::i7_3770();
         let one = power(&mut m, &[PathLoad::new(100e6, 0.02)]);
-        let two = power(
-            &mut m,
-            &[PathLoad::new(50e6, 0.02), PathLoad::new(50e6, 0.02)],
-        );
+        let two = power(&mut m, &[PathLoad::new(50e6, 0.02), PathLoad::new(50e6, 0.02)]);
         assert!(two > one, "two {two} one {one}");
     }
 }

@@ -48,7 +48,7 @@ mod tests {
 
     #[test]
     fn idle_is_inactive() {
-        assert!(!PathLoad::IDLE.active);
+        const { assert!(!PathLoad::IDLE.active) };
         assert_eq!(PathLoad::IDLE.mbps(), 0.0);
     }
 

@@ -201,11 +201,7 @@ impl PhoneModel {
     /// Nexus-5-like defaults (downlink slopes — the Fig. 2 download
     /// experiment).
     pub fn nexus5() -> Self {
-        PhoneModel {
-            wifi: WifiModel::mobisys2012(),
-            lte: LteModel::mobisys2012(),
-            soc_w: 0.45,
-        }
+        PhoneModel { wifi: WifiModel::mobisys2012(), lte: LteModel::mobisys2012(), soc_w: 0.45 }
     }
 
     /// Sender-side (uplink) variant for the Fig. 17 scenario, where the

@@ -42,10 +42,7 @@ fn lte_tail_energy_dominates_a_short_burst_session() {
     let report = energy_of_flow(&mut model, &samples);
     let transfer_j: f64 = report.trace.iter().take(10).map(|(_, p)| p * 0.1).sum();
     let tail_j = report.joules - transfer_j;
-    assert!(
-        tail_j > 2.0 * transfer_j,
-        "tail {tail_j} J should dominate transfer {transfer_j} J"
-    );
+    assert!(tail_j > 2.0 * transfer_j, "tail {tail_j} J should dominate transfer {transfer_j} J");
 }
 
 #[test]

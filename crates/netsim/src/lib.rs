@@ -41,6 +41,7 @@
 //! ```
 
 pub mod event;
+pub mod faults;
 pub mod link;
 pub mod packet;
 pub mod sim;
@@ -48,13 +49,15 @@ pub mod time;
 
 /// Convenient glob import of the common simulator types.
 pub mod prelude {
+    pub use crate::faults::{FaultAction, FaultEvent, FaultScript, Impairment, LossModel};
     pub use crate::link::{Link, LinkConfig, LinkStats};
     pub use crate::packet::{AgentId, LinkId, Packet, Payload, Route};
-    pub use crate::sim::{Agent, Ctx, Simulator, World};
+    pub use crate::sim::{Agent, Ctx, Simulator, StallReport, StalledFlow, Watched, World};
     pub use crate::time::{SimDuration, SimTime};
 }
 
+pub use faults::{FaultAction, FaultEvent, FaultScript, Impairment, LossModel};
 pub use link::{Link, LinkConfig, LinkStats};
 pub use packet::{AgentId, LinkId, Packet, Payload, Route};
-pub use sim::{Agent, Ctx, Simulator, World};
+pub use sim::{Agent, Ctx, Simulator, StallReport, StalledFlow, Watched, World};
 pub use time::{SimDuration, SimTime};

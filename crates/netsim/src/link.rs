@@ -7,6 +7,7 @@
 //! `K` or more packets are marked Congestion-Experienced, which is the DCTCP
 //! marking discipline.
 
+use crate::faults::Impairment;
 use crate::packet::Packet;
 use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
@@ -29,12 +30,7 @@ impl LinkConfig {
     /// A link with the given rate (bits/s) and propagation delay and a default
     /// 100-packet DropTail queue, no ECN.
     pub fn new(bandwidth_bps: u64, propagation: SimDuration) -> Self {
-        LinkConfig {
-            bandwidth_bps,
-            propagation,
-            queue_limit_pkts: 100,
-            ecn_threshold_pkts: None,
-        }
+        LinkConfig { bandwidth_bps, propagation, queue_limit_pkts: 100, ecn_threshold_pkts: None }
     }
 
     /// Sets the DropTail queue bound in packets.
@@ -74,12 +70,19 @@ pub struct LinkStats {
     pub ecn_marks: u64,
     /// High-water mark of queue occupancy (packets, excluding in-service).
     pub max_qlen: usize,
+    /// Packets lost to the link's random-loss impairment
+    /// ([`crate::faults::LossModel`]).
+    pub random_losses: u64,
+    /// Packets dropped because the link was down, including queued packets
+    /// drained when the link went down.
+    pub blackout_drops: u64,
 }
 
 /// Runtime state of a unidirectional link.
 #[derive(Debug)]
 pub struct Link {
     cfg: LinkConfig,
+    impairment: Impairment,
     queue: VecDeque<Packet>,
     in_flight: Option<Packet>,
     /// Integral of queue length over time (packet-seconds), for mean-queue
@@ -106,6 +109,7 @@ impl Link {
     pub fn new(cfg: LinkConfig) -> Self {
         Link {
             cfg,
+            impairment: Impairment::default(),
             queue: VecDeque::new(),
             in_flight: None,
             qlen_integral: 0.0,
@@ -135,6 +139,53 @@ impl Link {
     /// injection). Applies to packets completing transmission afterwards.
     pub fn set_propagation(&mut self, propagation: SimDuration) {
         self.cfg.propagation = propagation;
+    }
+
+    /// The link's impairment state (loss model, up/down).
+    pub fn impairment(&self) -> &Impairment {
+        &self.impairment
+    }
+
+    /// Mutable impairment state, e.g. to install a loss model at setup time.
+    pub fn impairment_mut(&mut self) -> &mut Impairment {
+        &mut self.impairment
+    }
+
+    /// Whether the link is administratively up.
+    pub fn is_up(&self) -> bool {
+        self.impairment.is_up()
+    }
+
+    /// Rolls the loss impairment for one offered packet, counting a loss.
+    /// `true` means the packet is lost before reaching the queue.
+    pub(crate) fn roll_loss(&mut self, rng: &mut rand::rngs::SmallRng) -> bool {
+        let lost = self.impairment.roll_loss(rng);
+        if lost {
+            self.stats.random_losses += 1;
+        }
+        lost
+    }
+
+    /// Counts a packet dropped because the link was down.
+    pub(crate) fn note_blackout_drop(&mut self) {
+        self.stats.blackout_drops += 1;
+    }
+
+    /// Sets the link administratively up or down at time `now`. Going down
+    /// drains the queue (each drained packet counts as a blackout drop) and
+    /// returns the number drained; a packet already in service completes its
+    /// transmission. Going up (or a no-op transition) returns 0.
+    pub(crate) fn set_up(&mut self, up: bool, now: SimTime) -> u64 {
+        let was_up = self.impairment.is_up();
+        self.impairment.set_up(up);
+        if up || !was_up {
+            return 0;
+        }
+        self.note_q_change(now);
+        let drained = self.queue.len() as u64;
+        self.queue.clear();
+        self.stats.blackout_drops += drained;
+        drained
     }
 
     /// Accumulated counters.
@@ -299,9 +350,7 @@ mod tests {
 
     #[test]
     fn ecn_marks_above_threshold() {
-        let cfg = LinkConfig::new(8_000_000, SimDuration::ZERO)
-            .queue_limit(10)
-            .ecn_threshold(2);
+        let cfg = LinkConfig::new(8_000_000, SimDuration::ZERO).queue_limit(10).ecn_threshold(2);
         let mut l = Link::new(cfg);
         let _ = l.enqueue(pkt(100), SimTime::ZERO); // in service
         let _ = l.enqueue(pkt(100), SimTime::ZERO); // queue pos 1 (below K)

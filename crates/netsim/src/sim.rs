@@ -29,6 +29,7 @@
 //! ```
 
 use crate::event::{EventKind, EventQueue};
+use crate::faults::FaultAction;
 use crate::link::{Enqueue, Link, LinkConfig};
 use crate::packet::{AgentId, LinkId, Packet, Payload, Route};
 use crate::time::{SimDuration, SimTime};
@@ -49,6 +50,29 @@ pub trait Agent: Any {
     /// passed to [`Ctx::schedule_in`]; agents use it to distinguish and to
     /// invalidate stale timers.
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>);
+    /// Progress view for the stall watchdog ([`Simulator::enable_watchdog`]).
+    /// Agents that represent monitorable flows return `Some`; the default is
+    /// unmonitored.
+    fn watched(&self) -> Option<&dyn Watched> {
+        None
+    }
+}
+
+/// The stall watchdog's view of a flow-like agent.
+///
+/// An agent is considered *stalled* when it reports itself mid-transfer
+/// ([`Watched::in_flight`]) yet its [`Watched::progress`] counter has not
+/// advanced across one whole watchdog interval.
+pub trait Watched {
+    /// A monotonic counter of forward progress (e.g. connection-level bytes
+    /// or packets cumulatively acknowledged).
+    fn progress(&self) -> u64;
+    /// Whether the flow has started and not yet finished. Idle or completed
+    /// flows are never reported as stalled.
+    fn in_flight(&self) -> bool;
+    /// A one-line diagnostic snapshot (cwnd / pipe / RTO state per subflow)
+    /// embedded in [`StallReport`]s.
+    fn diagnostics(&self) -> String;
 }
 
 /// Shared simulation state: links, clock, event queue, RNG.
@@ -64,6 +88,11 @@ pub struct World {
     next_pkt_id: u64,
     /// Total packets dropped by DropTail across all links.
     pub dropped_pkts: u64,
+    /// Total packets lost to random-loss impairments across all links.
+    pub random_losses: u64,
+    /// Total packets dropped because a link was down (offers while down plus
+    /// queue drains at the moment of going down), across all links.
+    pub blackout_drops: u64,
 }
 
 impl World {
@@ -75,6 +104,8 @@ impl World {
             rng: SmallRng::seed_from_u64(seed),
             next_pkt_id: 0,
             dropped_pkts: 0,
+            random_losses: 0,
+            blackout_drops: 0,
         }
     }
 
@@ -149,7 +180,20 @@ impl World {
     }
 
     fn offer_to_link(&mut self, link: LinkId, pkt: Packet) {
-        match self.links[link].enqueue(pkt, self.now) {
+        // Impairments act where the wire starts: a down link swallows the
+        // packet outright, then the loss process rolls, and only survivors
+        // reach the DropTail queue. `dropped_pkts` stays DropTail-only.
+        let l = &mut self.links[link];
+        if !l.is_up() {
+            l.note_blackout_drop();
+            self.blackout_drops += 1;
+            return;
+        }
+        if l.roll_loss(&mut self.rng) {
+            self.random_losses += 1;
+            return;
+        }
+        match l.enqueue(pkt, self.now) {
             Enqueue::StartTx(ser) => {
                 self.queue.push(self.now + ser, EventKind::LinkTxDone { link });
             }
@@ -157,6 +201,39 @@ impl World {
             Enqueue::Dropped => {
                 self.dropped_pkts += 1;
             }
+        }
+    }
+
+    /// Sets a link administratively up or down. Going down drains the link's
+    /// queue (counted as blackout drops); a packet already in service
+    /// completes its transmission and is forwarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a registered link.
+    pub fn set_link_up(&mut self, id: LinkId, up: bool) {
+        let drained = self.links[id].set_up(up, self.now);
+        self.blackout_drops += drained;
+    }
+
+    /// Applies one scripted fault action at the current time. This is the
+    /// single entry point used by [`crate::faults::FaultScript`] agents and
+    /// by drivers injecting faults between run calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action names an unregistered link.
+    pub fn apply_fault(&mut self, action: &FaultAction) {
+        match action {
+            FaultAction::SetLoss { link, model } => {
+                self.links[*link].impairment_mut().set_loss(model.clone());
+            }
+            FaultAction::SetBandwidth { link, bps } => self.links[*link].set_bandwidth(*bps),
+            FaultAction::SetPropagation { link, propagation } => {
+                self.links[*link].set_propagation(*propagation);
+            }
+            FaultAction::LinkDown { link } => self.set_link_up(*link, false),
+            FaultAction::LinkUp { link } => self.set_link_up(*link, true),
         }
     }
 
@@ -211,12 +288,70 @@ impl Ctx<'_> {
     pub fn link(&self, id: LinkId) -> &Link {
         self.world.link(id)
     }
+
+    /// Applies one fault action at the current time (used by
+    /// [`crate::faults::FaultScript`] agents).
+    pub fn apply_fault(&mut self, action: &FaultAction) {
+        self.world.apply_fault(action);
+    }
+}
+
+/// A watched agent that made no forward progress over a watchdog interval.
+#[derive(Clone, Debug)]
+pub struct StalledFlow {
+    /// The agent that stalled.
+    pub agent: AgentId,
+    /// Its progress counter, unchanged since the previous check.
+    pub progress: u64,
+    /// The agent's [`Watched::diagnostics`] snapshot at detection time.
+    pub diagnostics: String,
+}
+
+/// Diagnostic produced when the stall watchdog fires.
+///
+/// Instead of letting a livelocked simulation spin (or CI hang on a
+/// wall-clock timeout), run loops abort and leave this report on the
+/// simulator ([`Simulator::stall_report`]).
+#[derive(Clone, Debug)]
+pub struct StallReport {
+    /// Simulated time of detection.
+    pub at: SimTime,
+    /// Every watched, in-flight agent whose progress did not advance.
+    pub stalled: Vec<StalledFlow>,
+}
+
+impl std::fmt::Display for StallReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "stall watchdog fired at t={:.3}s: {} flow(s) made no progress",
+            self.at.as_secs_f64(),
+            self.stalled.len()
+        )?;
+        for s in &self.stalled {
+            writeln!(f, "  agent {} (progress={}): {}", s.agent, s.progress, s.diagnostics)?;
+        }
+        Ok(())
+    }
+}
+
+/// Internal watchdog state (see [`Simulator::enable_watchdog`]).
+#[derive(Debug)]
+struct Watchdog {
+    interval: SimDuration,
+    next_check: SimTime,
+    watched: Vec<AgentId>,
+    /// Progress at the previous check, per watched agent; `None` when the
+    /// agent was not in flight then (no stall comparison across idle spans).
+    last: Vec<Option<u64>>,
+    report: Option<StallReport>,
 }
 
 /// The simulator: links + agents + event loop.
 pub struct Simulator {
     world: World,
     agents: Vec<Option<Box<dyn Agent>>>,
+    watchdog: Option<Watchdog>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -233,7 +368,7 @@ impl std::fmt::Debug for Simulator {
 impl Simulator {
     /// Creates an empty simulator with the given RNG seed.
     pub fn new(seed: u64) -> Self {
-        Simulator { world: World::new(seed), agents: Vec::new() }
+        Simulator { world: World::new(seed), agents: Vec::new(), watchdog: None }
     }
 
     /// Registers a link and returns its id.
@@ -311,9 +446,98 @@ impl Simulator {
         self.agents[agent] = Some(a);
     }
 
+    /// Enables the stall watchdog: every `interval` of simulated time, each
+    /// agent registered with [`Simulator::watch`] is checked for forward
+    /// progress. If any watched, in-flight agent's [`Watched::progress`] did
+    /// not advance over a whole interval, run loops abort and
+    /// [`Simulator::stall_report`] describes the stall. Pick an interval
+    /// comfortably longer than the worst legitimate silence (backed-off RTOs,
+    /// scripted blackouts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn enable_watchdog(&mut self, interval: SimDuration) {
+        assert!(interval > SimDuration::ZERO, "watchdog interval must be positive");
+        self.watchdog = Some(Watchdog {
+            interval,
+            next_check: self.world.now + interval,
+            watched: Vec::new(),
+            last: Vec::new(),
+            report: None,
+        });
+    }
+
+    /// Registers `agent` with the stall watchdog. The agent must implement
+    /// [`Agent::watched`]; unmonitorable agents are ignored at check time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the watchdog is not enabled.
+    pub fn watch(&mut self, agent: AgentId) {
+        let wd = self.watchdog.as_mut().expect("enable_watchdog before watch");
+        wd.watched.push(agent);
+        wd.last.push(None);
+    }
+
+    /// The stall report, if the watchdog has fired.
+    pub fn stall_report(&self) -> Option<&StallReport> {
+        self.watchdog.as_ref().and_then(|wd| wd.report.as_ref())
+    }
+
+    /// Whether the watchdog has fired (run loops refuse to continue).
+    pub fn stalled(&self) -> bool {
+        self.stall_report().is_some()
+    }
+
+    /// Runs one watchdog check at the current clock. Declares a stall when a
+    /// watched agent was in flight at both this check and the previous one
+    /// without its progress counter moving.
+    fn watchdog_check(&mut self) {
+        let Some(wd) = &mut self.watchdog else { return };
+        let mut stalled = Vec::new();
+        for (i, &id) in wd.watched.iter().enumerate() {
+            let snapshot = self.agents[id]
+                .as_ref()
+                .and_then(|a| a.watched())
+                .map(|w| (w.progress(), w.in_flight(), w.diagnostics()));
+            let Some((progress, in_flight, diagnostics)) = snapshot else {
+                wd.last[i] = None;
+                continue;
+            };
+            if in_flight && wd.last[i] == Some(progress) {
+                stalled.push(StalledFlow { agent: id, progress, diagnostics });
+            }
+            wd.last[i] = in_flight.then_some(progress);
+        }
+        if !stalled.is_empty() {
+            wd.report = Some(StallReport { at: self.world.now, stalled });
+        }
+    }
+
     /// Processes the next event, if any. Returns `false` when the queue is
-    /// empty.
+    /// empty or the stall watchdog has fired.
     pub fn step(&mut self) -> bool {
+        // Run any watchdog checks due before the next event, at their own
+        // simulated times. Agent state only changes at events, so checking on
+        // these boundaries observes exactly what a timer-driven check would.
+        while let Some(check_at) = self.watchdog.as_ref().and_then(|wd| {
+            let due_before_event = match self.world.queue.peek_time() {
+                Some(t) => wd.next_check <= t,
+                None => false,
+            };
+            (wd.report.is_none() && due_before_event).then_some(wd.next_check)
+        }) {
+            if check_at > self.world.now {
+                self.world.now = check_at;
+            }
+            self.watchdog_check();
+            let wd = self.watchdog.as_mut().expect("watchdog vanished mid-check");
+            wd.next_check = check_at + wd.interval;
+        }
+        if self.stalled() {
+            return false;
+        }
         let Some(ev) = self.world.queue.pop() else { return false };
         debug_assert!(ev.at >= self.world.now, "event queue went backwards");
         self.world.now = ev.at;
@@ -338,17 +562,19 @@ impl Simulator {
         true
     }
 
-    /// Runs until the event queue is exhausted or `deadline` is reached,
-    /// whichever comes first. The clock ends at exactly `deadline` if it was
-    /// reached.
+    /// Runs until the event queue is exhausted, `deadline` is reached, or the
+    /// stall watchdog fires, whichever comes first. The clock ends at exactly
+    /// `deadline` if it was reached; on a stall it stays at detection time.
     pub fn run_until(&mut self, deadline: SimTime) {
         while let Some(t) = self.world.queue.peek_time() {
             if t > deadline {
                 break;
             }
-            self.step();
+            if !self.step() {
+                break;
+            }
         }
-        if self.world.now < deadline {
+        if self.world.now < deadline && !self.stalled() {
             self.world.now = deadline;
         }
     }
@@ -359,7 +585,8 @@ impl Simulator {
         self.run_until(deadline);
     }
 
-    /// Runs until no events remain (only safe for workloads that terminate).
+    /// Runs until no events remain or the stall watchdog fires (only safe for
+    /// workloads that terminate).
     pub fn run_to_completion(&mut self) {
         while self.step() {}
     }
@@ -484,6 +711,163 @@ mod tests {
         // 1 in service + 1 queued survive; 3 dropped.
         assert_eq!(sim.world().dropped_pkts, 3);
         assert_eq!(sim.agent::<Sink>(sink).received.len(), 2);
+    }
+
+    #[test]
+    fn iid_loss_drops_packets_and_counts_them() {
+        use crate::faults::LossModel;
+        let mut sim = Simulator::new(11);
+        let l = sim.add_link(LinkConfig::new(10_000_000, SimDuration::ZERO));
+        sim.world_mut().link_mut(l).impairment_mut().set_loss(LossModel::iid(0.5));
+        let sink = sim.add_agent(Box::new(Sink::new()));
+        let route = Route::new(vec![l], sink);
+        for _ in 0..200 {
+            sim.world_mut().send_packet(sink, route.clone(), 100, Payload::Raw);
+        }
+        sim.run_to_completion();
+        let lost = sim.world().random_losses;
+        let got = sim.agent::<Sink>(sink).received.len() as u64;
+        assert_eq!(lost + got, 200);
+        assert_eq!(sim.world().link(l).stats().random_losses, lost);
+        assert!((50..150).contains(&lost), "p=0.5 lost {lost}/200");
+        // Random losses are not DropTail drops.
+        assert_eq!(sim.world().dropped_pkts, 0);
+    }
+
+    #[test]
+    fn link_down_drains_queue_and_blocks_offers() {
+        let mut sim = Simulator::new(1);
+        let l = sim.add_link(LinkConfig::new(1_000_000, SimDuration::ZERO));
+        let sink = sim.add_agent(Box::new(Sink::new()));
+        let route = Route::new(vec![l], sink);
+        // One in service + three queued.
+        for _ in 0..4 {
+            sim.world_mut().send_packet(sink, route.clone(), 1250, Payload::Raw);
+        }
+        sim.world_mut().set_link_up(l, false);
+        assert_eq!(sim.world().blackout_drops, 3, "queue drained on going down");
+        // Offers while down are swallowed.
+        sim.world_mut().send_packet(sink, route.clone(), 1250, Payload::Raw);
+        assert_eq!(sim.world().blackout_drops, 4);
+        sim.run_to_completion();
+        // Only the packet already in service got through.
+        assert_eq!(sim.agent::<Sink>(sink).received.len(), 1);
+        sim.world_mut().set_link_up(l, true);
+        sim.world_mut().send_packet(sink, route, 1250, Payload::Raw);
+        sim.run_to_completion();
+        assert_eq!(sim.agent::<Sink>(sink).received.len(), 2);
+        assert_eq!(sim.world().link(l).stats().blackout_drops, 4);
+    }
+
+    #[test]
+    fn fault_script_applies_events_in_time_order() {
+        use crate::faults::{FaultAction, FaultScript};
+        let mut sim = Simulator::new(1);
+        let l = sim.add_link(LinkConfig::new(1_000_000, SimDuration::ZERO));
+        // Deliberately inserted out of order.
+        FaultScript::new()
+            .at(SimTime::from_secs_f64(2.0), FaultAction::SetBandwidth { link: l, bps: 3_000_000 })
+            .at(SimTime::from_secs_f64(1.0), FaultAction::SetBandwidth { link: l, bps: 2_000_000 })
+            .blackout(l, SimTime::from_secs_f64(3.0), SimTime::from_secs_f64(4.0))
+            .install(&mut sim);
+        sim.run_until(SimTime::from_secs_f64(1.5));
+        assert_eq!(sim.world().link(l).config().bandwidth_bps, 2_000_000);
+        sim.run_until(SimTime::from_secs_f64(2.5));
+        assert_eq!(sim.world().link(l).config().bandwidth_bps, 3_000_000);
+        sim.run_until(SimTime::from_secs_f64(3.5));
+        assert!(!sim.world().link(l).is_up());
+        sim.run_until(SimTime::from_secs_f64(4.5));
+        assert!(sim.world().link(l).is_up());
+    }
+
+    /// An agent that keeps rescheduling a timer but never makes progress.
+    struct Livelock {
+        progress: u64,
+    }
+
+    impl Agent for Livelock {
+        fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+        fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+            ctx.schedule_in(SimDuration::from_millis(100), token);
+        }
+        fn watched(&self) -> Option<&dyn Watched> {
+            Some(self)
+        }
+    }
+
+    impl Watched for Livelock {
+        fn progress(&self) -> u64 {
+            self.progress
+        }
+        fn in_flight(&self) -> bool {
+            true
+        }
+        fn diagnostics(&self) -> String {
+            "livelocked test agent".into()
+        }
+    }
+
+    #[test]
+    fn watchdog_aborts_livelocked_run_with_report() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_agent(Box::new(Livelock { progress: 0 }));
+        sim.enable_watchdog(SimDuration::from_secs_f64(1.0));
+        sim.watch(a);
+        sim.kick(a, SimDuration::from_millis(100), 0);
+        // Without the watchdog this would loop for the full horizon.
+        sim.run_until(SimTime::from_secs_f64(1_000_000.0));
+        let report = sim.stall_report().expect("watchdog must fire");
+        // First check (t=1s) primes the baseline; second (t=2s) detects.
+        assert_eq!(report.at, SimTime::from_secs_f64(2.0));
+        assert_eq!(report.stalled.len(), 1);
+        assert_eq!(report.stalled[0].agent, a);
+        assert!(report.to_string().contains("livelocked test agent"));
+        assert!(sim.now() < SimTime::from_secs_f64(3.0), "run aborted at detection");
+    }
+
+    #[test]
+    fn watchdog_stays_quiet_for_progressing_flows() {
+        // A sender that drips packets to a sink forever: progress advances
+        // every interval, so the watchdog must never fire.
+        struct Dripper {
+            sent: u64,
+            route: Arc<Route>,
+        }
+        impl Agent for Dripper {
+            fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {}
+            fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+                self.sent += 1;
+                ctx.send(self.route.clone(), 100, Payload::Raw);
+                if self.sent < 50 {
+                    ctx.schedule_in(SimDuration::from_millis(500), token);
+                }
+            }
+            fn watched(&self) -> Option<&dyn Watched> {
+                Some(self)
+            }
+        }
+        impl Watched for Dripper {
+            fn progress(&self) -> u64 {
+                self.sent
+            }
+            fn in_flight(&self) -> bool {
+                self.sent < 50
+            }
+            fn diagnostics(&self) -> String {
+                format!("sent={}", self.sent)
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let l = sim.add_link(LinkConfig::new(1_000_000, SimDuration::ZERO));
+        let sink = sim.add_agent(Box::new(Sink::new()));
+        let route = Route::new(vec![l], sink);
+        let d = sim.add_agent(Box::new(Dripper { sent: 0, route }));
+        sim.enable_watchdog(SimDuration::from_secs_f64(2.0));
+        sim.watch(d);
+        sim.kick(d, SimDuration::ZERO, 0);
+        sim.run_until(SimTime::from_secs_f64(60.0));
+        assert!(sim.stall_report().is_none());
+        assert_eq!(sim.agent::<Sink>(sink).received.len(), 50);
     }
 
     #[test]

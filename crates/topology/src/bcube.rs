@@ -120,7 +120,13 @@ impl BCube {
     }
 
     /// Samples `n` paths for a connection's subflows.
-    pub fn sample_paths<R: Rng>(&self, src: usize, dst: usize, n: usize, rng: &mut R) -> Vec<PathSpec> {
+    pub fn sample_paths<R: Rng>(
+        &self,
+        src: usize,
+        dst: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<PathSpec> {
         let mut all = self.paths(src, dst);
         all.shuffle(rng);
         if n <= all.len() {
@@ -129,7 +135,7 @@ impl BCube {
         } else {
             let mut out = Vec::with_capacity(n);
             while out.len() < n {
-                out.extend(all.iter().cloned().take(n - out.len()));
+                out.extend(all.iter().take(n - out.len()).cloned());
             }
             out
         }
@@ -138,10 +144,7 @@ impl BCube {
     /// Which host NIC (interface) each of `paths(src, dst)`'s entries leaves
     /// through — the energy model's subflow → interface mapping.
     pub fn first_nic_of_path(&self, src: usize, spec: &PathSpec) -> usize {
-        self.nic_up[src]
-            .iter()
-            .position(|&l| l == spec.fwd[0])
-            .expect("path does not start at src")
+        self.nic_up[src].iter().position(|&l| l == spec.fwd[0]).expect("path does not start at src")
     }
 }
 

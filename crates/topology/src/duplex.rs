@@ -35,8 +35,7 @@ impl LinkParams {
 
     /// Converts to a simulator link configuration.
     pub fn to_config(self) -> LinkConfig {
-        let mut cfg = LinkConfig::new(self.bandwidth_bps, self.delay)
-            .queue_limit(self.queue_pkts);
+        let mut cfg = LinkConfig::new(self.bandwidth_bps, self.delay).queue_limit(self.queue_pkts);
         if let Some(k) = self.ecn_threshold {
             cfg = cfg.ecn_threshold(k);
         }

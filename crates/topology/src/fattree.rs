@@ -39,7 +39,7 @@ impl FatTree {
     ///
     /// Panics if `k` is odd or less than 2.
     pub fn build(sim: &mut Simulator, k: usize, params: LinkParams) -> Self {
-        assert!(k >= 2 && k % 2 == 0, "FatTree arity must be even, got {k}");
+        assert!(k >= 2 && k.is_multiple_of(2), "FatTree arity must be even, got {k}");
         let half = k / 2;
         let hosts = k * k * k / 4;
         let n_edge = k * half;
@@ -134,7 +134,13 @@ impl FatTree {
 
     /// Samples `n` paths for a connection's subflows (without replacement
     /// while possible, as htsim's random path selection does).
-    pub fn sample_paths<R: Rng>(&self, src: usize, dst: usize, n: usize, rng: &mut R) -> Vec<PathSpec> {
+    pub fn sample_paths<R: Rng>(
+        &self,
+        src: usize,
+        dst: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<PathSpec> {
         let mut all = self.paths(src, dst);
         all.shuffle(rng);
         if n <= all.len() {
@@ -143,7 +149,7 @@ impl FatTree {
         } else {
             let mut out = Vec::with_capacity(n);
             while out.len() < n {
-                out.extend(all.iter().cloned().take(n - out.len()));
+                out.extend(all.iter().take(n - out.len()).cloned());
             }
             out
         }

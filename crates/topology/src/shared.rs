@@ -33,7 +33,7 @@ impl SharedBottleneck {
     /// The `i`-th TCP user's single path, alternating between bottlenecks so
     /// 2N TCP users place N on each.
     pub fn tcp_path(&self, i: usize) -> Vec<PathSpec> {
-        let b = if i % 2 == 0 { self.b1 } else { self.b2 };
+        let b = if i.is_multiple_of(2) { self.b1 } else { self.b2 };
         vec![PathSpec::new(vec![b.fwd], vec![b.rev])]
     }
 }

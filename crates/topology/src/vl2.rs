@@ -60,26 +60,21 @@ impl Vl2 {
         let sw = |sim: &mut Simulator| sim.add_link(cfg.switch_link.to_config());
         let t2a = (0..cfg.n_tor).map(|_| [sw(sim), sw(sim)]).collect();
         let a2t = (0..cfg.n_tor).map(|_| [sw(sim), sw(sim)]).collect();
-        let a2i =
-            (0..cfg.n_agg).map(|_| (0..cfg.n_int).map(|_| sw(sim)).collect()).collect();
-        let i2a =
-            (0..cfg.n_agg).map(|_| (0..cfg.n_int).map(|_| sw(sim)).collect()).collect();
+        let a2i = (0..cfg.n_agg).map(|_| (0..cfg.n_int).map(|_| sw(sim)).collect()).collect();
+        let i2a = (0..cfg.n_agg).map(|_| (0..cfg.n_int).map(|_| sw(sim)).collect()).collect();
         Vl2 { cfg, host_up, host_down, t2a, a2t, a2i, i2a }
     }
 
     /// The paper-scale instance: 128 hosts (16 ToRs × 8), 8 aggregation and
     /// 4 intermediate switches, 100 Mb/s host links, 1 Gb/s switch links.
-    pub fn paper_scale(sim: &mut Simulator, host_link: LinkParams, switch_link: LinkParams) -> Self {
+    pub fn paper_scale(
+        sim: &mut Simulator,
+        host_link: LinkParams,
+        switch_link: LinkParams,
+    ) -> Self {
         Vl2::build(
             sim,
-            Vl2Config {
-                n_tor: 16,
-                n_agg: 8,
-                n_int: 4,
-                hosts_per_tor: 8,
-                host_link,
-                switch_link,
-            },
+            Vl2Config { n_tor: 16, n_agg: 8, n_int: 4, hosts_per_tor: 8, host_link, switch_link },
         )
     }
 
@@ -132,7 +127,13 @@ impl Vl2 {
     }
 
     /// Samples `n` paths for a connection's subflows.
-    pub fn sample_paths<R: Rng>(&self, src: usize, dst: usize, n: usize, rng: &mut R) -> Vec<PathSpec> {
+    pub fn sample_paths<R: Rng>(
+        &self,
+        src: usize,
+        dst: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Vec<PathSpec> {
         let mut all = self.paths(src, dst);
         all.shuffle(rng);
         if n <= all.len() {
@@ -141,7 +142,7 @@ impl Vl2 {
         } else {
             let mut out = Vec::with_capacity(n);
             while out.len() < n {
-                out.extend(all.iter().cloned().take(n - out.len()));
+                out.extend(all.iter().take(n - out.len()).cloned());
             }
             out
         }

@@ -58,6 +58,13 @@ pub struct FlowConfig {
     /// re-send the blocking segment on a faster subflow and halve the
     /// blocker's window). Off by default; see `tests/reinjection.rs`.
     pub reinjection: bool,
+    /// Declare a subflow *dead* after this many consecutive RTO backoffs
+    /// without forward progress: its stranded data is reinjected onto live
+    /// subflows, the scheduler skips it, and low-rate probes watch for
+    /// revival (restored in slow start). `None` disables failover. The
+    /// default, 6, needs roughly `63 × RTO` of total silence — only true
+    /// path failures qualify.
+    pub dead_after_backoffs: Option<u32>,
 }
 
 impl FlowConfig {
@@ -74,6 +81,7 @@ impl FlowConfig {
             sample_every: SimDuration::from_millis(10),
             scheduler: Scheduler::LowestSrtt,
             reinjection: false,
+            dead_after_backoffs: Some(6),
         }
     }
 
@@ -130,6 +138,13 @@ impl FlowConfig {
     /// Enables opportunistic reinjection + penalization.
     pub fn reinjection(mut self, on: bool) -> Self {
         self.reinjection = on;
+        self
+    }
+
+    /// Sets the consecutive-RTO-backoff threshold for declaring a subflow
+    /// dead (`None` disables dead-subflow failover).
+    pub fn dead_after_backoffs(mut self, k: Option<u32>) -> Self {
+        self.dead_after_backoffs = k;
         self
     }
 }

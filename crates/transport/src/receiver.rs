@@ -183,7 +183,7 @@ mod tests {
     fn connection_level_reorders_across_subflows() {
         let mut r = recv();
         r.add_path(Route::direct(0)); // second subflow
-        // Data 0 on subflow 1, data 1 on subflow 0: both in subflow order.
+                                      // Data 0 on subflow 1, data 1 on subflow 0: both in subflow order.
         r.accept_data(1, 0, 1, SimTime::ZERO);
         assert_eq!(r.data_delivered(), 0); // waiting for data 0
         r.accept_data(0, 0, 0, SimTime::ZERO);

@@ -17,12 +17,7 @@ pub struct RttEstimator {
 impl RttEstimator {
     /// Creates an estimator with the given RTO floor. The ceiling is 60 s.
     pub fn new(min_rto: SimDuration) -> Self {
-        RttEstimator {
-            srtt: None,
-            rttvar: 0.0,
-            min_rto,
-            max_rto: SimDuration::from_secs(60),
-        }
+        RttEstimator { srtt: None, rttvar: 0.0, min_rto, max_rto: SimDuration::from_secs(60) }
     }
 
     /// Feeds an RTT sample (seconds).

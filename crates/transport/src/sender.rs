@@ -18,8 +18,8 @@ use crate::config::{FlowConfig, Scheduler};
 use crate::rtt::RttEstimator;
 use crate::sample::{FlowSample, SubflowSample};
 use congestion::{MultipathCongestionControl, SubflowCc};
-use netsim::{Agent, Ctx, Packet, Payload, Route, SimTime};
-use std::collections::BTreeMap;
+use netsim::{Agent, Ctx, Packet, Payload, Route, SimTime, Watched};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Timer token: start the connection.
@@ -72,6 +72,9 @@ pub struct SubflowState {
     rtt: RttEstimator,
     rto_gen: u64,
     backoff: u32,
+    /// Declared dead after `FlowConfig::dead_after_backoffs` consecutive RTO
+    /// backoffs; only revival probes are sent until the path answers again.
+    dead: bool,
     /// Scoreboard: subflow sequence → segment state.
     segs: BTreeMap<u64, Seg>,
     /// Counters.
@@ -86,6 +89,12 @@ pub struct SubflowState {
     pub recoveries: u64,
     /// Times this subflow was penalized for head-of-line blocking.
     pub penalties: u64,
+    /// Times this subflow was declared dead.
+    pub deaths: u64,
+    /// Times this subflow came back from the dead.
+    pub revivals: u64,
+    /// Revival probes sent while dead.
+    pub probes: u64,
     /// Last penalization instant (penalize at most once per SRTT).
     last_penalty: SimTime,
     sample_prev_acked: u64,
@@ -106,6 +115,7 @@ impl SubflowState {
             rtt: RttEstimator::new(cfg.min_rto),
             rto_gen: 0,
             backoff: 0,
+            dead: false,
             segs: BTreeMap::new(),
             tx_pkts: 0,
             rexmits: 0,
@@ -113,9 +123,17 @@ impl SubflowState {
             acked_pkts: 0,
             recoveries: 0,
             penalties: 0,
+            deaths: 0,
+            revivals: 0,
+            probes: 0,
             last_penalty: SimTime::ZERO,
             sample_prev_acked: 0,
         }
+    }
+
+    /// Whether this subflow is currently declared dead.
+    pub fn is_dead(&self) -> bool {
+        self.dead
     }
 
     /// Whether any data is outstanding.
@@ -225,6 +243,11 @@ pub struct MptcpSender {
     last_reinject: Option<u64>,
     /// Connection-level reinjection count.
     pub reinjections: u64,
+    /// Data sequences stranded on dead subflows, awaiting reinjection onto
+    /// live ones (each hole queued at most once).
+    reinject_queue: VecDeque<u64>,
+    /// Segments reinjected because their subflow died.
+    pub failover_reinjections: u64,
 }
 
 impl std::fmt::Debug for MptcpSender {
@@ -259,6 +282,8 @@ impl MptcpSender {
             rr_next: 0,
             last_reinject: None,
             reinjections: 0,
+            reinject_queue: VecDeque::new(),
+            failover_reinjections: 0,
         }
     }
 
@@ -377,13 +402,8 @@ impl MptcpSender {
             sf.pipe += 1;
         }
         seg.last_tx = now;
-        let payload = Payload::Data {
-            conn: self.cfg.conn_id,
-            subflow: r as u32,
-            seq,
-            data_seq,
-            retransmit,
-        };
+        let payload =
+            Payload::Data { conn: self.cfg.conn_id, subflow: r as u32, seq, data_seq, retransmit };
         let route = self.subflows[r].route.clone();
         ctx.send(route, self.cfg.mss_bytes, payload);
     }
@@ -404,9 +424,9 @@ impl MptcpSender {
             return;
         }
         let now = ctx.now();
-        // 1. Loss repair per subflow.
+        // 1. Loss repair per subflow (dead subflows only probe; see on_rto).
         for r in 0..self.subflows.len() {
-            if !self.subflows[r].in_recovery {
+            if !self.subflows[r].in_recovery || self.subflows[r].dead {
                 continue;
             }
             let wnd = self.cwnd_floor(r);
@@ -420,7 +440,9 @@ impl MptcpSender {
                 }
             }
         }
-        // 2. New data via the configured packet scheduler.
+        // 2. Failover: re-send data stranded on dead subflows over live ones.
+        self.drain_reinject_queue(ctx);
+        // 3. New data via the configured packet scheduler.
         loop {
             let outstanding = self.data_next - self.data_acked;
             if outstanding >= self.conn_window_limit() {
@@ -539,6 +561,95 @@ impl MptcpSender {
         }
     }
 
+    /// The lowest-SRTT live subflow with pipe space, if any.
+    fn live_subflow_with_space(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for r in 0..self.subflows.len() {
+            if self.subflows[r].dead || !self.cc_states[r].active {
+                continue;
+            }
+            if self.subflows[r].pipe >= self.cwnd_floor(r) {
+                continue;
+            }
+            let srtt = self.subflows[r].rtt.srtt().unwrap_or(f64::MAX);
+            match best {
+                Some((_, s)) if s <= srtt => {}
+                _ => best = Some((r, srtt)),
+            }
+        }
+        best.map(|(r, _)| r)
+    }
+
+    /// Re-sends data sequences stranded on dead subflows over live ones, as
+    /// window space allows. Each hole leaves the queue exactly once; holes
+    /// the connection has meanwhile acknowledged are discarded.
+    fn drain_reinject_queue(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        while let Some(&data_seq) = self.reinject_queue.front() {
+            if data_seq < self.data_acked {
+                self.reinject_queue.pop_front();
+                continue;
+            }
+            let Some(r) = self.live_subflow_with_space() else { return };
+            self.reinject_queue.pop_front();
+            let seq = self.subflows[r].snd_nxt;
+            self.subflows[r].segs.insert(
+                seq,
+                Seg { data_seq, delivered: false, in_pipe: false, rexmits: 0, last_tx: now },
+            );
+            self.subflows[r].snd_nxt += 1;
+            self.transmit(r, seq, false, ctx);
+            self.arm_rto(r, ctx);
+            self.failover_reinjections += 1;
+        }
+    }
+
+    /// Declares subflow `r` dead: the scheduler skips it, every undelivered
+    /// data sequence it holds is queued for reinjection onto live subflows,
+    /// and its subsequent RTOs send only revival probes.
+    fn mark_dead(&mut self, r: usize) {
+        let data_acked = self.data_acked;
+        {
+            let sf = &mut self.subflows[r];
+            sf.dead = true;
+            sf.deaths += 1;
+        }
+        self.cc_states[r].active = false;
+        let mut stranded: Vec<u64> = self.subflows[r]
+            .segs
+            .values()
+            .filter(|seg| !seg.delivered && seg.data_seq >= data_acked)
+            .map(|seg| seg.data_seq)
+            .collect();
+        stranded.sort_unstable();
+        stranded.dedup();
+        for d in stranded {
+            if !self.reinject_queue.contains(&d) {
+                self.reinject_queue.push_back(d);
+            }
+        }
+    }
+
+    /// Revives subflow `r` after a probe was acknowledged: fresh RTT
+    /// estimator, fresh congestion state (slow start), and recovery armed so
+    /// the subflow-level backlog retransmits under the new window.
+    fn revive(&mut self, r: usize) {
+        let min_rto = self.cfg.min_rto;
+        let sf = &mut self.subflows[r];
+        sf.dead = false;
+        sf.revivals += 1;
+        sf.backoff = 0;
+        sf.rtt = RttEstimator::new(min_rto);
+        sf.in_recovery = true;
+        sf.recover = sf.snd_nxt;
+        sf.rexmit_cursor = sf.snd_una;
+        sf.sack_high = sf.sack_high.max(sf.snd_nxt);
+        sf.loss_scan = sf.snd_una;
+        let mut st = SubflowCc::new();
+        st.cwnd = self.cfg.initial_cwnd;
+        self.cc_states[r] = st;
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn on_ack(
         &mut self,
@@ -557,6 +668,13 @@ impl MptcpSender {
         }
         self.peer_rwnd = rwnd_pkts.max(1);
         self.data_acked = self.data_acked.max(data_ack);
+
+        // A dead subflow whose probe moved the cumulative ACK is reachable
+        // again: revive it (slow start, fresh RTT state) before this ACK's
+        // sample feeds the estimators.
+        if self.subflows[r].dead && cum_ack > self.subflows[r].snd_una {
+            self.revive(r);
+        }
 
         // RTT sample from the receiver's echo of the segment timestamp:
         // immune to retransmission ambiguity (Karn's rule).
@@ -623,6 +741,16 @@ impl MptcpSender {
         if gen != sf.rto_gen & 0xffff_ffff || !sf.has_outstanding() || self.finished_at.is_some() {
             return; // stale timer
         }
+        if sf.dead {
+            // Revival probe: retransmit the head at the frozen backed-off
+            // RTO. An answering ACK revives the subflow (see on_ack); the
+            // congestion response does not fire again for a dead path.
+            self.subflows[r].probes += 1;
+            let head = self.subflows[r].snd_una;
+            self.transmit(r, head, true, ctx);
+            self.arm_rto(r, ctx);
+            return;
+        }
         {
             let sf = &mut self.subflows[r];
             sf.timeouts += 1;
@@ -646,6 +774,16 @@ impl MptcpSender {
         self.transmit(r, head, true, ctx);
         self.subflows[r].rexmit_cursor = head + 1;
         self.arm_rto(r, ctx);
+        // Graceful degradation: enough consecutive backoffs without forward
+        // progress and the subflow is declared dead — its stranded data moves
+        // to live subflows right away (the head retransmit above doubles as
+        // the first revival probe).
+        if let Some(k) = self.cfg.dead_after_backoffs {
+            if self.subflows[r].backoff >= k {
+                self.mark_dead(r);
+                self.pump(ctx);
+            }
+        }
     }
 
     fn record_sample(&mut self, now: SimTime) {
@@ -676,7 +814,51 @@ impl MptcpSender {
     }
 }
 
+impl Watched for MptcpSender {
+    fn progress(&self) -> u64 {
+        self.data_acked
+    }
+
+    fn in_flight(&self) -> bool {
+        self.started_at.is_some() && self.finished_at.is_none()
+    }
+
+    fn diagnostics(&self) -> String {
+        let subflows = self
+            .subflows
+            .iter()
+            .zip(&self.cc_states)
+            .enumerate()
+            .map(|(i, (sf, st))| {
+                format!(
+                    "sf{i}[{}cwnd={:.1} pipe={} una={} nxt={} backoff={} rto={:.3}s]",
+                    if sf.dead { "DEAD " } else { "" },
+                    st.cwnd,
+                    sf.pipe,
+                    sf.snd_una,
+                    sf.snd_nxt,
+                    sf.backoff,
+                    sf.rtt.rto_backed_off(sf.backoff).as_secs_f64(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!(
+            "conn {} cc={} acked={}/{} {}",
+            self.cfg.conn_id,
+            self.cc.name(),
+            self.data_acked,
+            self.cfg.total_pkts.map_or_else(|| "∞".into(), |t| t.to_string()),
+            subflows
+        )
+    }
+}
+
 impl Agent for MptcpSender {
+    fn watched(&self) -> Option<&dyn Watched> {
+        Some(self)
+    }
+
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
         if let Payload::Ack {
             conn,
@@ -721,11 +903,9 @@ impl Agent for MptcpSender {
                 self.pump(ctx);
                 ctx.schedule_in(self.cfg.sample_every, TK_SAMPLE);
             }
-        } else if token == TK_SAMPLE {
-            if self.finished_at.is_none() {
-                self.record_sample(ctx.now());
-                ctx.schedule_in(self.cfg.sample_every, TK_SAMPLE);
-            }
+        } else if token == TK_SAMPLE && self.finished_at.is_none() {
+            self.record_sample(ctx.now());
+            ctx.schedule_in(self.cfg.sample_every, TK_SAMPLE);
         }
     }
 }

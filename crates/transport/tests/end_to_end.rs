@@ -39,10 +39,7 @@ fn bulk_transfer_completes_and_uses_most_of_the_link() {
     let (sim, flow) = run_single_path(2_000_000, 10_000_000, 10, 100, 30.0);
     assert!(flow.is_finished(&sim), "transfer did not finish");
     let goodput = flow.goodput_bps(&sim);
-    assert!(
-        goodput > 0.6 * 10_000_000.0,
-        "goodput {goodput} too far below line rate"
-    );
+    assert!(goodput > 0.6 * 10_000_000.0, "goodput {goodput} too far below line rate");
     assert!(goodput <= 10_000_000.0 * 1.01, "goodput {goodput} exceeds line rate");
 }
 
@@ -162,10 +159,7 @@ fn deterministic_across_runs() {
     let (sim1, f1) = run_single_path(500_000, 5_000_000, 10, 20, 30.0);
     let (sim2, f2) = run_single_path(500_000, 5_000_000, 10, 20, 30.0);
     assert_eq!(f1.finish_time(&sim1), f2.finish_time(&sim2));
-    assert_eq!(
-        f1.sender_ref(&sim1).total_rexmits(),
-        f2.sender_ref(&sim2).total_rexmits()
-    );
+    assert_eq!(f1.sender_ref(&sim1).total_rexmits(), f2.sender_ref(&sim2).total_rexmits());
 }
 
 #[test]

@@ -23,10 +23,7 @@ fn hol_scenario(reinject: bool, seed: u64) -> (Simulator, FlowHandle) {
             .rcv_buf_pkts(32) // small: HoL blocking bites
             .reinjection(reinject),
         AlgorithmKind::Lia.build(2),
-        &[
-            PathSpec::new(vec![fast_f], vec![fast_r]),
-            PathSpec::new(vec![slow_f], vec![slow_r]),
-        ],
+        &[PathSpec::new(vec![fast_f], vec![fast_r]), PathSpec::new(vec![slow_f], vec![slow_r])],
         SimDuration::ZERO,
     );
     sim.run_until(SimTime::from_secs_f64(300.0));
@@ -39,10 +36,7 @@ fn reinjection_rescues_head_of_line_blocking() {
     let (sim_on, on) = hol_scenario(true, 31);
     assert!(on.is_finished(&sim_on), "transfer with reinjection must finish");
     let t_on = on.finish_time(&sim_on).unwrap().as_secs_f64();
-    let t_off = off
-        .finish_time(&sim_off)
-        .map(|t| t.as_secs_f64())
-        .unwrap_or(f64::INFINITY);
+    let t_off = off.finish_time(&sim_off).map(|t| t.as_secs_f64()).unwrap_or(f64::INFINITY);
     assert!(
         t_on < 0.85 * t_off,
         "reinjection should cut completion time: {t_on:.1}s vs {t_off:.1}s"
@@ -64,10 +58,7 @@ fn reinjection_is_harmless_on_symmetric_paths() {
             &mut sim,
             FlowConfig::new(0).transfer_bytes(4_000_000).reinjection(reinject),
             AlgorithmKind::Lia.build(2),
-            &[
-                PathSpec::new(vec![p1_f], vec![p1_r]),
-                PathSpec::new(vec![p2_f], vec![p2_r]),
-            ],
+            &[PathSpec::new(vec![p1_f], vec![p1_r]), PathSpec::new(vec![p2_f], vec![p2_r])],
             SimDuration::ZERO,
         );
         sim.run_until(SimTime::from_secs_f64(120.0));

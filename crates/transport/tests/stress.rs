@@ -95,8 +95,7 @@ fn ack_loss_on_reverse_path_does_not_stall() {
     // the transfer alive.
     let mut sim = Simulator::new(6);
     let fwd = sim.add_link(LinkConfig::new(20_000_000, SimDuration::from_millis(2)));
-    let rev =
-        sim.add_link(LinkConfig::new(20_000_000, SimDuration::from_millis(2)).queue_limit(2));
+    let rev = sim.add_link(LinkConfig::new(20_000_000, SimDuration::from_millis(2)).queue_limit(2));
     // Congest the reverse path with cross traffic.
     let cross_fwd = rev; // the ACK link doubles as the cross-traffic link
     let (_src, _sink) =

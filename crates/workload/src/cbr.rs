@@ -80,7 +80,8 @@ mod tests {
     fn delayed_start_is_respected() {
         let mut sim = Simulator::new(1);
         let l = sim.add_link(LinkConfig::new(10_000_000, SimDuration::ZERO));
-        let (_src, sink) = attach_cbr(&mut sim, vec![l], 1_000_000, 1250, SimDuration::from_secs(5));
+        let (_src, sink) =
+            attach_cbr(&mut sim, vec![l], 1_000_000, 1250, SimDuration::from_secs(5));
         sim.run_until(SimTime::from_secs_f64(4.0));
         assert_eq!(sim.agent::<Sink>(sink).pkts, 0);
         sim.run_until(SimTime::from_secs_f64(6.0));

@@ -107,12 +107,10 @@ impl Agent for ParetoOnOff {
                     ctx.schedule_in(SimDuration::ZERO, TK_SEND);
                 }
             }
-            TK_SEND => {
-                if self.on {
-                    ctx.send(self.route.clone(), self.cfg.pkt_bytes, Payload::Raw);
-                    self.sent += 1;
-                    ctx.schedule_in(self.interval, TK_SEND);
-                }
+            TK_SEND if self.on => {
+                ctx.send(self.route.clone(), self.cfg.pkt_bytes, Payload::Raw);
+                self.sent += 1;
+                ctx.schedule_in(self.interval, TK_SEND);
             }
             _ => {}
         }
@@ -149,8 +147,7 @@ mod tests {
     fn pareto_sample_mean_converges() {
         let mut rng = SmallRng::seed_from_u64(42);
         let n = 200_000;
-        let mean: f64 =
-            (0..n).map(|_| pareto_sample(&mut rng, 1.5, 5.0)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| pareto_sample(&mut rng, 1.5, 5.0)).sum::<f64>() / n as f64;
         // Heavy-tailed: generous tolerance.
         assert!((mean - 5.0).abs() < 0.8, "empirical mean {mean}");
     }

@@ -102,9 +102,7 @@ mod tests {
         for pair in sched.windows(2) {
             assert!(pair[0].start <= pair[1].start);
         }
-        assert!(sched
-            .iter()
-            .all(|f| f.start.as_secs_f64() < cfg.horizon_s));
+        assert!(sched.iter().all(|f| f.start.as_secs_f64() < cfg.horizon_s));
     }
 
     #[test]

@@ -64,10 +64,7 @@ fn main() {
 
     // Packet-level tournament.
     println!("\nPacket-level: 8 MB over two bursty 100 Mb/s paths:\n");
-    println!(
-        "{:<10} {:>11} {:>9} {:>9} {:>9}",
-        "algo", "energy (J)", "fct (s)", "Mb/s", "rexmits"
-    );
+    println!("{:<10} {:>11} {:>9} {:>9} {:>9}", "algo", "energy (J)", "fct (s)", "Mb/s", "rexmits");
     let opts = BurstyOptions {
         transfer_bytes: Some(8_000_000),
         duration_s: 180.0,

@@ -34,11 +34,7 @@ fn main() {
 
     println!("FatTree(k=4), 2 subflows, algorithm comparison:\n");
     println!("{:<10} {:>12} {:>10} {:>12}", "algo", "energy (J)", "J/Gbit", "agg Mb/s");
-    for cc in [
-        CcChoice::Base(AlgorithmKind::Lia),
-        CcChoice::dts(),
-        CcChoice::dts_phi(),
-    ] {
+    for cc in [CcChoice::Base(AlgorithmKind::Lia), CcChoice::dts(), CcChoice::dts_phi()] {
         let opts = DcOptions { n_subflows: 2, duration_s: 5.0, ..DcOptions::default() };
         let r = run_datacenter(DcKind::FatTree { k: 4 }, &cc, &opts);
         println!(

@@ -17,7 +17,10 @@ const BATTERY_J: f64 = 2300.0 * 3.8 * 3.6;
 
 fn main() {
     let opts = WirelessOptions { duration_s: 120.0, ..WirelessOptions::default() };
-    println!("Uploading for {:.0} s over WiFi (10 Mb/s, 40 ms) + 4G (20 Mb/s, 100 ms)", opts.duration_s);
+    println!(
+        "Uploading for {:.0} s over WiFi (10 Mb/s, 40 ms) + 4G (20 Mb/s, 100 ms)",
+        opts.duration_s
+    );
     println!("with bursty interference on both links.\n");
     println!(
         "{:<10} {:>11} {:>9} {:>14} {:>16}",
@@ -35,11 +38,8 @@ fn main() {
     ] {
         let r = run_wireless(&cc, &opts);
         let delivered_mb = r.goodput_bps * opts.duration_s / 1e6;
-        let j_per_100mb = if delivered_mb > 0.0 {
-            r.energy.joules / delivered_mb * 100.0
-        } else {
-            f64::INFINITY
-        };
+        let j_per_100mb =
+            if delivered_mb > 0.0 { r.energy.joules / delivered_mb * 100.0 } else { f64::INFINITY };
         let pct_10min = r.energy.joules / opts.duration_s * 600.0 / BATTERY_J * 100.0;
         println!(
             "{:<10} {:>11.1} {:>9.2} {:>14.1} {:>15.2}%",

@@ -19,15 +19,10 @@ fn main() {
     };
 
     println!("Moving 8 MB across two bursty paths:\n");
-    println!(
-        "{:<8} {:>12} {:>12} {:>10}",
-        "algo", "energy (J)", "fct (s)", "Mb/s"
-    );
-    for cc in [
-        CcChoice::Base(AlgorithmKind::Lia),
-        CcChoice::Base(AlgorithmKind::Olia),
-        CcChoice::dts(),
-    ] {
+    println!("{:<8} {:>12} {:>12} {:>10}", "algo", "energy (J)", "fct (s)", "Mb/s");
+    for cc in
+        [CcChoice::Base(AlgorithmKind::Lia), CcChoice::Base(AlgorithmKind::Olia), CcChoice::dts()]
+    {
         let r = run_two_path_bursty(&cc, &opts);
         println!(
             "{:<8} {:>12.1} {:>12.1} {:>10.2}",

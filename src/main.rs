@@ -19,10 +19,7 @@ fn parse_cc(s: &str) -> Result<CcChoice, String> {
     match s {
         "dts" => Ok(CcChoice::dts()),
         "dts-phi" => Ok(CcChoice::dts_phi()),
-        other => other
-            .parse::<AlgorithmKind>()
-            .map(CcChoice::Base)
-            .map_err(|e| e.to_string()),
+        other => other.parse::<AlgorithmKind>().map(CcChoice::Base).map_err(|e| e.to_string()),
     }
 }
 
@@ -49,10 +46,7 @@ impl Args {
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        self.flags
-            .iter()
-            .find(|(k, _)| k == key)
-            .and_then(|(_, v)| v.as_deref())
+        self.flags.iter().find(|(k, _)| k == key).and_then(|(_, v)| v.as_deref())
     }
 
     fn has(&self, key: &str) -> bool {
@@ -154,10 +148,9 @@ fn run() -> Result<(), String> {
             let fabric = match args.get("fabric").unwrap_or("fattree") {
                 "fattree" => DcKind::FatTree { k: args.num("k", 4usize)? },
                 "vl2" => DcKind::Vl2 { scale: args.num("scale", 4usize)? },
-                "bcube" => DcKind::BCube {
-                    n: args.num("n", 4usize)?,
-                    k: args.num("levels", 2usize)?,
-                },
+                "bcube" => {
+                    DcKind::BCube { n: args.num("n", 4usize)?, k: args.num("levels", 2usize)? }
+                }
                 other => return Err(format!("unknown fabric `{other}`")),
             };
             let opts = DcOptions {

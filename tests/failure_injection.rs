@@ -4,7 +4,7 @@
 
 use congestion::AlgorithmKind;
 use mptcp_energy::CcChoice;
-use netsim::{SimDuration, SimTime, Simulator};
+use netsim::{FaultAction, FaultScript, SimDuration, SimTime, Simulator};
 use topology::TwoPath;
 use transport::{attach_flow, FlowConfig, FlowHandle, Scheduler};
 
@@ -19,6 +19,18 @@ fn acked_per_path(sim: &Simulator, flow: FlowHandle) -> (u64, u64) {
 fn dts_shifts_away_from_suddenly_slow_path() {
     let mut sim = Simulator::new(21);
     let tp = TwoPath::dual_nic(&mut sim, 50_000_000, SimDuration::from_millis(10));
+    // Degrade path 1 (both directions) at t = 8 s, declaratively.
+    let slow = SimDuration::from_millis(150);
+    FaultScript::new()
+        .at(
+            SimTime::from_secs_f64(8.0),
+            FaultAction::SetPropagation { link: tp.p2.fwd, propagation: slow },
+        )
+        .at(
+            SimTime::from_secs_f64(8.0),
+            FaultAction::SetPropagation { link: tp.p2.rev, propagation: slow },
+        )
+        .install(&mut sim);
     let flow = attach_flow(
         &mut sim,
         FlowConfig::new(0).rcv_buf_pkts(2048),
@@ -31,9 +43,6 @@ fn dts_shifts_away_from_suddenly_slow_path() {
     // Symmetric phase: both paths carry substantial traffic.
     assert!(a1 > a0 / 4, "before degradation: {a0} vs {a1}");
 
-    // Degrade path 1 (both directions).
-    sim.world_mut().link_mut(tp.p2.fwd).set_propagation(SimDuration::from_millis(150));
-    sim.world_mut().link_mut(tp.p2.rev).set_propagation(SimDuration::from_millis(150));
     sim.run_until(SimTime::from_secs_f64(10.0)); // let estimators catch up
     let (b0, b1) = acked_per_path(&sim, flow);
     sim.run_until(SimTime::from_secs_f64(25.0));
@@ -54,6 +63,12 @@ fn dts_shifts_away_from_suddenly_slow_path() {
 fn bandwidth_collapse_does_not_deadlock() {
     let mut sim = Simulator::new(22);
     let tp = TwoPath::dual_nic(&mut sim, 50_000_000, SimDuration::from_millis(10));
+    FaultScript::new()
+        .at(
+            SimTime::from_secs_f64(5.0),
+            FaultAction::SetBandwidth { link: tp.p2.fwd, bps: 5_000_000 },
+        )
+        .install(&mut sim);
     let flow = attach_flow(
         &mut sim,
         FlowConfig::new(0).rcv_buf_pkts(1024),
@@ -62,7 +77,6 @@ fn bandwidth_collapse_does_not_deadlock() {
         SimDuration::ZERO,
     );
     sim.run_until(SimTime::from_secs_f64(5.0));
-    sim.world_mut().link_mut(tp.p2.fwd).set_bandwidth(5_000_000);
     let before = flow.sender_ref(&sim).data_acked();
     sim.run_until(SimTime::from_secs_f64(20.0));
     let after = flow.sender_ref(&sim).data_acked();

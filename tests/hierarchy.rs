@@ -13,11 +13,7 @@ fn opts() -> HierarchyOptions {
 #[test]
 fn backbone_is_the_concentration_point_under_lia() {
     let lia = run_hierarchy(&CcChoice::Base(AlgorithmKind::Lia), &opts());
-    assert!(
-        lia.backbone_utilization > 0.7,
-        "backbone should be hot: {}",
-        lia.backbone_utilization
-    );
+    assert!(lia.backbone_utilization > 0.7, "backbone should be hot: {}", lia.backbone_utilization);
     assert!(
         lia.backbone_mean_queue > 5.0,
         "backbone should be queueing: {}",
@@ -33,8 +29,7 @@ fn phi_drains_the_backbone_queue_without_losing_utilization() {
     // per packet) is visible against 40 ms propagation, and a strong κ so
     // the drain beats the loss-driven refill of an overloaded DropTail
     // queue.
-    let phi_cfg =
-        DtsPhiConfig { kappa: 8e-3, queue_target_s: 2e-3, ..DtsPhiConfig::default() };
+    let phi_cfg = DtsPhiConfig { kappa: 8e-3, queue_target_s: 2e-3, ..DtsPhiConfig::default() };
     let phi = run_hierarchy(&CcChoice::DtsPhi(phi_cfg), &opts());
     assert!(
         phi.backbone_mean_queue < 0.8 * lia.backbone_mean_queue,

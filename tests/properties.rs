@@ -28,8 +28,7 @@ enum Event {
 
 fn event_strategy(n_subflows: usize) -> impl Strategy<Value = Event> {
     prop_oneof![
-        (0..n_subflows, 1u64..4, any::<bool>())
-            .prop_map(|(r, n, ecn)| Event::Ack { r, n, ecn }),
+        (0..n_subflows, 1u64..4, any::<bool>()).prop_map(|(r, n, ecn)| Event::Ack { r, n, ecn }),
         (0..n_subflows).prop_map(|r| Event::Loss { r }),
         (0..n_subflows).prop_map(|r| Event::Timeout { r }),
     ]
@@ -50,7 +49,7 @@ proptest! {
             for (i, &e) in seed_events.iter().enumerate() {
                 let r = (e as usize) % n;
                 match e % 5 {
-                    0 | 1 | 2 => cc.on_ack(r, &mut fs, 1 + (i as u64 % 3), e % 7 == 0),
+                    0..=2 => cc.on_ack(r, &mut fs, 1 + (i as u64 % 3), e % 7 == 0),
                     3 => cc.on_loss(r, &mut fs),
                     _ => cc.on_timeout(r, &mut fs),
                 }

@@ -1,0 +1,200 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! API surface the workspace's benches use — [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`] and
+//! [`black_box`] — backed by a simple warm-up + timed-batch loop that prints
+//! mean per-iteration time. No statistics, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (forwarding to
+/// [`std::hint::black_box`]).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark harness configuration and entry point.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples taken per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: impl ToString, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up: self.warm_up_time,
+            budget: self.measurement_time,
+            samples: self.sample_size,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        let (value, unit) = scale_ns(b.mean_ns);
+        println!("{:<50} time: {value:>9.3} {unit}  ({} iters)", name.to_string(), b.iters);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl ToString) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, prefix: name.to_string() }
+    }
+}
+
+fn scale_ns(ns: f64) -> (f64, &'static str) {
+    if ns >= 1e9 {
+        (ns / 1e9, "s ")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: impl ToString, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name.to_string());
+        self.c.bench_function(full, f);
+        self
+    }
+
+    /// Ends the group (no-op; for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure to drive the timing loop.
+pub struct Bencher {
+    warm_up: Duration,
+    budget: Duration,
+    samples: usize,
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, called repeatedly: a warm-up phase sizes the batch, then
+    /// `sample_size` timed batches run within the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget is spent, counting
+        // iterations to size the timed batches.
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < self.warm_up {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = self.warm_up.as_secs_f64() / warm_iters.max(1) as f64;
+        let per_sample = self.budget.as_secs_f64() / self.samples as f64;
+        let batch = ((per_sample / per_iter).round() as u64).max(1);
+
+        let mut total_ns = 0.0;
+        let mut total_iters = 0u64;
+        let sampling = Instant::now();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_ns += t0.elapsed().as_nanos() as f64;
+            total_iters += batch;
+            if sampling.elapsed() > self.budget * 2 {
+                break; // budget blown (slow target) — report what we have
+            }
+        }
+        self.mean_ns = total_ns / total_iters.max(1) as f64;
+        self.iters = total_iters;
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        group.finish();
+    }
+}
