@@ -7,9 +7,12 @@
 //! Each variant runs the Fig. 5(b) bursty two-path scenario (energy to move
 //! 8 MB) and, for `c`, the fluid-model friendliness ratio.
 //!
-//! Pass --smoke/--quick/--full.
+//! Pass --smoke/--quick/--full and optionally --jobs N (default: available
+//! parallelism, or the SWEEP_JOBS env var). Every variant is an independent
+//! simulation cell, fanned out by the deterministic sweep runner.
 
-use bench_harness::{table, Scale};
+use bench_harness::runner::{run_sweep_jobs, RunSummary, SweepCell};
+use bench_harness::{table, Cli, Scale};
 use mptcp_energy::scenarios::{run_two_path_bursty, BurstyOptions, CcChoice};
 use mptcp_energy::{friendliness_ratio, CcModel, DtsConfig, Psi};
 
@@ -27,29 +30,40 @@ fn run_cfg(cfg: DtsConfig, o: &BurstyOptions) -> (f64, f64, f64) {
     (r.energy.joules, r.finish_s.unwrap_or(f64::NAN), r.goodput_bps / 1e6)
 }
 
+/// Runs one labelled `DtsConfig` variant per cell, in parallel.
+fn sweep_cfgs(
+    variants: Vec<(String, DtsConfig)>,
+    o: &BurstyOptions,
+    jobs: usize,
+) -> Vec<RunSummary<(f64, f64, f64)>> {
+    let cells: Vec<SweepCell<_>> = variants
+        .into_iter()
+        .map(|(label, cfg)| SweepCell::new(label, o.seed, move || run_cfg(cfg, o)))
+        .collect();
+    run_sweep_jobs(cells, jobs)
+}
+
 fn main() {
-    let scale = Scale::from_args();
-    let o = opts(scale);
+    let cli = Cli::from_args();
+    let o = opts(cli.scale);
+    let jobs = cli.jobs();
 
     println!("== sigmoid slope sweep (c = 1, exact exp) ==");
+    let variants = [2.0f64, 5.0, 10.0, 20.0]
+        .map(|slope| (format!("{slope}"), DtsConfig { slope, ..DtsConfig::default() }));
     let mut rows = Vec::new();
-    for slope in [2.0f64, 5.0, 10.0, 20.0] {
-        let cfg = DtsConfig { slope, ..DtsConfig::default() };
-        let (j, fct, mbps) = run_cfg(cfg, &o);
-        rows.push(vec![
-            format!("{slope}"),
-            format!("{j:.1}"),
-            format!("{fct:.1}"),
-            format!("{mbps:.2}"),
-        ]);
+    for r in sweep_cfgs(variants.to_vec(), &o, jobs) {
+        let (j, fct, mbps) = r.output;
+        rows.push(vec![r.label, format!("{j:.1}"), format!("{fct:.1}"), format!("{mbps:.2}")]);
     }
     print!("{}", table(&["slope", "energy (J)", "fct (s)", "Mb/s"], &rows));
 
     println!("\n== Pareto scale c sweep (slope 10) ==");
+    let cs = [0.5f64, 1.0, 1.5, 2.0];
+    let variants = cs.map(|c| (format!("{c}"), DtsConfig { c, ..DtsConfig::default() }));
     let mut rows = Vec::new();
-    for c in [0.5f64, 1.0, 1.5, 2.0] {
-        let cfg = DtsConfig { c, ..DtsConfig::default() };
-        let (j, fct, mbps) = run_cfg(cfg, &o);
+    for (r, c) in sweep_cfgs(variants.to_vec(), &o, jobs).into_iter().zip(cs) {
+        let (j, fct, mbps) = r.output;
         // Fluid friendliness at the design-point ratio: with E[ε] = 1 the
         // aggregate over one shared bottleneck should not exceed one TCP for
         // c ≤ 1 (the paper's fairness argument for c = 1).
@@ -60,7 +74,7 @@ fn main() {
             2,
         );
         rows.push(vec![
-            format!("{c}"),
+            r.label,
             format!("{j:.1}"),
             format!("{fct:.1}"),
             format!("{mbps:.2}"),
@@ -70,16 +84,13 @@ fn main() {
     print!("{}", table(&["c", "energy (J)", "fct (s)", "Mb/s", "fluid friendliness"], &rows));
 
     println!("\n== exact exp vs Algorithm 1 fixed-point Taylor ==");
+    let variants = [("exact", false), ("fixed-point", true)].map(|(name, fixed)| {
+        (name.to_owned(), DtsConfig { fixed_point: fixed, ..DtsConfig::default() })
+    });
     let mut rows = Vec::new();
-    for (name, fixed) in [("exact", false), ("fixed-point", true)] {
-        let cfg = DtsConfig { fixed_point: fixed, ..DtsConfig::default() };
-        let (j, fct, mbps) = run_cfg(cfg, &o);
-        rows.push(vec![
-            name.to_owned(),
-            format!("{j:.1}"),
-            format!("{fct:.1}"),
-            format!("{mbps:.2}"),
-        ]);
+    for r in sweep_cfgs(variants.to_vec(), &o, jobs) {
+        let (j, fct, mbps) = r.output;
+        rows.push(vec![r.label, format!("{j:.1}"), format!("{fct:.1}"), format!("{mbps:.2}")]);
     }
     print!("{}", table(&["epsilon", "energy (J)", "fct (s)", "Mb/s"], &rows));
 }

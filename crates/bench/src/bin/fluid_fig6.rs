@@ -4,9 +4,11 @@
 //! algorithm extracts — and therefore the energy ordering the packet-level
 //! Fig. 6 harness measures (energy ≈ M/τ̄·P, Equation (2)).
 //!
-//! Pass --smoke/--quick/--full (scales N).
+//! Pass --smoke/--quick/--full (scales N) and optionally --jobs N. Each ψ's
+//! equilibrium solve is an independent cell, fanned out by the sweep runner.
 
-use bench_harness::{table, Scale};
+use bench_harness::runner::{run_sweep_jobs, SweepCell};
+use bench_harness::{table, Cli, Scale};
 use mptcp_energy::{CcModel, FluidFlow, FluidLink, FluidNet, FluidPath, Psi};
 
 fn scenario(psi: Psi, n_users: usize) -> (f64, f64) {
@@ -40,21 +42,26 @@ fn scenario(psi: Psi, n_users: usize) -> (f64, f64) {
 }
 
 fn main() {
-    let scale = Scale::from_args();
-    let n_users = match scale {
+    let cli = Cli::from_args();
+    let n_users = match cli.scale {
         Scale::Smoke => 4,
         Scale::Quick => 10,
         Scale::Full => 25,
     };
     let mss_bits = 1500.0 * 8.0;
     let transfer_bits = 16.0 * 1024.0 * 1024.0 * 8.0;
+    let psis = [Psi::Lia, Psi::Olia, Psi::Balia, Psi::EcMtcp, Psi::Coupled, Psi::Ewtcp];
+    let cells: Vec<SweepCell<_>> = psis
+        .into_iter()
+        .map(|psi| SweepCell::new(psi.name(), 0, move || scenario(psi, n_users)))
+        .collect();
     let mut rows = Vec::new();
-    for psi in [Psi::Lia, Psi::Olia, Psi::Balia, Psi::EcMtcp, Psi::Coupled, Psi::Ewtcp] {
-        let (mptcp, tcp) = scenario(psi, n_users);
+    for r in run_sweep_jobs(cells, cli.jobs()) {
+        let (mptcp, tcp) = r.output;
         // Implied 16 MB transfer time and a simple ∝1/τ̄ energy proxy.
         let seconds = transfer_bits / (mptcp * mss_bits);
         rows.push(vec![
-            psi.name().to_owned(),
+            r.label,
             format!("{mptcp:.0}"),
             format!("{tcp:.0}"),
             format!("{:.3}", mptcp / tcp),

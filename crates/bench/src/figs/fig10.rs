@@ -5,7 +5,8 @@
 //! energy of the single-path baselines (they finish ≈ 4× sooner on 4 ENIs),
 //! and DTS performs like LIA in this benign datacenter network.
 
-use crate::{table, Scale};
+use crate::runner::{run_sweep, SweepCell};
+use crate::{pct_of, table, Scale};
 use congestion::AlgorithmKind;
 use mptcp_energy::scenarios::{run_ec2, CcChoice, Ec2Options};
 
@@ -37,18 +38,20 @@ pub fn run(scale: Scale) -> String {
         CcChoice::Base(AlgorithmKind::Lia),
         CcChoice::dts(),
     ];
+    let cells: Vec<SweepCell<_>> = choices
+        .into_iter()
+        .map(|cc| SweepCell::new(cc.label(), opts.seed, move || run_ec2(&cc, &opts)))
+        .collect();
+    let results = run_sweep(cells);
+    // The single-path TCP row is the savings baseline (first cell).
+    let tcp_energy = results.first().map_or(0.0, |r| r.output.total_energy_j);
     let mut rows = Vec::new();
-    let mut tcp_energy = None;
-    for cc in choices {
-        let r = run_ec2(&cc, &opts);
-        if tcp_energy.is_none() {
-            tcp_energy = Some(r.total_energy_j);
-        }
-        let saving = 100.0 * (tcp_energy.unwrap() - r.total_energy_j) / tcp_energy.unwrap();
+    for r in &results {
+        let r = &r.output;
         rows.push(vec![
             r.label.clone(),
             format!("{:.0}", r.total_energy_j),
-            format!("{saving:.0}%"),
+            pct_of(tcp_energy - r.total_energy_j, tcp_energy, 0),
             crate::mbps(r.aggregate_goodput_bps),
             r.mean_finish_s.map_or("-".to_owned(), |t| format!("{t:.1}")),
             format!("{:.0}%", 100.0 * r.completion_rate),

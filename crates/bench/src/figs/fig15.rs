@@ -4,7 +4,8 @@
 //! Paper shape: the extended algorithm saves up to ≈ 20 % energy in the
 //! hierarchical fabrics.
 
-use crate::{table, Scale};
+use crate::runner::{run_sweep, SweepCell};
+use crate::{pct_of, table, Scale};
 use congestion::AlgorithmKind;
 use mptcp_energy::scenarios::{run_datacenter, CcChoice, DcKind, DcOptions};
 
@@ -24,22 +25,29 @@ pub fn run(scale: Scale) -> String {
     let dc_phi =
         mptcp_energy::DtsPhiConfig { kappa: 1e-3, queue_target_s: 1e-3, ..Default::default() };
     let choices = [CcChoice::Base(AlgorithmKind::Lia), CcChoice::dts(), CcChoice::DtsPhi(dc_phi)];
+    let opts = DcOptions { n_subflows: subflows, duration_s: duration, ..DcOptions::default() };
+    // One cell per (fabric, algorithm); rows group per fabric, with the LIA
+    // row of each fabric as the savings baseline.
+    let cells: Vec<SweepCell<_>> = fabrics
+        .iter()
+        .flat_map(|&fabric| {
+            choices.into_iter().map(move |cc| {
+                SweepCell::new(format!("{}/{}", fabric.name(), cc.label()), opts.seed, move || {
+                    (fabric, run_datacenter(fabric, &cc, &opts))
+                })
+            })
+        })
+        .collect();
     let mut rows = Vec::new();
-    for fabric in &fabrics {
-        let mut lia_energy = None;
-        for cc in choices {
-            let opts =
-                DcOptions { n_subflows: subflows, duration_s: duration, ..DcOptions::default() };
-            let r = run_datacenter(*fabric, &cc, &opts);
-            if lia_energy.is_none() {
-                lia_energy = Some(r.total_energy_j);
-            }
-            let saving = 100.0 * (lia_energy.unwrap() - r.total_energy_j) / lia_energy.unwrap();
+    for group in run_sweep(cells).chunks(choices.len()) {
+        let lia_energy = group.first().map_or(0.0, |r| r.output.1.total_energy_j);
+        for r in group {
+            let (fabric, r) = &r.output;
             rows.push(vec![
                 fabric.name().to_owned(),
                 r.label.clone(),
                 format!("{:.0}", r.total_energy_j),
-                format!("{saving:.1}%"),
+                pct_of(lia_energy - r.total_energy_j, lia_energy, 1),
                 format!("{:.1}", r.joules_per_gbit),
             ]);
         }

@@ -3,7 +3,8 @@
 //! Paper shape: the new algorithm gets as good utilization as LIA in both
 //! fabrics (the energy saving of Fig. 15 is not bought with throughput).
 
-use crate::{table, Scale};
+use crate::runner::{run_sweep, SweepCell};
+use crate::{pct_of, table, Scale};
 use congestion::AlgorithmKind;
 use mptcp_energy::scenarios::{run_datacenter, CcChoice, DcOptions};
 
@@ -11,21 +12,29 @@ use mptcp_energy::scenarios::{run_datacenter, CcChoice, DcOptions};
 pub fn run(scale: Scale) -> String {
     let (fabrics, subflows, duration) = super::fig15::fabric_set(scale);
     let choices = [CcChoice::Base(AlgorithmKind::Lia), CcChoice::dts(), CcChoice::dts_phi()];
+    let opts = DcOptions { n_subflows: subflows, duration_s: duration, ..DcOptions::default() };
+    let cells: Vec<SweepCell<_>> = fabrics
+        .iter()
+        .flat_map(|&fabric| {
+            choices.into_iter().map(move |cc| {
+                SweepCell::new(format!("{}/{}", fabric.name(), cc.label()), opts.seed, move || {
+                    (fabric, run_datacenter(fabric, &cc, &opts))
+                })
+            })
+        })
+        .collect();
     let mut rows = Vec::new();
-    for fabric in &fabrics {
-        let mut lia_tput = None;
-        for cc in choices {
-            let opts =
-                DcOptions { n_subflows: subflows, duration_s: duration, ..DcOptions::default() };
-            let r = run_datacenter(*fabric, &cc, &opts);
-            if lia_tput.is_none() {
-                lia_tput = Some(r.aggregate_goodput_bps);
-            }
+    for group in run_sweep(cells).chunks(choices.len()) {
+        // Each fabric's LIA row is the utilization baseline; a starved LIA
+        // cell renders "-" rather than dividing by zero.
+        let lia_tput = group.first().map_or(0.0, |r| r.output.1.aggregate_goodput_bps);
+        for r in group {
+            let (fabric, r) = &r.output;
             rows.push(vec![
                 fabric.name().to_owned(),
                 r.label.clone(),
                 crate::mbps(r.aggregate_goodput_bps),
-                format!("{:.1}%", 100.0 * r.aggregate_goodput_bps / lia_tput.unwrap()),
+                pct_of(r.aggregate_goodput_bps, lia_tput, 1),
             ]);
         }
     }

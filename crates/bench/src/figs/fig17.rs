@@ -5,7 +5,8 @@
 //! compensative parameter contributing; DTS trades some throughput for that
 //! saving.
 
-use crate::{table, Scale};
+use crate::runner::{run_sweep, SweepCell};
+use crate::{pct_of, table, Scale};
 use congestion::AlgorithmKind;
 use mptcp_energy::scenarios::{run_wireless, CcChoice, WirelessOptions};
 
@@ -22,22 +23,33 @@ pub fn run(scale: Scale) -> String {
     let wireless_phi = mptcp_energy::DtsPhiConfig { kappa: 2e-3, ..Default::default() };
     let choices =
         [CcChoice::Base(AlgorithmKind::Lia), CcChoice::dts(), CcChoice::DtsPhi(wireless_phi)];
+    let cells: Vec<SweepCell<_>> = seeds
+        .iter()
+        .flat_map(|&seed| {
+            choices.into_iter().map(move |cc| {
+                SweepCell::new(format!("{}/{}", seed, cc.label()), seed, move || {
+                    let opts = WirelessOptions {
+                        seed,
+                        duration_s: duration,
+                        ..WirelessOptions::default()
+                    };
+                    run_wireless(&cc, &opts)
+                })
+            })
+        })
+        .collect();
     let mut rows = Vec::new();
-    for &seed in seeds {
-        let mut lia_energy = None;
-        for cc in choices {
-            let opts = WirelessOptions { seed, duration_s: duration, ..WirelessOptions::default() };
-            let r = run_wireless(&cc, &opts);
-            if lia_energy.is_none() {
-                lia_energy = Some(r.energy.joules);
-            }
-            let saving = 100.0 * (lia_energy.unwrap() - r.energy.joules) / lia_energy.unwrap();
+    for group in run_sweep(cells).chunks(choices.len()) {
+        // Each seed's LIA row is the savings baseline; a starved LIA cell
+        // (wireless loss can kill a subflow) renders "-" instead of NaN.
+        let lia_energy = group.first().map_or(0.0, |r| r.output.energy.joules);
+        for r in group {
             rows.push(vec![
-                seed.to_string(),
-                r.label.clone(),
-                format!("{:.1}", r.energy.joules),
-                format!("{saving:.1}%"),
-                crate::mbps(r.goodput_bps),
+                r.seed.to_string(),
+                r.output.label.clone(),
+                format!("{:.1}", r.output.energy.joules),
+                pct_of(lia_energy - r.output.energy.joules, lia_energy, 1),
+                crate::mbps(r.output.goodput_bps),
             ]);
         }
     }

@@ -12,6 +12,7 @@
 //!   machine handles (see EXPERIMENTS.md for the documented scaling).
 
 pub mod figs;
+pub mod runner;
 
 pub use figs::*;
 
@@ -27,22 +28,65 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `--smoke`/`--quick`/`--full` from the process arguments,
-    /// defaulting to `Quick`.
+    /// Parses `--smoke`/`--quick`/`--full` (and a tolerated `--jobs N`) from
+    /// the process arguments, defaulting to `Quick`.
     pub fn from_args() -> Scale {
-        let mut scale = Scale::Quick;
-        for a in std::env::args().skip(1) {
+        Cli::from_args().scale
+    }
+}
+
+/// Parsed command-line options shared by the figure binaries: an experiment
+/// [`Scale`] plus an optional sweep worker count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Cli {
+    /// The experiment scale.
+    pub scale: Scale,
+    /// `--jobs N` if given; binaries fall back to
+    /// [`runner::default_jobs`] (which honours `SWEEP_JOBS`) when absent.
+    pub jobs: Option<usize>,
+}
+
+impl Cli {
+    /// Parses `--smoke`/`--quick`/`--full` and `--jobs N` (or `--jobs=N`)
+    /// from the process arguments. Exits with a usage message on anything
+    /// else.
+    pub fn from_args() -> Cli {
+        Cli::parse(std::env::args().skip(1)).unwrap_or_else(|bad| {
+            eprintln!("unknown argument `{bad}` (expected --smoke/--quick/--full/--jobs N)");
+            std::process::exit(2);
+        })
+    }
+
+    fn parse(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+        let mut cli = Cli { scale: Scale::Quick, jobs: None };
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
             match a.as_str() {
-                "--smoke" => scale = Scale::Smoke,
-                "--quick" => scale = Scale::Quick,
-                "--full" => scale = Scale::Full,
-                other => {
-                    eprintln!("unknown argument `{other}` (expected --smoke/--quick/--full)");
-                    std::process::exit(2);
+                "--smoke" => cli.scale = Scale::Smoke,
+                "--quick" => cli.scale = Scale::Quick,
+                "--full" => cli.scale = Scale::Full,
+                "--jobs" => {
+                    let v = args.next().ok_or_else(|| "--jobs (missing count)".to_owned())?;
+                    cli.jobs = Some(v.parse::<usize>().map_err(|_| format!("--jobs {v}"))?);
                 }
+                other => match other.strip_prefix("--jobs=") {
+                    Some(v) => {
+                        cli.jobs = Some(v.parse::<usize>().map_err(|_| format!("--jobs={v}"))?);
+                    }
+                    None => return Err(a),
+                },
             }
         }
-        scale
+        if cli.jobs == Some(0) {
+            return Err("--jobs 0".to_owned());
+        }
+        Ok(cli)
+    }
+
+    /// The sweep worker count: `--jobs` if given, else
+    /// [`runner::default_jobs`].
+    pub fn jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(runner::default_jobs)
     }
 }
 
@@ -82,6 +126,18 @@ pub fn mbps(bps: f64) -> String {
     format!("{:.2}", bps / 1e6)
 }
 
+/// Formats `100·x/base` as a percentage with `decimals` fraction digits, or
+/// `"-"` when the baseline is zero, negative, or non-finite. Starved cells
+/// (a subflow killed by wireless loss, a zero-goodput run) must render as a
+/// placeholder, not divide by zero.
+pub fn pct_of(x: f64, base: f64, decimals: usize) -> String {
+    if base > 0.0 && base.is_finite() {
+        format!("{:.*}%", decimals, 100.0 * x / base)
+    } else {
+        "-".to_owned()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +156,34 @@ mod tests {
     #[test]
     fn mbps_formats() {
         assert_eq!(mbps(1_500_000.0), "1.50");
+    }
+
+    #[test]
+    fn pct_of_guards_degenerate_baselines() {
+        assert_eq!(pct_of(25.0, 50.0, 0), "50%");
+        assert_eq!(pct_of(1.0, 3.0, 1), "33.3%");
+        assert_eq!(pct_of(1.0, 0.0, 0), "-");
+        assert_eq!(pct_of(1.0, -2.0, 0), "-");
+        assert_eq!(pct_of(1.0, f64::INFINITY, 0), "-");
+        assert_eq!(pct_of(1.0, f64::NAN, 0), "-");
+    }
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        Cli::parse(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn cli_parses_scale_and_jobs() {
+        assert_eq!(parse(&[]), Ok(Cli { scale: Scale::Quick, jobs: None }));
+        assert_eq!(parse(&["--smoke"]), Ok(Cli { scale: Scale::Smoke, jobs: None }));
+        assert_eq!(
+            parse(&["--full", "--jobs", "4"]),
+            Ok(Cli { scale: Scale::Full, jobs: Some(4) })
+        );
+        assert_eq!(parse(&["--jobs=2"]), Ok(Cli { scale: Scale::Quick, jobs: Some(2) }));
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "zero"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
     }
 }

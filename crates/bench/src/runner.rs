@@ -1,0 +1,230 @@
+//! # runner — deterministic parallel sweep execution
+//!
+//! The paper's evaluation (§VI) is a grid of independent
+//! `(scenario × algorithm × seed)` cells, and so is every suite built on it:
+//! the figure harnesses, the chaos soak, the stress grids. Each cell owns a
+//! whole [`netsim::Simulator`], so cells share no mutable state and can run
+//! on any thread without changing their results — the simulator is
+//! single-threaded and seeded, and `Send` (see `netsim::sim::Agent`) only
+//! permits moving it, never sharing it.
+//!
+//! [`run_sweep`] fans a list of [`SweepCell`]s across a `std::thread::scope`
+//! worker pool and collects one [`RunSummary`] per cell **in input order**,
+//! regardless of completion order. Determinism argument:
+//!
+//! 1. every cell's closure builds, runs, and summarizes its own simulator —
+//!    no cross-cell reads or writes;
+//! 2. workers claim cells from an atomic cursor, but each result is written
+//!    to the slot indexed by the cell's input position;
+//! 3. the pool joins before results are read, so the returned `Vec` is a
+//!    pure function of the input cells — byte-identical at `--jobs 1` and
+//!    `--jobs N` (asserted by `tests/sweep_determinism.rs`).
+//!
+//! Worker count: explicit argument > `SWEEP_JOBS` env var > available
+//! parallelism. The figure binaries expose it as `--jobs N`
+//! ([`crate::Cli::from_args`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use bench_harness::runner::{run_sweep_jobs, SweepCell};
+//!
+//! let cells: Vec<SweepCell<u64>> = (0..8)
+//!     .map(|seed| SweepCell::new(format!("cell-{seed}"), seed, move || seed * seed))
+//!     .collect();
+//! let results = run_sweep_jobs(cells, 4);
+//! assert_eq!(results.len(), 8);
+//! assert_eq!(results[3].label, "cell-3");
+//! assert_eq!(results[3].output, 9);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One independent simulation cell of a sweep: a label for reports, the RNG
+/// seed it was built from, and the closure that builds, runs, and summarizes
+/// its own `Simulator`.
+///
+/// The closure must be `Send` (it is executed on a worker thread); the
+/// borrow lifetime `'a` lets cells capture references to sweep-wide options
+/// living on the caller's stack.
+pub struct SweepCell<'a, T> {
+    /// Display label, carried through to the [`RunSummary`].
+    pub label: String,
+    /// The seed this cell derives its determinism from (informational; the
+    /// closure is responsible for actually using it).
+    pub seed: u64,
+    run: Box<dyn FnOnce() -> T + Send + 'a>,
+}
+
+impl<'a, T> SweepCell<'a, T> {
+    /// Creates a cell from a label, a seed, and the run closure.
+    pub fn new(
+        label: impl Into<String>,
+        seed: u64,
+        run: impl FnOnce() -> T + Send + 'a,
+    ) -> SweepCell<'a, T> {
+        SweepCell { label: label.into(), seed, run: Box::new(run) }
+    }
+}
+
+/// The result of one sweep cell, in the order the cells were submitted.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunSummary<T> {
+    /// The cell's label.
+    pub label: String,
+    /// The cell's seed.
+    pub seed: u64,
+    /// Whatever the cell's closure returned.
+    pub output: T,
+}
+
+/// Parses a `SWEEP_JOBS`-style override; `None` when absent or unusable.
+fn parse_jobs(v: Option<&str>) -> Option<usize> {
+    v.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+}
+
+/// The worker count used when none is given explicitly: the `SWEEP_JOBS`
+/// environment variable if set to a positive integer, otherwise the
+/// machine's available parallelism.
+pub fn default_jobs() -> usize {
+    parse_jobs(std::env::var("SWEEP_JOBS").ok().as_deref())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Runs the cells across [`default_jobs`] workers; results in input order.
+pub fn run_sweep<T: Send>(cells: Vec<SweepCell<'_, T>>) -> Vec<RunSummary<T>> {
+    run_sweep_jobs(cells, default_jobs())
+}
+
+/// Runs the cells across exactly `jobs` workers (clamped to at least 1) and
+/// returns one summary per cell, **in input order**.
+///
+/// A panic inside a cell propagates to the caller once the pool has joined
+/// (so test assertions may live inside cell closures); other in-flight cells
+/// still run to completion first.
+pub fn run_sweep_jobs<T: Send>(cells: Vec<SweepCell<'_, T>>, jobs: usize) -> Vec<RunSummary<T>> {
+    let n = cells.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs == 1 {
+        // The serial path is the reference implementation the parallel path
+        // must be byte-identical to.
+        return cells
+            .into_iter()
+            .map(|c| RunSummary { label: c.label, seed: c.seed, output: (c.run)() })
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let tasks: Vec<Mutex<Option<SweepCell<'_, T>>>> =
+        cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let slots: Vec<Mutex<Option<RunSummary<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let cell = tasks[i]
+                    .lock()
+                    .expect("sweep task lock poisoned")
+                    .take()
+                    .expect("cell claimed twice");
+                let output = (cell.run)();
+                *slots[i].lock().expect("sweep result lock poisoned") =
+                    Some(RunSummary { label: cell.label, seed: cell.seed, output });
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("sweep result lock poisoned")
+                .expect("worker pool joined with an unfilled result slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn square_cells<'a>(n: u64) -> Vec<SweepCell<'a, u64>> {
+        (0..n).map(|s| SweepCell::new(format!("c{s}"), s, move || s * s)).collect()
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        // Make early cells the slowest so completion order inverts input
+        // order; collection order must not care.
+        let cells: Vec<SweepCell<u64>> = (0..16u64)
+            .map(|s| {
+                SweepCell::new(format!("c{s}"), s, move || {
+                    std::thread::sleep(std::time::Duration::from_millis(2 * (16 - s)));
+                    s
+                })
+            })
+            .collect();
+        let out = run_sweep_jobs(cells, 8);
+        let got: Vec<u64> = out.iter().map(|r| r.output).collect();
+        assert_eq!(got, (0..16).collect::<Vec<_>>());
+        assert_eq!(out[5].label, "c5");
+        assert_eq!(out[5].seed, 5);
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let serial = run_sweep_jobs(square_cells(12), 1);
+        for jobs in [2, 3, 8, 64] {
+            assert_eq!(run_sweep_jobs(square_cells(12), jobs), serial);
+        }
+    }
+
+    #[test]
+    fn every_cell_runs_exactly_once() {
+        let count = AtomicU64::new(0);
+        let cells: Vec<SweepCell<()>> = (0..50)
+            .map(|s| {
+                let count = &count;
+                SweepCell::new("c", s, move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        let out = run_sweep_jobs(cells, 4);
+        assert_eq!(out.len(), 50);
+        assert_eq!(count.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn empty_sweep_is_fine() {
+        let out: Vec<RunSummary<u8>> = run_sweep_jobs(Vec::new(), 8);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn jobs_parsing() {
+        assert_eq!(parse_jobs(Some("4")), Some(4));
+        assert_eq!(parse_jobs(Some(" 2 ")), Some(2));
+        assert_eq!(parse_jobs(Some("0")), None);
+        assert_eq!(parse_jobs(Some("lots")), None);
+        assert_eq!(parse_jobs(None), None);
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 3 exploded")]
+    fn cell_panics_propagate() {
+        let cells: Vec<SweepCell<u64>> = (0..6)
+            .map(|s| {
+                SweepCell::new("c", s, move || {
+                    assert!(s != 3, "cell 3 exploded");
+                    s
+                })
+            })
+            .collect();
+        let _ = run_sweep_jobs(cells, 2);
+    }
+}

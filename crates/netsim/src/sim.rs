@@ -43,7 +43,13 @@ use std::sync::Arc;
 /// Agents receive packets addressed to them and timer callbacks they have
 /// scheduled. All interaction with the network goes through the [`Ctx`]
 /// passed to each callback.
-pub trait Agent: Any {
+///
+/// Agents must be [`Send`]: a whole [`Simulator`] (with the agents it owns)
+/// can be built on one thread and moved to another, which is what the sweep
+/// runner's worker pool does to fan independent simulation cells across
+/// cores. Each simulator is still strictly single-threaded while running —
+/// `Send` only permits the hand-off, never sharing.
+pub trait Agent: Any + Send {
     /// Called when a packet whose route terminates at this agent is delivered.
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>);
     /// Called when a timer scheduled by this agent fires. `token` is the value
@@ -868,6 +874,14 @@ mod tests {
         sim.run_until(SimTime::from_secs_f64(60.0));
         assert!(sim.stall_report().is_none());
         assert_eq!(sim.agent::<Sink>(sink).received.len(), 50);
+    }
+
+    #[test]
+    fn simulator_is_send() {
+        // The sweep runner moves whole simulators across worker threads.
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulator>();
+        assert_send::<World>();
     }
 
     #[test]

@@ -169,8 +169,12 @@ impl SubAssign for SimDuration {
 
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
+    /// Saturating: durations near the `u64` nanosecond ceiling multiplied by
+    /// large factors (e.g. an RTO already at a large floor doubled 2¹⁶
+    /// times) clamp to the maximum representable duration instead of
+    /// silently wrapping in release builds.
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration(self.0 * rhs)
+        SimDuration(self.0.saturating_mul(rhs))
     }
 }
 
@@ -250,6 +254,14 @@ mod tests {
         assert_eq!(SimDuration::from_millis(10) * 3, SimDuration::from_millis(30));
         assert_eq!(SimDuration::from_millis(10) / 2, SimDuration::from_millis(5));
         assert_eq!(SimDuration::from_secs(1) * 0.25, SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn duration_multiply_saturates() {
+        let near_max = SimDuration::from_nanos(u64::MAX / 2 + 1);
+        assert_eq!(near_max * 2, SimDuration::from_nanos(u64::MAX));
+        assert_eq!(near_max * (1 << 16), SimDuration::from_nanos(u64::MAX));
+        assert_eq!(SimDuration::ZERO * u64::MAX, SimDuration::ZERO);
     }
 
     #[test]

@@ -5,7 +5,9 @@ use netsim::SimDuration;
 /// Smoothed RTT / RTO estimator per RFC 6298.
 ///
 /// `srtt ← 7/8·srtt + 1/8·sample`, `rttvar ← 3/4·rttvar + 1/4·|srtt−sample|`,
-/// `rto = srtt + 4·rttvar`, clamped to `[min_rto, max_rto]`.
+/// `rto = srtt + max(G, 4·rttvar)`, clamped to `[min_rto, max_rto]`, where
+/// `G` is the clock granularity ([`RttEstimator::GRANULARITY`], one
+/// simulator tick).
 #[derive(Clone, Debug)]
 pub struct RttEstimator {
     srtt: Option<f64>,
@@ -15,9 +17,19 @@ pub struct RttEstimator {
 }
 
 impl RttEstimator {
-    /// Creates an estimator with the given RTO floor. The ceiling is 60 s.
+    /// RFC 6298's clock granularity `G`: one simulator tick (1 ns). After a
+    /// run of identical samples `rttvar` decays toward zero, and without
+    /// this floor the computed RTO collapses onto `srtt` exactly — any
+    /// timer-vs-ACK tie then depends on event-queue ordering instead of the
+    /// estimator.
+    pub const GRANULARITY: SimDuration = SimDuration::from_nanos(1);
+
+    /// Creates an estimator with the given RTO floor. The ceiling is 60 s,
+    /// raised to `min_rto` if the floor is larger (so the clamp is always
+    /// well-formed).
     pub fn new(min_rto: SimDuration) -> Self {
-        RttEstimator { srtt: None, rttvar: 0.0, min_rto, max_rto: SimDuration::from_secs(60) }
+        let max_rto = SimDuration::from_secs(60).max(min_rto);
+        RttEstimator { srtt: None, rttvar: 0.0, min_rto, max_rto }
     }
 
     /// Feeds an RTT sample (seconds).
@@ -44,16 +56,24 @@ impl RttEstimator {
         self.srtt
     }
 
-    /// The current retransmission timeout (before exponential backoff).
+    /// The current retransmission timeout (before exponential backoff):
+    /// `srtt + max(G, 4·rttvar)` per RFC 6298 §2.3, clamped to
+    /// `[min_rto, max_rto]`.
     pub fn rto(&self) -> SimDuration {
         let raw = match self.srtt {
             None => SimDuration::from_secs(1), // RFC 6298 initial RTO
-            Some(srtt) => SimDuration::from_secs_f64(srtt + 4.0 * self.rttvar),
+            Some(srtt) => {
+                let var = (4.0 * self.rttvar).max(Self::GRANULARITY.as_secs_f64());
+                SimDuration::from_secs_f64(srtt + var)
+            }
         };
         raw.clamp(self.min_rto, self.max_rto)
     }
 
-    /// The RTO after `backoff` doublings, capped at the ceiling.
+    /// The RTO after `backoff` doublings, capped at the ceiling. The
+    /// multiply saturates (`SimDuration`'s `Mul` clamps at the nanosecond
+    /// ceiling), so a base near `max_rto` doubled `2¹⁶` times caps cleanly
+    /// instead of wrapping before the `min`.
     pub fn rto_backed_off(&self, backoff: u32) -> SimDuration {
         let base = self.rto();
         let factor = 1u64 << backoff.min(16);
@@ -104,5 +124,35 @@ mod tests {
         assert_eq!(e.rto_backed_off(1), base * 2);
         assert_eq!(e.rto_backed_off(2), base * 4);
         assert_eq!(e.rto_backed_off(30), SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn constant_samples_keep_rto_strictly_above_srtt() {
+        // RFC 6298 regression: with the floor set far below srtt, a long run
+        // of identical samples decays rttvar to zero; the granularity term
+        // must keep RTO > srtt rather than letting the clamp do the work.
+        let mut e = RttEstimator::new(SimDuration::from_nanos(1));
+        for _ in 0..1000 {
+            e.observe(0.05);
+        }
+        let srtt = SimDuration::from_secs_f64(e.srtt().unwrap());
+        assert!(e.rto() > srtt, "rto {:?} collapsed onto srtt {:?}", e.rto(), srtt);
+        assert_eq!(e.rto(), srtt + RttEstimator::GRANULARITY);
+    }
+
+    #[test]
+    fn large_min_rto_does_not_overflow_backoff() {
+        // A floor above the 60 s default ceiling raises the ceiling with it;
+        // 2^16 doublings of a base near the u64 nanosecond limit must
+        // saturate and cap instead of wrapping.
+        let huge = SimDuration::from_nanos(u64::MAX / 2);
+        let e = RttEstimator::new(huge);
+        assert_eq!(e.rto(), huge, "clamp must stay well-formed for min_rto > 60s");
+        for backoff in [16, 20, u32::MAX] {
+            assert_eq!(e.rto_backed_off(backoff), huge);
+        }
+        // A merely-large floor (not overflow-prone) still caps at itself.
+        let e = RttEstimator::new(SimDuration::from_secs(120));
+        assert_eq!(e.rto_backed_off(16), SimDuration::from_secs(120));
     }
 }

@@ -2,7 +2,13 @@
 //! bursty loss, bandwidth and delay changes, short blackouts) against a
 //! two-path transfer. Every flow must complete, the stall watchdog must stay
 //! quiet, and the same seed must reproduce byte-identical results.
+//!
+//! The seeds fan out across the deterministic sweep runner
+//! (`bench_harness::runner`) — each soak owns its whole `Simulator`, so
+//! parallel execution cannot perturb outcomes, and the reproducibility test
+//! asserts exactly that by comparing a serial sweep against a parallel one.
 
+use bench_harness::runner::{run_sweep, run_sweep_jobs, SweepCell};
 use congestion::AlgorithmKind;
 use mptcp_energy::CcChoice;
 use netsim::{FaultAction, FaultScript, LossModel, SimDuration, SimTime, Simulator};
@@ -114,10 +120,19 @@ fn soak(seed: u64) -> SoakOutcome {
     }
 }
 
+/// One sweep cell per seed; labels carry the seed for failure messages.
+fn soak_cells(seeds: impl IntoIterator<Item = u64>) -> Vec<SweepCell<'static, SoakOutcome>> {
+    seeds
+        .into_iter()
+        .map(|seed| SweepCell::new(format!("soak-{seed}"), seed, move || soak(seed)))
+        .collect()
+}
+
 #[test]
+#[ignore = "20-seed soak — run via `cargo test -- --ignored` (CI soak job)"]
 fn chaos_soak_completes_under_randomized_faults() {
-    for seed in 0..SEEDS {
-        let out = soak(seed);
+    for r in run_sweep(soak_cells(0..SEEDS)) {
+        let (seed, out) = (r.seed, &r.output);
         assert!(!out.stalled, "seed {seed}: watchdog fired: {out:?}");
         assert!(out.finished, "seed {seed}: transfer incomplete: {out:?}");
         assert_eq!(out.acked, TRANSFER_PKTS, "seed {seed}");
@@ -130,9 +145,14 @@ fn chaos_soak_completes_under_randomized_faults() {
 
 #[test]
 fn chaos_runs_are_reproducible_per_seed() {
-    for seed in [0, 7, 13] {
-        let a = soak(seed);
-        let b = soak(seed);
-        assert_eq!(a, b, "seed {seed} not reproducible");
+    // The same cells through a serial and an 8-way parallel sweep: outcomes
+    // (and their order) must be identical — thread scheduling must never
+    // leak into a simulation.
+    let seeds = [0u64, 7, 13];
+    let serial = run_sweep_jobs(soak_cells(seeds), 1);
+    let parallel = run_sweep_jobs(soak_cells(seeds), 8);
+    assert_eq!(serial, parallel, "serial vs parallel soak outcomes diverged");
+    for r in &serial {
+        assert!(r.output.finished, "{}: transfer incomplete: {:?}", r.label, r.output);
     }
 }

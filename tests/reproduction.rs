@@ -2,21 +2,38 @@
 //! reduced scale. Each test asserts the *direction* of a published result
 //! (who wins, roughly by how much); EXPERIMENTS.md tracks the quantitative
 //! comparison at full scale.
+//!
+//! Each test's scenario runs are independent whole-simulator cells, so they
+//! fan out across the deterministic sweep runner (`bench_harness::runner`):
+//! on a multi-core machine the wall clock of a test is its slowest single
+//! run, not the sum of all of them.
 
+use bench_harness::runner::{run_sweep, SweepCell};
 use congestion::AlgorithmKind;
 use mptcp_energy::scenarios::{
     run_datacenter, run_ec2, run_shared_bottleneck, run_two_path_bursty, run_wireless,
-    BurstyOptions, CcChoice, DcKind, DcOptions, Ec2Options, SharedOptions, WirelessOptions,
+    BurstyOptions, CcChoice, DcKind, DcOptions, Ec2Options, FlowResult, SharedOptions,
+    WirelessOptions,
 };
 
 fn bursty_opts() -> BurstyOptions {
     BurstyOptions { transfer_bytes: Some(8_000_000), duration_s: 120.0, ..BurstyOptions::default() }
 }
 
+/// Fans `run_two_path_bursty` over a list of congestion-control choices.
+fn bursty_sweep(choices: Vec<CcChoice>, opts: BurstyOptions) -> Vec<FlowResult> {
+    let cells: Vec<SweepCell<FlowResult>> = choices
+        .into_iter()
+        .map(|cc| SweepCell::new(cc.label(), opts.seed, move || run_two_path_bursty(&cc, &opts)))
+        .collect();
+    run_sweep(cells).into_iter().map(|r| r.output).collect()
+}
+
 #[test]
 fn fig9_dts_uses_less_energy_than_lia_on_bursty_paths() {
-    let lia = run_two_path_bursty(&CcChoice::Base(AlgorithmKind::Lia), &bursty_opts());
-    let dts = run_two_path_bursty(&CcChoice::dts(), &bursty_opts());
+    let results =
+        bursty_sweep(vec![CcChoice::Base(AlgorithmKind::Lia), CcChoice::dts()], bursty_opts());
+    let (lia, dts) = (&results[0], &results[1]);
     assert!(lia.finish_s.is_some() && dts.finish_s.is_some());
     assert!(
         dts.energy.joules < lia.energy.joules,
@@ -41,9 +58,14 @@ fn fig10_multipath_saves_energy_over_single_path_on_ec2() {
         horizon_s: 120.0,
         ..Ec2Options::default()
     };
-    let tcp = run_ec2(&CcChoice::Base(AlgorithmKind::Reno), &opts);
-    let lia = run_ec2(&CcChoice::Base(AlgorithmKind::Lia), &opts);
-    let dts = run_ec2(&CcChoice::dts(), &opts);
+    let choices =
+        [CcChoice::Base(AlgorithmKind::Reno), CcChoice::Base(AlgorithmKind::Lia), CcChoice::dts()];
+    let cells: Vec<_> = choices
+        .into_iter()
+        .map(|cc| SweepCell::new(cc.label(), opts.seed, move || run_ec2(&cc, &opts)))
+        .collect();
+    let results = run_sweep(cells);
+    let (tcp, lia, dts) = (&results[0].output, &results[1].output, &results[2].output);
     assert_eq!(tcp.completion_rate, 1.0);
     assert_eq!(lia.completion_rate, 1.0);
     // Multipath finishes ~4x sooner on 4 ENIs and saves a large energy
@@ -66,33 +88,53 @@ fn fig6_four_friendly_algorithms_complete_with_bounded_energy_spread() {
     // algorithms finish every transfer and land in the same energy regime.
     let opts =
         SharedOptions { n_users: 10, transfer_bytes: 2 * 1024 * 1024, ..SharedOptions::default() };
+    let cells: Vec<_> = AlgorithmKind::PAPER_FOUR
+        .into_iter()
+        .map(|kind| {
+            SweepCell::new(kind.to_string(), opts.seed, move || {
+                run_shared_bottleneck(&CcChoice::Base(kind), &opts)
+            })
+        })
+        .collect();
     let mut means = Vec::new();
-    for kind in AlgorithmKind::PAPER_FOUR {
-        let energies = run_shared_bottleneck(&CcChoice::Base(kind), &opts);
+    for (r, kind) in run_sweep(cells).iter().zip(AlgorithmKind::PAPER_FOUR) {
+        let energies = &r.output;
         assert_eq!(energies.len(), opts.n_users, "{kind}: all users must finish");
         assert!(energies.iter().all(|e| e.is_finite() && *e > 0.0), "{kind}");
-        means.push(mptcp_energy::mean(&energies));
+        means.push(mptcp_energy::mean(energies));
     }
     let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = means.iter().cloned().fold(0.0f64, f64::max);
     assert!(hi / lo < 1.4, "energy spread too wide: {means:?}");
 }
 
+/// Fans `run_datacenter` over subflow counts for one fabric.
+fn dc_sweep(
+    kind: DcKind,
+    subflows: &[usize],
+    base: DcOptions,
+) -> Vec<mptcp_energy::scenarios::FleetResult> {
+    let cells: Vec<_> = subflows
+        .iter()
+        .map(|&n| {
+            SweepCell::new(format!("{n}-subflow"), base.seed, move || {
+                run_datacenter(
+                    kind,
+                    &CcChoice::Base(AlgorithmKind::Lia),
+                    &DcOptions { n_subflows: n, ..base },
+                )
+            })
+        })
+        .collect();
+    run_sweep(cells).into_iter().map(|r| r.output).collect()
+}
+
 #[test]
 fn fig12_more_subflows_reduce_bcube_energy_overhead() {
-    let kind = DcKind::BCube { n: 4, k: 2 };
     let base = DcOptions { duration_s: 3.0, ..DcOptions::default() };
     // The energy-proportional server model applies to the DC scenarios.
-    let one = run_datacenter(
-        kind,
-        &CcChoice::Base(AlgorithmKind::Lia),
-        &DcOptions { n_subflows: 1, ..base },
-    );
-    let three = run_datacenter(
-        kind,
-        &CcChoice::Base(AlgorithmKind::Lia),
-        &DcOptions { n_subflows: 3, ..base },
-    );
+    let results = dc_sweep(DcKind::BCube { n: 4, k: 2 }, &[1, 3], base);
+    let (one, three) = (&results[0], &results[1]);
     assert!(
         three.joules_per_gbit < one.joules_per_gbit,
         "3 subflows {} J/Gb should beat 1 subflow {} J/Gb in BCube",
@@ -104,18 +146,9 @@ fn fig12_more_subflows_reduce_bcube_energy_overhead() {
 
 #[test]
 fn fig13_fattree_gains_little_from_extra_subflows() {
-    let kind = DcKind::FatTree { k: 4 };
     let base = DcOptions { duration_s: 3.0, ..DcOptions::default() };
-    let one = run_datacenter(
-        kind,
-        &CcChoice::Base(AlgorithmKind::Lia),
-        &DcOptions { n_subflows: 1, ..base },
-    );
-    let four = run_datacenter(
-        kind,
-        &CcChoice::Base(AlgorithmKind::Lia),
-        &DcOptions { n_subflows: 4, ..base },
-    );
+    let results = dc_sweep(DcKind::FatTree { k: 4 }, &[1, 4], base);
+    let (one, four) = (&results[0], &results[1]);
     // FatTree hosts have one NIC, so aggregate goodput is capped by host
     // access capacity regardless of subflow count (extra subflows only
     // resolve core collisions — the Raiciu et al. effect).
@@ -130,17 +163,28 @@ fn fig13_fattree_gains_little_from_extra_subflows() {
 fn fig16_dts_matches_lia_utilization_in_fattree() {
     let kind = DcKind::FatTree { k: 4 };
     let opts = DcOptions { n_subflows: 2, duration_s: 3.0, ..DcOptions::default() };
-    let lia = run_datacenter(kind, &CcChoice::Base(AlgorithmKind::Lia), &opts);
-    let dts = run_datacenter(kind, &CcChoice::dts(), &opts);
-    let ratio = dts.aggregate_goodput_bps / lia.aggregate_goodput_bps;
+    let cells = vec![
+        SweepCell::new("lia", opts.seed, move || {
+            run_datacenter(kind, &CcChoice::Base(AlgorithmKind::Lia), &opts)
+        }),
+        SweepCell::new("dts", opts.seed, move || run_datacenter(kind, &CcChoice::dts(), &opts)),
+    ];
+    let results = run_sweep(cells);
+    let ratio = results[1].output.aggregate_goodput_bps / results[0].output.aggregate_goodput_bps;
     assert!(ratio > 0.9, "dts/lia aggregate throughput {ratio}");
 }
 
 #[test]
 fn fig17_wireless_runs_and_phi_trades_throughput_for_energy() {
     let opts = WirelessOptions { duration_s: 60.0, ..WirelessOptions::default() };
-    let lia = run_wireless(&CcChoice::Base(AlgorithmKind::Lia), &opts);
-    let phi = run_wireless(&CcChoice::dts_phi(), &opts);
+    let cells = vec![
+        SweepCell::new("lia", opts.seed, move || {
+            run_wireless(&CcChoice::Base(AlgorithmKind::Lia), &opts)
+        }),
+        SweepCell::new("phi", opts.seed, move || run_wireless(&CcChoice::dts_phi(), &opts)),
+    ];
+    let results = run_sweep(cells);
+    let (lia, phi) = (&results[0].output, &results[1].output);
     assert!(lia.goodput_bps > 1_000_000.0, "lia should move traffic");
     assert!(phi.goodput_bps > 1_000_000.0, "phi should move traffic");
     // Energy per bit must improve even where total energy is noisy.
@@ -153,9 +197,16 @@ fn fig17_wireless_runs_and_phi_trades_throughput_for_energy() {
 fn fig17_wireless_loss_knob_costs_goodput() {
     let clean = WirelessOptions { duration_s: 30.0, ..WirelessOptions::default() };
     let lossy = WirelessOptions { wifi_loss: 0.05, lte_loss: 0.03, ..clean };
-    let lia = CcChoice::Base(AlgorithmKind::Lia);
-    let a = run_wireless(&lia, &clean);
-    let b = run_wireless(&lia, &lossy);
+    let cells = vec![
+        SweepCell::new("clean", clean.seed, move || {
+            run_wireless(&CcChoice::Base(AlgorithmKind::Lia), &clean)
+        }),
+        SweepCell::new("lossy", lossy.seed, move || {
+            run_wireless(&CcChoice::Base(AlgorithmKind::Lia), &lossy)
+        }),
+    ];
+    let results = run_sweep(cells);
+    let (a, b) = (&results[0].output, &results[1].output);
     assert!(b.goodput_bps > 0.0, "lossy run must still move traffic");
     assert!(
         b.goodput_bps < a.goodput_bps,
@@ -166,14 +217,16 @@ fn fig17_wireless_loss_knob_costs_goodput() {
     // Losses show up as repairs, not as a stalled connection. (Absolute
     // counts can go either way — the clean run pushes more packets into the
     // DropTail queues — so compare repairs per delivered bit.)
-    let rate = |r: &mptcp_energy::scenarios::FlowResult| r.rexmits as f64 / r.goodput_bps.max(1.0);
-    assert!(rate(&b) > rate(&a), "lossy run should repair at a higher rate");
+    let rate = |r: &FlowResult| r.rexmits as f64 / r.goodput_bps.max(1.0);
+    assert!(rate(b) > rate(a), "lossy run should repair at a higher rate");
 }
 
 #[test]
 fn scenarios_are_deterministic() {
-    let a = run_two_path_bursty(&CcChoice::dts(), &bursty_opts());
-    let b = run_two_path_bursty(&CcChoice::dts(), &bursty_opts());
+    // Two identical cells through the (possibly parallel) sweep must agree;
+    // tests/sweep_determinism.rs pins the stronger jobs=1 vs jobs=N claim.
+    let results = bursty_sweep(vec![CcChoice::dts(), CcChoice::dts()], bursty_opts());
+    let (a, b) = (&results[0], &results[1]);
     assert_eq!(a.finish_s, b.finish_s);
     assert_eq!(a.energy.joules, b.energy.joules);
     assert_eq!(a.rexmits, b.rexmits);

@@ -1,0 +1,56 @@
+//! Pins the sweep runner's central guarantee: running the same cells with
+//! `--jobs 1` and `--jobs 8` yields *byte-identical* summaries, including
+//! their order. Each cell owns a whole `Simulator`, so thread scheduling can
+//! decide only *when* a cell runs, never *what* it computes.
+//!
+//! Comparison is on `format!("{:?}")` of the full result vector: `f64`'s
+//! `Debug` is the shortest round-trip representation, so two outputs render
+//! identically iff every float is bit-equal.
+
+use bench_harness::runner::{run_sweep_jobs, RunSummary, SweepCell};
+use congestion::AlgorithmKind;
+use mptcp_energy::scenarios::{run_two_path_bursty, BurstyOptions, CcChoice, FlowResult};
+
+fn cells(seeds: &[u64]) -> Vec<SweepCell<'static, FlowResult>> {
+    let choices = [CcChoice::Base(AlgorithmKind::Lia), CcChoice::dts()];
+    seeds
+        .iter()
+        .flat_map(|&seed| {
+            choices.into_iter().map(move |cc| {
+                let opts = BurstyOptions {
+                    seed,
+                    transfer_bytes: Some(2_000_000),
+                    duration_s: 60.0,
+                    ..BurstyOptions::default()
+                };
+                SweepCell::new(format!("{}-seed{}", cc.label(), seed), seed, move || {
+                    run_two_path_bursty(&cc, &opts)
+                })
+            })
+        })
+        .collect()
+}
+
+fn render(results: &[RunSummary<FlowResult>]) -> String {
+    format!("{results:?}")
+}
+
+#[test]
+fn serial_and_parallel_sweeps_are_byte_identical() {
+    let seeds = [1u64, 2, 3];
+    let serial = run_sweep_jobs(cells(&seeds), 1);
+    let parallel = run_sweep_jobs(cells(&seeds), 8);
+    assert_eq!(serial.len(), parallel.len());
+    // Labels come back in input order under both job counts.
+    let labels: Vec<&str> = serial.iter().map(|r| r.label.as_str()).collect();
+    assert_eq!(labels, parallel.iter().map(|r| r.label.as_str()).collect::<Vec<_>>());
+    assert_eq!(
+        render(&serial),
+        render(&parallel),
+        "jobs=1 and jobs=8 sweeps must produce byte-identical summaries"
+    );
+    // And the runs themselves must have done real work.
+    for r in &serial {
+        assert!(r.output.finish_s.is_some(), "{}: transfer did not finish", r.label);
+    }
+}
