@@ -86,10 +86,22 @@ fn parse_jobs(v: Option<&str>) -> Option<usize> {
 
 /// The worker count used when none is given explicitly: the `SWEEP_JOBS`
 /// environment variable if set to a positive integer, otherwise the
-/// machine's available parallelism.
+/// machine's available parallelism. A `SWEEP_JOBS` value that is set but not
+/// a positive integer is reported on stderr (the same input as `--jobs` is a
+/// hard usage error, and silently falling back could mask a typo'd
+/// reproducibility run) before using the default.
 pub fn default_jobs() -> usize {
-    parse_jobs(std::env::var("SWEEP_JOBS").ok().as_deref())
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    let available = || std::thread::available_parallelism().map_or(1, |n| n.get());
+    match std::env::var("SWEEP_JOBS") {
+        Ok(v) => parse_jobs(Some(&v)).unwrap_or_else(|| {
+            eprintln!(
+                "warning: ignoring SWEEP_JOBS={v:?}: expected a positive integer; \
+                 using available parallelism"
+            );
+            available()
+        }),
+        Err(_) => available(),
+    }
 }
 
 /// Runs the cells across [`default_jobs`] workers; results in input order.
@@ -100,9 +112,12 @@ pub fn run_sweep<T: Send>(cells: Vec<SweepCell<'_, T>>) -> Vec<RunSummary<T>> {
 /// Runs the cells across exactly `jobs` workers (clamped to at least 1) and
 /// returns one summary per cell, **in input order**.
 ///
-/// A panic inside a cell propagates to the caller once the pool has joined
-/// (so test assertions may live inside cell closures); other in-flight cells
-/// still run to completion first.
+/// A panic inside a cell propagates to the caller once the pool has joined:
+/// the first panicking cell's payload is re-raised verbatim, so test
+/// assertion messages survive the parallel path and assertions may live
+/// inside cell closures. Cells already claimed by other workers still run to
+/// completion first; unclaimed cells behind the panicking worker are still
+/// drained by the surviving workers.
 pub fn run_sweep_jobs<T: Send>(cells: Vec<SweepCell<'_, T>>, jobs: usize) -> Vec<RunSummary<T>> {
     let n = cells.len();
     let jobs = jobs.max(1).min(n.max(1));
@@ -119,21 +134,38 @@ pub fn run_sweep_jobs<T: Send>(cells: Vec<SweepCell<'_, T>>, jobs: usize) -> Vec
         cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
     let slots: Vec<Mutex<Option<RunSummary<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let cell = tasks[i]
-                    .lock()
-                    .expect("sweep task lock poisoned")
-                    .take()
-                    .expect("cell claimed twice");
-                let output = (cell.run)();
-                *slots[i].lock().expect("sweep result lock poisoned") =
-                    Some(RunSummary { label: cell.label, seed: cell.seed, output });
-            });
+        let workers: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let cell = tasks[i]
+                        .lock()
+                        .expect("sweep task lock poisoned")
+                        .take()
+                        .expect("cell claimed twice");
+                    let output = (cell.run)();
+                    *slots[i].lock().expect("sweep result lock poisoned") =
+                        Some(RunSummary { label: cell.label, seed: cell.seed, output });
+                })
+            })
+            .collect();
+        // Join explicitly instead of letting the scope auto-join: auto-join
+        // discards panic payloads (the caller would only see "a scoped thread
+        // panicked"), while an explicit join hands the payload back so the
+        // first cell panic can be re-raised verbatim. A panicking worker stops
+        // claiming cells, but the surviving workers drain the rest of the
+        // queue before their joins return.
+        let mut first_panic = None;
+        for worker in workers {
+            if let Err(payload) = worker.join() {
+                first_panic.get_or_insert(payload);
+            }
+        }
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
         }
     });
     slots
