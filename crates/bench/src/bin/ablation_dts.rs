@@ -10,11 +10,18 @@
 //! Pass --smoke/--quick/--full and optionally --jobs N (default: available
 //! parallelism, or the SWEEP_JOBS env var). Every variant is an independent
 //! simulation cell, fanned out by the deterministic sweep runner.
+//!
+//! With `--trace DIR` (or the `SWEEP_TRACE` env var) each cell writes a
+//! JSONL event trace to `DIR/<section>-<label>.jsonl`, summarizable with
+//! the `trace_dump` binary. Tracing never changes results (pinned by
+//! `tests/sweep_determinism.rs`).
 
 use bench_harness::runner::{run_sweep_jobs, RunSummary, SweepCell};
 use bench_harness::{table, Cli, Scale};
-use mptcp_energy::scenarios::{run_two_path_bursty, BurstyOptions, CcChoice};
+use mptcp_energy::scenarios::{run_two_path_bursty_traced, BurstyOptions, CcChoice};
 use mptcp_energy::{friendliness_ratio, CcModel, DtsConfig, Psi};
+use obs::{CounterSnapshot, TraceSink};
+use std::path::{Path, PathBuf};
 
 fn opts(scale: Scale) -> BurstyOptions {
     let transfer = match scale {
@@ -25,20 +32,34 @@ fn opts(scale: Scale) -> BurstyOptions {
     BurstyOptions { transfer_bytes: Some(transfer), duration_s: 600.0, ..BurstyOptions::default() }
 }
 
-fn run_cfg(cfg: DtsConfig, o: &BurstyOptions) -> (f64, f64, f64) {
-    let r = run_two_path_bursty(&CcChoice::Dts(cfg), o);
-    (r.energy.joules, r.finish_s.unwrap_or(f64::NAN), r.goodput_bps / 1e6)
+fn run_cfg(
+    cfg: DtsConfig,
+    o: &BurstyOptions,
+    sink: Option<Box<dyn TraceSink>>,
+) -> ((f64, f64, f64), CounterSnapshot) {
+    let (r, counters) = run_two_path_bursty_traced(&CcChoice::Dts(cfg), o, sink);
+    ((r.energy.joules, r.finish_s.unwrap_or(f64::NAN), r.goodput_bps / 1e6), counters)
 }
 
-/// Runs one labelled `DtsConfig` variant per cell, in parallel.
+/// Runs one labelled `DtsConfig` variant per cell, in parallel. With a trace
+/// directory, each cell streams its events to `<dir>/<section>-<label>.jsonl`.
 fn sweep_cfgs(
+    section: &str,
     variants: Vec<(String, DtsConfig)>,
     o: &BurstyOptions,
     jobs: usize,
+    trace: Option<&Path>,
 ) -> Vec<RunSummary<(f64, f64, f64)>> {
     let cells: Vec<SweepCell<_>> = variants
         .into_iter()
-        .map(|(label, cfg)| SweepCell::new(label, o.seed, move || run_cfg(cfg, o)))
+        .map(|(label, cfg)| {
+            let file_label = format!("{section}-{label}");
+            let trace: Option<PathBuf> = trace.map(Path::to_path_buf);
+            SweepCell::with_counters(label, o.seed, move || {
+                let sink = trace.as_deref().and_then(|d| obs::jsonl_sink_in(d, &file_label));
+                run_cfg(cfg, o, sink)
+            })
+        })
         .collect();
     run_sweep_jobs(cells, jobs)
 }
@@ -47,12 +68,17 @@ fn main() {
     let cli = Cli::from_args();
     let o = opts(cli.scale);
     let jobs = cli.jobs();
+    let trace = cli.trace_dir();
+    let trace = trace.as_deref();
+    if let Some(dir) = trace {
+        eprintln!("writing per-cell JSONL traces to {}", dir.display());
+    }
 
     println!("== sigmoid slope sweep (c = 1, exact exp) ==");
     let variants = [2.0f64, 5.0, 10.0, 20.0]
         .map(|slope| (format!("{slope}"), DtsConfig { slope, ..DtsConfig::default() }));
     let mut rows = Vec::new();
-    for r in sweep_cfgs(variants.to_vec(), &o, jobs) {
+    for r in sweep_cfgs("slope", variants.to_vec(), &o, jobs, trace) {
         let (j, fct, mbps) = r.output;
         rows.push(vec![r.label, format!("{j:.1}"), format!("{fct:.1}"), format!("{mbps:.2}")]);
     }
@@ -62,7 +88,7 @@ fn main() {
     let cs = [0.5f64, 1.0, 1.5, 2.0];
     let variants = cs.map(|c| (format!("{c}"), DtsConfig { c, ..DtsConfig::default() }));
     let mut rows = Vec::new();
-    for (r, c) in sweep_cfgs(variants.to_vec(), &o, jobs).into_iter().zip(cs) {
+    for (r, c) in sweep_cfgs("c", variants.to_vec(), &o, jobs, trace).into_iter().zip(cs) {
         let (j, fct, mbps) = r.output;
         // Fluid friendliness at the design-point ratio: with E[ε] = 1 the
         // aggregate over one shared bottleneck should not exceed one TCP for
@@ -88,7 +114,7 @@ fn main() {
         (name.to_owned(), DtsConfig { fixed_point: fixed, ..DtsConfig::default() })
     });
     let mut rows = Vec::new();
-    for r in sweep_cfgs(variants.to_vec(), &o, jobs) {
+    for r in sweep_cfgs("eps", variants.to_vec(), &o, jobs, trace) {
         let (j, fct, mbps) = r.output;
         rows.push(vec![r.label, format!("{j:.1}"), format!("{fct:.1}"), format!("{mbps:.2}")]);
     }

@@ -6,6 +6,12 @@
 //!
 //! Pass --smoke/--quick/--full (scales N) and optionally --jobs N. Each ψ's
 //! equilibrium solve is an independent cell, fanned out by the sweep runner.
+//!
+//! With `--trace DIR` (or `SWEEP_TRACE`) the equilibrium results are also
+//! appended to `DIR/fluid_fig6.jsonl` as `{"ev":"fluid_cell",...}` lines —
+//! there is no packet-level event stream here, but `trace_dump` tolerates
+//! the custom event kind and the file slots into the same trace directory
+//! the packet-level harnesses fill.
 
 use bench_harness::runner::{run_sweep_jobs, SweepCell};
 use bench_harness::{table, Cli, Scale};
@@ -55,11 +61,33 @@ fn main() {
         .into_iter()
         .map(|psi| SweepCell::new(psi.name(), 0, move || scenario(psi, n_users)))
         .collect();
+    let mut sink = cli.trace_dir().and_then(|dir| {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("warning: cannot create trace dir {}: {e}", dir.display());
+            return None;
+        }
+        let path = obs::trace_path(&dir, "fluid_fig6");
+        match obs::JsonlSink::create(&path) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("warning: cannot open trace file {}: {e}", path.display());
+                None
+            }
+        }
+    });
     let mut rows = Vec::new();
     for r in run_sweep_jobs(cells, cli.jobs()) {
         let (mptcp, tcp) = r.output;
         // Implied 16 MB transfer time and a simple ∝1/τ̄ energy proxy.
         let seconds = transfer_bits / (mptcp * mss_bits);
+        if let Some(sink) = sink.as_mut() {
+            sink.raw_line(&format!(
+                "{{\"ev\":\"fluid_cell\",\"psi\":\"{}\",\"n_users\":{n_users},\
+                 \"mptcp_pkts_s\":{mptcp:.3},\"tcp_pkts_s\":{tcp:.3},\
+                 \"transfer_s\":{seconds:.3}}}",
+                r.label
+            ));
+        }
         rows.push(vec![
             r.label,
             format!("{mptcp:.0}"),

@@ -36,29 +36,36 @@ impl Scale {
 }
 
 /// Parsed command-line options shared by the figure binaries: an experiment
-/// [`Scale`] plus an optional sweep worker count.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// [`Scale`], an optional sweep worker count, and an optional trace
+/// directory.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Cli {
     /// The experiment scale.
     pub scale: Scale,
     /// `--jobs N` if given; binaries fall back to
     /// [`runner::default_jobs`] (which honours `SWEEP_JOBS`) when absent.
     pub jobs: Option<usize>,
+    /// `--trace DIR` if given: the directory where per-cell JSONL traces are
+    /// written (one file per cell, see [`obs::jsonl_sink_in`]).
+    pub trace: Option<std::path::PathBuf>,
 }
 
 impl Cli {
-    /// Parses `--smoke`/`--quick`/`--full` and `--jobs N` (or `--jobs=N`)
-    /// from the process arguments. Exits with a usage message on anything
-    /// else.
+    /// Parses `--smoke`/`--quick`/`--full`, `--jobs N` (or `--jobs=N`), and
+    /// `--trace DIR` (or `--trace=DIR`) from the process arguments. Exits
+    /// with a usage message on anything else.
     pub fn from_args() -> Cli {
         Cli::parse(std::env::args().skip(1)).unwrap_or_else(|bad| {
-            eprintln!("unknown argument `{bad}` (expected --smoke/--quick/--full/--jobs N)");
+            eprintln!(
+                "unknown argument `{bad}` \
+                 (expected --smoke/--quick/--full/--jobs N/--trace DIR)"
+            );
             std::process::exit(2);
         })
     }
 
     fn parse(args: impl Iterator<Item = String>) -> Result<Cli, String> {
-        let mut cli = Cli { scale: Scale::Quick, jobs: None };
+        let mut cli = Cli { scale: Scale::Quick, jobs: None, trace: None };
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -69,12 +76,19 @@ impl Cli {
                     let v = args.next().ok_or_else(|| "--jobs (missing count)".to_owned())?;
                     cli.jobs = Some(v.parse::<usize>().map_err(|_| format!("--jobs {v}"))?);
                 }
-                other => match other.strip_prefix("--jobs=") {
-                    Some(v) => {
+                "--trace" => {
+                    let v = args.next().ok_or_else(|| "--trace (missing dir)".to_owned())?;
+                    cli.trace = Some(v.into());
+                }
+                other => {
+                    if let Some(v) = other.strip_prefix("--jobs=") {
                         cli.jobs = Some(v.parse::<usize>().map_err(|_| format!("--jobs={v}"))?);
+                    } else if let Some(v) = other.strip_prefix("--trace=") {
+                        cli.trace = Some(v.into());
+                    } else {
+                        return Err(a);
                     }
-                    None => return Err(a),
-                },
+                }
             }
         }
         if cli.jobs == Some(0) {
@@ -87,6 +101,12 @@ impl Cli {
     /// [`runner::default_jobs`].
     pub fn jobs(&self) -> usize {
         self.jobs.unwrap_or_else(runner::default_jobs)
+    }
+
+    /// The trace output directory: `--trace` if given, else the
+    /// `SWEEP_TRACE` environment variable, else `None` (tracing disabled).
+    pub fn trace_dir(&self) -> Option<std::path::PathBuf> {
+        self.trace.clone().or_else(|| std::env::var_os("SWEEP_TRACE").map(Into::into))
     }
 }
 
@@ -172,18 +192,32 @@ mod tests {
         Cli::parse(args.iter().map(|s| (*s).to_owned()))
     }
 
+    fn cli(scale: Scale, jobs: Option<usize>) -> Cli {
+        Cli { scale, jobs, trace: None }
+    }
+
     #[test]
     fn cli_parses_scale_and_jobs() {
-        assert_eq!(parse(&[]), Ok(Cli { scale: Scale::Quick, jobs: None }));
-        assert_eq!(parse(&["--smoke"]), Ok(Cli { scale: Scale::Smoke, jobs: None }));
-        assert_eq!(
-            parse(&["--full", "--jobs", "4"]),
-            Ok(Cli { scale: Scale::Full, jobs: Some(4) })
-        );
-        assert_eq!(parse(&["--jobs=2"]), Ok(Cli { scale: Scale::Quick, jobs: Some(2) }));
+        assert_eq!(parse(&[]), Ok(cli(Scale::Quick, None)));
+        assert_eq!(parse(&["--smoke"]), Ok(cli(Scale::Smoke, None)));
+        assert_eq!(parse(&["--full", "--jobs", "4"]), Ok(cli(Scale::Full, Some(4))));
+        assert_eq!(parse(&["--jobs=2"]), Ok(cli(Scale::Quick, Some(2))));
         assert!(parse(&["--jobs"]).is_err());
         assert!(parse(&["--jobs", "zero"]).is_err());
         assert!(parse(&["--jobs", "0"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn cli_parses_trace_dir() {
+        let c = parse(&["--trace", "out/traces"]).unwrap();
+        assert_eq!(c.trace, Some(std::path::PathBuf::from("out/traces")));
+        let c = parse(&["--trace=t", "--smoke"]).unwrap();
+        assert_eq!(c.trace, Some(std::path::PathBuf::from("t")));
+        assert_eq!(c.scale, Scale::Smoke);
+        assert!(parse(&["--trace"]).is_err());
+        // The --trace flag wins over the SWEEP_TRACE env fallback.
+        assert_eq!(c.trace_dir(), Some(std::path::PathBuf::from("t")));
+        assert_eq!(parse(&[]).unwrap().trace, None);
     }
 }

@@ -38,6 +38,7 @@
 //! assert_eq!(results[3].output, 9);
 //! ```
 
+use obs::CounterSnapshot;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -54,15 +55,30 @@ pub struct SweepCell<'a, T> {
     /// The seed this cell derives its determinism from (informational; the
     /// closure is responsible for actually using it).
     pub seed: u64,
-    run: Box<dyn FnOnce() -> T + Send + 'a>,
+    run: Box<dyn FnOnce() -> (T, CounterSnapshot) + Send + 'a>,
 }
 
 impl<'a, T> SweepCell<'a, T> {
-    /// Creates a cell from a label, a seed, and the run closure.
+    /// Creates a cell from a label, a seed, and the run closure. The cell's
+    /// [`RunSummary::counters`] come back empty; use
+    /// [`SweepCell::with_counters`] for cells that report observability
+    /// counters alongside their output.
     pub fn new(
         label: impl Into<String>,
         seed: u64,
         run: impl FnOnce() -> T + Send + 'a,
+    ) -> SweepCell<'a, T> {
+        SweepCell::with_counters(label, seed, move || (run(), CounterSnapshot::default()))
+    }
+
+    /// Creates a cell whose closure also returns an
+    /// [`obs::CounterSnapshot`] (e.g. from
+    /// `mptcp_energy::scenarios::counters_of`), surfaced through
+    /// [`RunSummary::counters`].
+    pub fn with_counters(
+        label: impl Into<String>,
+        seed: u64,
+        run: impl FnOnce() -> (T, CounterSnapshot) + Send + 'a,
     ) -> SweepCell<'a, T> {
         SweepCell { label: label.into(), seed, run: Box::new(run) }
     }
@@ -77,6 +93,9 @@ pub struct RunSummary<T> {
     pub seed: u64,
     /// Whatever the cell's closure returned.
     pub output: T,
+    /// Observability counters reported by the cell (empty for cells built
+    /// with [`SweepCell::new`]).
+    pub counters: CounterSnapshot,
 }
 
 /// Parses a `SWEEP_JOBS`-style override; `None` when absent or unusable.
@@ -126,7 +145,10 @@ pub fn run_sweep_jobs<T: Send>(cells: Vec<SweepCell<'_, T>>, jobs: usize) -> Vec
         // must be byte-identical to.
         return cells
             .into_iter()
-            .map(|c| RunSummary { label: c.label, seed: c.seed, output: (c.run)() })
+            .map(|c| {
+                let (output, counters) = (c.run)();
+                RunSummary { label: c.label, seed: c.seed, output, counters }
+            })
             .collect();
     }
     let cursor = AtomicUsize::new(0);
@@ -146,9 +168,9 @@ pub fn run_sweep_jobs<T: Send>(cells: Vec<SweepCell<'_, T>>, jobs: usize) -> Vec
                         .expect("sweep task lock poisoned")
                         .take()
                         .expect("cell claimed twice");
-                    let output = (cell.run)();
+                    let (output, counters) = (cell.run)();
                     *slots[i].lock().expect("sweep result lock poisoned") =
-                        Some(RunSummary { label: cell.label, seed: cell.seed, output });
+                        Some(RunSummary { label: cell.label, seed: cell.seed, output, counters });
                 })
             })
             .collect();
@@ -244,6 +266,25 @@ mod tests {
         assert_eq!(parse_jobs(Some("lots")), None);
         assert_eq!(parse_jobs(None), None);
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn with_counters_cells_surface_their_snapshot() {
+        let cells: Vec<SweepCell<u64>> = (0..4)
+            .map(|s| {
+                SweepCell::with_counters(format!("c{s}"), s, move || {
+                    let mut snap = CounterSnapshot::default();
+                    snap.global.nan_samples = s;
+                    (s * 2, snap)
+                })
+            })
+            .collect();
+        let out = run_sweep_jobs(cells, 2);
+        assert_eq!(out[3].output, 6);
+        assert_eq!(out[3].counters.global.nan_samples, 3);
+        // Plain cells report empty counters.
+        let plain = run_sweep_jobs(square_cells(2), 1);
+        assert_eq!(plain[1].counters, CounterSnapshot::default());
     }
 
     #[test]

@@ -13,6 +13,7 @@ use energy_model::{
     energy_of_flow, EnergyReport, HostLoadSeries, PhoneModel, PowerModel, WiredCpuModel,
 };
 use netsim::{LossModel, SimDuration, SimTime, Simulator};
+use obs::{CounterSnapshot, TraceSink};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use topology::{BCube, Ec2Vpc, FatTree, Hierarchy, LinkParams, SharedBottleneck, TwoPath, Vl2};
@@ -140,7 +141,22 @@ impl Default for BurstyOptions {
 /// Runs the Fig. 5(b) scenario: one MPTCP connection over two 100 Mb/s paths
 /// whose quality flips Bad/Good at random under Pareto cross-traffic bursts.
 pub fn run_two_path_bursty(cc: &CcChoice, opts: &BurstyOptions) -> FlowResult {
+    run_two_path_bursty_traced(cc, opts, None).0
+}
+
+/// [`run_two_path_bursty`] with an optional trace sink installed for the
+/// duration of the run, additionally returning the per-link / per-subflow
+/// counter snapshot. Sinks observe only — traced and untraced runs produce
+/// byte-identical [`FlowResult`]s (pinned by `tests/sweep_determinism.rs`).
+pub fn run_two_path_bursty_traced(
+    cc: &CcChoice,
+    opts: &BurstyOptions,
+    sink: Option<Box<dyn TraceSink>>,
+) -> (FlowResult, CounterSnapshot) {
     let mut sim = Simulator::new(opts.seed);
+    if let Some(sink) = sink {
+        sim.set_trace_sink(sink);
+    }
     let params = LinkParams::new(opts.link_bps, opts.one_way).queue(100);
     let tp = TwoPath::symmetric(&mut sim, params);
     for link in tp.forward_links() {
@@ -153,7 +169,22 @@ pub fn run_two_path_bursty(cc: &CcChoice, opts: &BurstyOptions) -> FlowResult {
     let flow = attach_flow(&mut sim, cfg, cc.build(2), &tp.both(), SimDuration::ZERO);
     sim.run_until(SimTime::from_secs_f64(opts.duration_s));
     let mut model = WiredCpuModel::i7_3770();
-    FlowResult::collect(&sim, flow, cc.label(), &mut model)
+    let result = FlowResult::collect(&sim, flow, cc.label(), &mut model);
+    let counters = counters_of(&sim, &[flow]);
+    // Detach (and thereby flush) the sink before the simulator is dropped.
+    drop(sim.take_trace_sink());
+    (result, counters)
+}
+
+/// Assembles the observability counter snapshot for a finished simulation:
+/// link counters from the world plus subflow counters from each sender.
+pub fn counters_of(sim: &Simulator, flows: &[FlowHandle]) -> CounterSnapshot {
+    let mut snap =
+        CounterSnapshot { links: sim.world().link_counters(), ..CounterSnapshot::default() };
+    for f in flows {
+        snap.subflows.extend(f.sender_ref(sim).subflow_counters());
+    }
+    snap
 }
 
 /// Options for the Fig. 5(a) shared-bottleneck scenario (Fig. 6).
@@ -753,7 +784,7 @@ pub fn run_short_flows(cc: &CcChoice, opts: &ShortFlowOptions) -> ShortFlowResul
             }
         })
         .collect();
-    fct.sort_by(|a, b| a.partial_cmp(b).expect("NaN fct"));
+    fct.sort_by(f64::total_cmp);
     let completion_rate = if mice.is_empty() { 1.0 } else { fct.len() as f64 / mice.len() as f64 };
     ShortFlowResult { label: cc.label(), fct_s: fct, completion_rate }
 }

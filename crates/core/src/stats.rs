@@ -17,6 +17,9 @@ pub struct FiveNumber {
     pub max: f64,
     /// Points outside `[q1 − 1.5·IQR, q3 + 1.5·IQR]`.
     pub outliers: Vec<f64>,
+    /// NaN samples excluded from the summary (also surfaced through the
+    /// `obs` counter registry as `GlobalCounters::nan_samples`).
+    pub nan_samples: usize,
 }
 
 /// Linear-interpolation percentile over a sorted slice (`p ∈ [0, 1]`).
@@ -35,13 +38,30 @@ fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
 impl FiveNumber {
     /// Computes the summary of `values`.
     ///
+    /// NaN samples are excluded and counted in
+    /// [`FiveNumber::nan_samples`] rather than panicking — one degenerate
+    /// cell must not take down an entire parallel sweep. If *every* sample
+    /// is NaN, all five numbers are NaN and `nan_samples == values.len()`.
+    ///
     /// # Panics
     ///
-    /// Panics if `values` is empty or contains NaN.
+    /// Panics if `values` is empty.
     pub fn of(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "five-number summary of an empty set");
-        let mut sorted: Vec<f64> = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        let mut sorted: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+        let nan_samples = values.len() - sorted.len();
+        if sorted.is_empty() {
+            return FiveNumber {
+                min: f64::NAN,
+                q1: f64::NAN,
+                median: f64::NAN,
+                q3: f64::NAN,
+                max: f64::NAN,
+                outliers: Vec::new(),
+                nan_samples,
+            };
+        }
+        sorted.sort_by(f64::total_cmp);
         let q1 = percentile_sorted(&sorted, 0.25);
         let median = percentile_sorted(&sorted, 0.50);
         let q3 = percentile_sorted(&sorted, 0.75);
@@ -62,12 +82,13 @@ impl FiveNumber {
         // crossing it.
         let min = min.min(q1);
         let max = max.max(q3);
-        FiveNumber { min, q1, median, q3, max, outliers }
+        FiveNumber { min, q1, median, q3, max, outliers, nan_samples }
     }
 
-    /// Formats the summary as a compact table cell.
+    /// Formats the summary as a compact table cell. NaN exclusions are
+    /// appended only when present, keeping clean tables unchanged.
     pub fn row(&self) -> String {
-        format!(
+        let mut row = format!(
             "min={:.2} q1={:.2} med={:.2} q3={:.2} max={:.2} outliers={}",
             self.min,
             self.q1,
@@ -75,7 +96,11 @@ impl FiveNumber {
             self.q3,
             self.max,
             self.outliers.len()
-        )
+        );
+        if self.nan_samples > 0 {
+            row.push_str(&format!(" nan={}", self.nan_samples));
+        }
+        row
     }
 }
 
@@ -150,5 +175,35 @@ mod tests {
     #[should_panic]
     fn empty_panics() {
         let _ = FiveNumber::of(&[]);
+    }
+
+    #[test]
+    fn nan_samples_are_excluded_and_counted_not_fatal() {
+        let v = [1.0, f64::NAN, 2.0, 3.0, f64::NAN, 4.0, 5.0];
+        let f = FiveNumber::of(&v);
+        assert_eq!(f.nan_samples, 2);
+        assert_eq!(f.median, 3.0);
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.max, 5.0);
+        assert!(f.row().contains("nan=2"), "{}", f.row());
+        // A clean set reports no exclusions and an unchanged row format.
+        let clean = FiveNumber::of(&[1.0, 2.0]);
+        assert_eq!(clean.nan_samples, 0);
+        assert!(!clean.row().contains("nan="));
+    }
+
+    #[test]
+    fn all_nan_set_yields_nan_summary_without_panicking() {
+        let f = FiveNumber::of(&[f64::NAN, f64::NAN]);
+        assert_eq!(f.nan_samples, 2);
+        assert!(f.median.is_nan() && f.min.is_nan() && f.max.is_nan());
+        assert!(f.outliers.is_empty());
+    }
+
+    #[test]
+    fn infinities_sort_fine_with_total_cmp() {
+        let f = FiveNumber::of(&[f64::NEG_INFINITY, 1.0, 2.0, f64::INFINITY]);
+        assert_eq!(f.nan_samples, 0);
+        assert_eq!(f.median, 1.5);
     }
 }

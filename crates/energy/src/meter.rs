@@ -33,6 +33,12 @@ impl EnergyReport {
 }
 
 /// Converts one telemetry sample into per-path loads.
+///
+/// An open-but-momentarily-idle subflow (`active` with zero throughput)
+/// stays `active`: the paper's measurement section attributes radio
+/// tail/idle energy to *open* subflows, and the LTE RRC model keeps a
+/// connected radio in its high-power tail state between bursts. Gating on
+/// `throughput_bps > 0.0` here used to zero out exactly that energy.
 pub fn loads_of(sample: &FlowSample) -> Vec<PathLoad> {
     sample
         .subflows
@@ -41,7 +47,7 @@ pub fn loads_of(sample: &FlowSample) -> Vec<PathLoad> {
             throughput_bps: s.throughput_bps,
             rtt_s: s.srtt_s,
             base_rtt_s: s.base_rtt_s,
-            active: s.active && s.throughput_bps > 0.0,
+            active: s.active,
         })
         .collect()
 }
@@ -81,6 +87,10 @@ pub struct HostLoadSeries {
     pub bin_s: f64,
     /// `bins[t][iface]` load at grid point `t`.
     pub bins: Vec<Vec<PathLoad>>,
+    /// Samples discarded by [`HostLoadSeries::add_flow`] because they fell
+    /// past the horizon (surfaced through the `obs` counter registry as
+    /// `GlobalCounters::dropped_load_samples`).
+    pub dropped_samples: u64,
 }
 
 impl HostLoadSeries {
@@ -88,15 +98,31 @@ impl HostLoadSeries {
     /// covering `horizon_s`.
     pub fn new(n_ifaces: usize, bin_s: f64, horizon_s: f64) -> Self {
         let n = (horizon_s / bin_s).ceil() as usize;
-        HostLoadSeries { bin_s, bins: vec![vec![PathLoad::IDLE; n_ifaces]; n] }
+        HostLoadSeries { bin_s, bins: vec![vec![PathLoad::IDLE; n_ifaces]; n], dropped_samples: 0 }
+    }
+
+    /// The grid index of a sample at `at_s` seconds: `floor(at / bin)` with
+    /// an epsilon so a sample landing on an exact bin edge deterministically
+    /// bins *forward* rather than hinging on float rounding (a sample at
+    /// `0.3 s` with 0.1 s bins is bin 3 even when `0.3 / 0.1` computes as
+    /// `2.9999…`). `None` when past the horizon.
+    fn bin_index(&self, at_s: f64) -> Option<usize> {
+        let raw = at_s / self.bin_s;
+        let idx = (raw + 1e-9).floor().max(0.0) as usize;
+        (idx < self.bins.len()).then_some(idx)
     }
 
     /// Accumulates a flow's samples. `iface_of[subflow]` maps the flow's
-    /// subflow index to the host interface it uses.
+    /// subflow index to the host interface it uses. Samples past the horizon
+    /// are counted in [`HostLoadSeries::dropped_samples`] instead of being
+    /// silently discarded.
     pub fn add_flow(&mut self, samples: &[FlowSample], iface_of: &[usize]) {
         for s in samples {
-            let idx = (s.at.as_secs_f64() / self.bin_s) as usize;
-            let Some(bin) = self.bins.get_mut(idx) else { continue };
+            let Some(idx) = self.bin_index(s.at.as_secs_f64()) else {
+                self.dropped_samples += 1;
+                continue;
+            };
+            let bin = &mut self.bins[idx];
             for (r, sub) in s.subflows.iter().enumerate() {
                 let iface = iface_of.get(r).copied().unwrap_or(r);
                 let Some(slot) = bin.get_mut(iface) else { continue };
@@ -107,7 +133,9 @@ impl HostLoadSeries {
                     slot.rtt_s = sub.srtt_s;
                     slot.base_rtt_s = sub.base_rtt_s;
                 }
-                slot.active |= sub.active && sub.throughput_bps > 0.0;
+                // Open subflows stay active even between bursts (tail/idle
+                // energy accrues to open radios; see `loads_of`).
+                slot.active |= sub.active;
             }
         }
     }
@@ -192,6 +220,84 @@ mod tests {
         let mut m = WiredCpuModel::i7_3770();
         let report = series.energy(&mut m, None);
         assert!(report.joules > 0.0);
+    }
+
+    fn sample_with(at_s: f64, mbps: f64, active: bool) -> FlowSample {
+        FlowSample {
+            at: SimTime::from_secs_f64(at_s),
+            interval_s: 0.1,
+            subflows: vec![SubflowSample {
+                throughput_bps: mbps * 1e6,
+                srtt_s: 0.05,
+                base_rtt_s: 0.05,
+                cwnd_pkts: 10.0,
+                active,
+            }],
+        }
+    }
+
+    #[test]
+    fn open_idle_subflow_still_charges_connected_radio_power() {
+        use crate::radio::{LteModel, RrcState};
+        // A burst, then the connection stays open but momentarily idle
+        // (active subflow, zero throughput) for 3 s.
+        let mut samples = vec![sample_with(0.0, 5.0, true), sample_with(0.5, 5.0, true)];
+        for i in 1..=30 {
+            samples.push(sample_with(0.5 + i as f64 * 0.1, 0.0, true));
+        }
+        let mut lte = LteModel::mobisys2012();
+        let report = energy_of_flow(&mut lte, &samples);
+        // The open subflow keeps the RRC machine in CONNECTED: mid-idle
+        // power is the CONNECTED base, not the tail (1.060 W) or idle
+        // (0.0594 W) power the old `throughput_bps > 0.0` gate produced.
+        assert_eq!(lte.state(), RrcState::Connected);
+        let (_, p_open_idle) = report.trace[20];
+        assert!((p_open_idle - lte.base_w).abs() < 1e-9, "open-idle power {p_open_idle}");
+        // A *closed* subflow still releases the radio into the tail.
+        let mut closing = samples.clone();
+        closing.push(sample_with(3.7, 0.0, false));
+        let mut lte2 = LteModel::mobisys2012();
+        let report2 = energy_of_flow(&mut lte2, &closing);
+        assert_eq!(lte2.state(), RrcState::Tail);
+        let (_, p_tail) = *report2.trace.last().unwrap();
+        assert!((p_tail - lte2.tail_w).abs() < 1e-9, "tail power {p_tail}");
+    }
+
+    #[test]
+    fn bin_edges_round_deterministically() {
+        // 0.3 / 0.1 computes as 2.9999999999999996 in f64; a naive float
+        // truncation files the sample one bin early. The epsilon-floored
+        // index must land it in bin 3.
+        let mut series = HostLoadSeries::new(1, 0.1, 1.0);
+        series.add_flow(&[sample_with(0.3, 10.0, true)], &[0]);
+        assert!((series.bins[3][0].throughput_bps - 10e6).abs() < 1.0);
+        assert_eq!(series.bins[2][0].throughput_bps, 0.0);
+        assert_eq!(series.dropped_samples, 0);
+    }
+
+    #[test]
+    fn past_horizon_samples_are_counted_not_silent() {
+        let mut series = HostLoadSeries::new(1, 0.1, 1.0);
+        series.add_flow(
+            &[
+                sample_with(0.5, 10.0, true),
+                sample_with(1.0, 10.0, true),
+                sample_with(2.0, 1.0, true),
+            ],
+            &[0],
+        );
+        // The 0.5 s sample lands; 1.0 s is the exclusive horizon edge and
+        // 2.0 s is far past it — both are dropped and counted.
+        assert!((series.bins[5][0].throughput_bps - 10e6).abs() < 1.0);
+        assert_eq!(series.dropped_samples, 2);
+    }
+
+    #[test]
+    fn open_idle_subflow_marks_host_bin_active() {
+        let mut series = HostLoadSeries::new(1, 0.1, 1.0);
+        series.add_flow(&[sample_with(0.2, 0.0, true)], &[0]);
+        assert!(series.bins[2][0].active, "open-but-idle subflow must keep the bin active");
+        assert_eq!(series.bins[2][0].throughput_bps, 0.0);
     }
 
     #[test]

@@ -173,18 +173,18 @@ impl Link {
 
     /// Sets the link administratively up or down at time `now`. Going down
     /// drains the queue (each drained packet counts as a blackout drop) and
-    /// returns the number drained; a packet already in service completes its
-    /// transmission. Going up (or a no-op transition) returns 0.
-    pub(crate) fn set_up(&mut self, up: bool, now: SimTime) -> u64 {
+    /// returns the drained packet ids (so the caller can trace each drop); a
+    /// packet already in service completes its transmission. Going up (or a
+    /// no-op transition) returns an empty list without allocating.
+    pub(crate) fn set_up(&mut self, up: bool, now: SimTime) -> Vec<u64> {
         let was_up = self.impairment.is_up();
         self.impairment.set_up(up);
         if up || !was_up {
-            return 0;
+            return Vec::new();
         }
         self.note_q_change(now);
-        let drained = self.queue.len() as u64;
-        self.queue.clear();
-        self.stats.blackout_drops += drained;
+        let drained: Vec<u64> = self.queue.drain(..).map(|p| p.id).collect();
+        self.stats.blackout_drops += drained.len() as u64;
         drained
     }
 

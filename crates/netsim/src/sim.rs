@@ -33,6 +33,7 @@ use crate::faults::FaultAction;
 use crate::link::{Enqueue, Link, LinkConfig};
 use crate::packet::{AgentId, LinkId, Packet, Payload, Route};
 use crate::time::{SimDuration, SimTime};
+use obs::{DropCause, FaultKind, LinkCounters, TraceEvent, TraceSink};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::any::Any;
@@ -81,6 +82,16 @@ pub trait Watched {
     fn diagnostics(&self) -> String;
 }
 
+/// The installed trace sink, if any. A newtype so [`World`] can keep its
+/// `Debug` derive (sinks themselves need not be `Debug`).
+struct TraceSlot(Option<Box<dyn TraceSink>>);
+
+impl std::fmt::Debug for TraceSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() { "TraceSlot(installed)" } else { "TraceSlot(none)" })
+    }
+}
+
 /// Shared simulation state: links, clock, event queue, RNG.
 ///
 /// Exposed to agents through [`Ctx`] and to experiment drivers through
@@ -92,6 +103,7 @@ pub struct World {
     queue: EventQueue,
     rng: SmallRng,
     next_pkt_id: u64,
+    trace: TraceSlot,
     /// Total packets dropped by DropTail across all links.
     pub dropped_pkts: u64,
     /// Total packets lost to random-loss impairments across all links.
@@ -109,10 +121,66 @@ impl World {
             queue: EventQueue::new(),
             rng: SmallRng::seed_from_u64(seed),
             next_pkt_id: 0,
+            trace: TraceSlot(None),
             dropped_pkts: 0,
             random_losses: 0,
             blackout_drops: 0,
         }
+    }
+
+    /// Installs a trace sink; subsequent simulation events are recorded to
+    /// it. Sinks **observe only** — they never touch the RNG or the event
+    /// queue, so a traced run is byte-identical to an untraced one
+    /// (pinned by `tests/sweep_determinism.rs`).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = TraceSlot(Some(sink));
+    }
+
+    /// Detaches and returns the trace sink, flushing it first.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut sink = std::mem::replace(&mut self.trace, TraceSlot(None)).0;
+        if let Some(s) = sink.as_mut() {
+            s.flush();
+        }
+        sink
+    }
+
+    /// Whether a trace sink is installed. Instrumentation sites that would
+    /// do extra work to *build* an event (beyond moving `Copy` fields) may
+    /// gate on this.
+    pub fn tracing(&self) -> bool {
+        self.trace.0.is_some()
+    }
+
+    /// Records `ev` if a sink is installed. With no sink this is one branch
+    /// on a niche — no allocation (pinned by `tests/trace_noalloc.rs`).
+    #[inline]
+    pub fn emit(&mut self, ev: TraceEvent) {
+        if let Some(sink) = self.trace.0.as_mut() {
+            sink.record(&ev);
+        }
+    }
+
+    /// Per-link counter snapshot (drops by cause, queue high-water),
+    /// assembled from [`Link::stats`] — available whether or not a trace
+    /// sink was installed.
+    pub fn link_counters(&self) -> Vec<LinkCounters> {
+        self.links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| {
+                let s = l.stats();
+                LinkCounters {
+                    link: i as u64,
+                    tx_pkts: s.tx_pkts,
+                    drops_queue: s.drops,
+                    drops_fault: s.random_losses,
+                    drops_blackout: s.blackout_drops,
+                    ecn_marks: s.ecn_marks,
+                    queue_high_water: s.max_qlen,
+                }
+            })
+            .collect()
     }
 
     /// The current simulated time.
@@ -189,37 +257,72 @@ impl World {
         // Impairments act where the wire starts: a down link swallows the
         // packet outright, then the loss process rolls, and only survivors
         // reach the DropTail queue. `dropped_pkts` stays DropTail-only.
+        let t_ns = self.now.as_nanos();
+        let pkt_id = pkt.id;
         let l = &mut self.links[link];
         if !l.is_up() {
             l.note_blackout_drop();
             self.blackout_drops += 1;
+            self.emit(TraceEvent::Drop {
+                t_ns,
+                link: link as u64,
+                pkt_id,
+                cause: DropCause::Blackout,
+            });
             return;
         }
         if l.roll_loss(&mut self.rng) {
             self.random_losses += 1;
+            self.emit(TraceEvent::Drop {
+                t_ns,
+                link: link as u64,
+                pkt_id,
+                cause: DropCause::FaultLoss,
+            });
             return;
         }
-        match l.enqueue(pkt, self.now) {
+        let outcome = l.enqueue(pkt, self.now);
+        let qlen = l.queue_len();
+        match outcome {
             Enqueue::StartTx(ser) => {
                 self.queue.push(self.now + ser, EventKind::LinkTxDone { link });
+                self.emit(TraceEvent::Enqueue { t_ns, link: link as u64, pkt_id, qlen });
             }
-            Enqueue::Queued => {}
+            Enqueue::Queued => {
+                self.emit(TraceEvent::Enqueue { t_ns, link: link as u64, pkt_id, qlen });
+            }
             Enqueue::Dropped => {
                 self.dropped_pkts += 1;
+                self.emit(TraceEvent::Drop {
+                    t_ns,
+                    link: link as u64,
+                    pkt_id,
+                    cause: DropCause::QueueOverflow,
+                });
             }
         }
     }
 
     /// Sets a link administratively up or down. Going down drains the link's
-    /// queue (counted as blackout drops); a packet already in service
-    /// completes its transmission and is forwarded.
+    /// queue (counted — and traced — as blackout drops, one per drained
+    /// packet); a packet already in service completes its transmission and
+    /// is forwarded.
     ///
     /// # Panics
     ///
     /// Panics if `id` is not a registered link.
     pub fn set_link_up(&mut self, id: LinkId, up: bool) {
         let drained = self.links[id].set_up(up, self.now);
-        self.blackout_drops += drained;
+        self.blackout_drops += drained.len() as u64;
+        let t_ns = self.now.as_nanos();
+        for pkt_id in drained {
+            self.emit(TraceEvent::Drop {
+                t_ns,
+                link: id as u64,
+                pkt_id,
+                cause: DropCause::Blackout,
+            });
+        }
     }
 
     /// Applies one scripted fault action at the current time. This is the
@@ -230,17 +333,29 @@ impl World {
     ///
     /// Panics if the action names an unregistered link.
     pub fn apply_fault(&mut self, action: &FaultAction) {
-        match action {
+        let (affected, kind) = match action {
             FaultAction::SetLoss { link, model } => {
                 self.links[*link].impairment_mut().set_loss(model.clone());
+                (*link, FaultKind::SetLoss)
             }
-            FaultAction::SetBandwidth { link, bps } => self.links[*link].set_bandwidth(*bps),
+            FaultAction::SetBandwidth { link, bps } => {
+                self.links[*link].set_bandwidth(*bps);
+                (*link, FaultKind::SetBandwidth)
+            }
             FaultAction::SetPropagation { link, propagation } => {
                 self.links[*link].set_propagation(*propagation);
+                (*link, FaultKind::SetPropagation)
             }
-            FaultAction::LinkDown { link } => self.set_link_up(*link, false),
-            FaultAction::LinkUp { link } => self.set_link_up(*link, true),
-        }
+            FaultAction::LinkDown { link } => {
+                self.set_link_up(*link, false);
+                (*link, FaultKind::LinkDown)
+            }
+            FaultAction::LinkUp { link } => {
+                self.set_link_up(*link, true);
+                (*link, FaultKind::LinkUp)
+            }
+        };
+        self.emit(TraceEvent::Fault { t_ns: self.now.as_nanos(), link: affected as u64, kind });
     }
 
     fn forward_after_tx(&mut self, link: LinkId, mut pkt: Packet) {
@@ -299,6 +414,17 @@ impl Ctx<'_> {
     /// [`crate::faults::FaultScript`] agents).
     pub fn apply_fault(&mut self, action: &FaultAction) {
         self.world.apply_fault(action);
+    }
+
+    /// Records a trace event if a sink is installed (see [`World::emit`]).
+    #[inline]
+    pub fn emit(&mut self, ev: TraceEvent) {
+        self.world.emit(ev);
+    }
+
+    /// Whether a trace sink is installed (see [`World::tracing`]).
+    pub fn tracing(&self) -> bool {
+        self.world.tracing()
     }
 }
 
@@ -441,6 +567,16 @@ impl Simulator {
     /// way to start protocol agents (token 0 as the "go" signal).
     pub fn kick(&mut self, agent: AgentId, delay: SimDuration, token: u64) {
         self.world.schedule_in(agent, delay, token);
+    }
+
+    /// Installs a trace sink (see [`World::set_trace_sink`]).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.world.set_trace_sink(sink);
+    }
+
+    /// Detaches and flushes the trace sink (see [`World::take_trace_sink`]).
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.world.take_trace_sink()
     }
 
     fn dispatch(&mut self, agent: AgentId, f: impl FnOnce(&mut dyn Agent, &mut Ctx<'_>)) {
@@ -763,6 +899,51 @@ mod tests {
         sim.run_to_completion();
         assert_eq!(sim.agent::<Sink>(sink).received.len(), 2);
         assert_eq!(sim.world().link(l).stats().blackout_drops, 4);
+    }
+
+    #[test]
+    fn trace_records_drops_with_causes() {
+        use crate::faults::LossModel;
+        use std::sync::{Arc, Mutex};
+        let events: Arc<Mutex<Vec<TraceEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = Simulator::new(7);
+        let l = sim.add_link(LinkConfig::new(1_000_000, SimDuration::ZERO).queue_limit(1));
+        let sink = sim.add_agent(Box::new(Sink::new()));
+        sim.set_trace_sink(Box::new(events.clone()));
+        let route = Route::new(vec![l], sink);
+        // 1 in service + 1 queued + 1 DropTail overflow.
+        for _ in 0..3 {
+            sim.world_mut().send_packet(sink, route.clone(), 1250, Payload::Raw);
+        }
+        // Going down drains the queued packet (blackout); an offer while down
+        // is also a blackout drop.
+        sim.world_mut().set_link_up(l, false);
+        sim.world_mut().send_packet(sink, route.clone(), 1250, Payload::Raw);
+        sim.world_mut().set_link_up(l, true);
+        // Certain loss consumes the next offer as a fault loss.
+        sim.world_mut().link_mut(l).impairment_mut().set_loss(LossModel::iid(1.0));
+        sim.world_mut().send_packet(sink, route.clone(), 1250, Payload::Raw);
+        sim.run_to_completion();
+        let evs = events.lock().unwrap().clone();
+        let drops = |cause: DropCause| {
+            evs.iter()
+                .filter(|e| matches!(e, TraceEvent::Drop { cause: c, .. } if *c == cause))
+                .count()
+        };
+        assert_eq!(drops(DropCause::QueueOverflow), 1);
+        assert_eq!(drops(DropCause::Blackout), 2);
+        assert_eq!(drops(DropCause::FaultLoss), 1);
+        let enqueues = evs.iter().filter(|e| matches!(e, TraceEvent::Enqueue { .. })).count();
+        assert_eq!(enqueues, 2);
+        // Counters agree with the trace without requiring it.
+        let counters = sim.world().link_counters();
+        assert_eq!(counters[l].drops_queue, 1);
+        assert_eq!(counters[l].drops_blackout, 2);
+        assert_eq!(counters[l].drops_fault, 1);
+        assert_eq!(counters[l].drops(), 4);
+        // The sink detaches cleanly.
+        assert!(sim.take_trace_sink().is_some());
+        assert!(!sim.world().tracing());
     }
 
     #[test]

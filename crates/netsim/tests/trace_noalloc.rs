@@ -1,0 +1,86 @@
+//! Pins the tentpole's hot-path cost claim: with **no** trace sink
+//! installed, running the simulator — event-queue pops, agent dispatch, link
+//! enqueues, and the `World::emit` calls at every instrumentation site —
+//! performs zero heap allocations once the steady state is reached.
+//!
+//! The counting allocator wraps `System`; the test runs a packet ping-pong
+//! workload twice (the first pass warms `Vec`/`VecDeque` capacity inside the
+//! event queue and link buffers) and asserts the second pass allocates
+//! nothing.
+
+use netsim::prelude::*;
+use netsim::sim::{Agent, Ctx};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Echoes each packet back until `remaining` hits zero: a self-sustaining
+/// workload exercising send, enqueue, tx-done, forward, and deliver.
+struct PingPong {
+    reverse: Arc<Route>,
+    remaining: u64,
+}
+
+impl Agent for PingPong {
+    fn on_packet(&mut self, _pkt: Packet, ctx: &mut Ctx<'_>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(self.reverse.clone(), 1500, Payload::Raw);
+        }
+    }
+    fn on_timer(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+        ctx.send(self.reverse.clone(), 1500, Payload::Raw);
+    }
+}
+
+fn run_volley(sim: &mut Simulator, a: usize, rounds: u64) {
+    sim.agent_mut::<PingPong>(a).remaining = rounds;
+    sim.kick(a, SimDuration::ZERO, 0);
+    sim.run_to_completion();
+}
+
+#[test]
+fn disabled_tracing_adds_no_hot_path_allocations() {
+    let mut sim = Simulator::new(3);
+    let fwd = sim.add_link(LinkConfig::new(10_000_000, SimDuration::from_micros(50)));
+    let back = sim.add_link(LinkConfig::new(10_000_000, SimDuration::from_micros(50)));
+    let a = sim.add_agent_with(|id| {
+        Box::new(PingPong { reverse: Route::new(vec![back], id), remaining: 0 })
+    });
+    // `b` echoes (effectively) forever; `a`'s counter bounds each volley.
+    let b = sim
+        .add_agent(Box::new(PingPong { reverse: Route::new(vec![fwd], a), remaining: u64::MAX }));
+    sim.agent_mut::<PingPong>(a).reverse = Route::new(vec![fwd], b);
+
+    // Warm-up: grows the event queue and link ring buffers to capacity.
+    run_volley(&mut sim, a, 5_000);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    run_volley(&mut sim, a, 5_000);
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state event loop with tracing disabled must not allocate"
+    );
+}

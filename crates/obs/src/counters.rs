@@ -1,0 +1,165 @@
+//! The counter registry: cheap always-on aggregates, independent of whether
+//! a trace sink is installed.
+//!
+//! Counters are assembled *after* a run from state the simulator and sender
+//! already maintain (link stats, subflow counters), so the hot path pays
+//! nothing for them. They ride along in `bench_harness::runner::RunSummary`
+//! and in scenario outputs, making every sweep cell auditable without
+//! re-running it.
+
+/// Per-link counters: drops split by cause, plus queue high-water.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LinkCounters {
+    /// Link id.
+    pub link: u64,
+    /// Packets transmitted onto the wire.
+    pub tx_pkts: u64,
+    /// Drops because the DropTail queue was full.
+    pub drops_queue: u64,
+    /// Drops consumed by an injected loss process.
+    pub drops_fault: u64,
+    /// Drops because the link was down (offers while dark + drained queue).
+    pub drops_blackout: u64,
+    /// ECN marks applied.
+    pub ecn_marks: u64,
+    /// Maximum queue occupancy observed (packets).
+    pub queue_high_water: usize,
+}
+
+impl LinkCounters {
+    /// Total drops across all causes.
+    pub fn drops(&self) -> u64 {
+        self.drops_queue + self.drops_fault + self.drops_blackout
+    }
+}
+
+/// Per-subflow counters mirrored out of the sender's scoreboard.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SubflowCounters {
+    /// Connection id.
+    pub conn: u64,
+    /// Path index within the connection.
+    pub subflow: usize,
+    /// Retransmission-timer firings.
+    pub rtos: u64,
+    /// Scoreboard-driven (non-timeout) retransmissions.
+    pub fast_rexmits: u64,
+    /// Retransmissions later proven unnecessary (lower bound).
+    pub spurious_rexmits: u64,
+    /// Fast-recovery episodes entered.
+    pub recoveries: u64,
+    /// Times the subflow was declared dead.
+    pub deaths: u64,
+    /// Times a dead subflow was revived.
+    pub revivals: u64,
+    /// Revival probes sent while dead.
+    pub probes: u64,
+}
+
+/// Process-wide counters that have no per-link/per-subflow home.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GlobalCounters {
+    /// NaN samples filtered out of summary statistics instead of panicking.
+    pub nan_samples: u64,
+    /// Flow samples dropped by `HostLoadSeries::add_flow` (past horizon).
+    pub dropped_load_samples: u64,
+}
+
+/// A full counter snapshot for one run: the FlowSample-style view the sweep
+/// runner attaches to each `RunSummary`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CounterSnapshot {
+    /// One entry per link, in link-id order.
+    pub links: Vec<LinkCounters>,
+    /// One entry per (connection, subflow).
+    pub subflows: Vec<SubflowCounters>,
+    /// Process-wide counts.
+    pub global: GlobalCounters,
+}
+
+impl CounterSnapshot {
+    /// Total drops across every link and cause.
+    pub fn total_drops(&self) -> u64 {
+        self.links.iter().map(LinkCounters::drops).sum()
+    }
+
+    /// Total fast-recovery episodes across every subflow.
+    pub fn total_recoveries(&self) -> u64 {
+        self.subflows.iter().map(|s| s.recoveries).sum()
+    }
+
+    /// Total RTO firings across every subflow.
+    pub fn total_rtos(&self) -> u64 {
+        self.subflows.iter().map(|s| s.rtos).sum()
+    }
+
+    /// Renders a compact human-readable digest (one line per non-idle link
+    /// and subflow) for harness stdout.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for l in self.links.iter().filter(|l| l.drops() > 0 || l.queue_high_water > 0) {
+            let _ = writeln!(
+                out,
+                "link {}: tx={} drops(queue={} fault={} blackout={}) ecn={} q_hwm={}",
+                l.link,
+                l.tx_pkts,
+                l.drops_queue,
+                l.drops_fault,
+                l.drops_blackout,
+                l.ecn_marks,
+                l.queue_high_water
+            );
+        }
+        for s in &self.subflows {
+            let _ = writeln!(
+                out,
+                "conn {} subflow {}: rtos={} fast_rexmits={} spurious={} recoveries={} \
+                 deaths={} revivals={} probes={}",
+                s.conn,
+                s.subflow,
+                s.rtos,
+                s.fast_rexmits,
+                s.spurious_rexmits,
+                s.recoveries,
+                s.deaths,
+                s.revivals,
+                s.probes
+            );
+        }
+        if self.global.nan_samples > 0 || self.global.dropped_load_samples > 0 {
+            let _ = writeln!(
+                out,
+                "global: nan_samples={} dropped_load_samples={}",
+                self.global.nan_samples, self.global.dropped_load_samples
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_across_links_and_subflows() {
+        let snap = CounterSnapshot {
+            links: vec![
+                LinkCounters { link: 0, drops_queue: 2, drops_blackout: 1, ..Default::default() },
+                LinkCounters { link: 1, drops_fault: 4, ..Default::default() },
+            ],
+            subflows: vec![
+                SubflowCounters { rtos: 3, recoveries: 2, ..Default::default() },
+                SubflowCounters { subflow: 1, rtos: 1, recoveries: 1, ..Default::default() },
+            ],
+            global: GlobalCounters::default(),
+        };
+        assert_eq!(snap.total_drops(), 7);
+        assert_eq!(snap.total_recoveries(), 3);
+        assert_eq!(snap.total_rtos(), 4);
+        let text = snap.render();
+        assert!(text.contains("blackout=1"), "{text}");
+        assert!(text.contains("recoveries=2"), "{text}");
+    }
+}

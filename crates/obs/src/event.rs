@@ -1,0 +1,275 @@
+//! The typed trace-event taxonomy.
+//!
+//! Every event is a small all-`Copy` value: no strings, no heap. Emitting an
+//! event with no sink installed must not allocate (pinned by
+//! `netsim/tests/trace_noalloc.rs`), so the taxonomy carries numeric ids and
+//! the `&'static str` names live in the enum discriminants, not the events.
+//!
+//! Timestamps are simulation nanoseconds (`SimTime::as_nanos`), not wall
+//! clock, so a trace is as deterministic as the run that produced it.
+
+/// Why a packet was dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropCause {
+    /// The DropTail queue was full.
+    QueueOverflow,
+    /// An injected random/burst loss process consumed the packet.
+    FaultLoss,
+    /// The link was down (offer while dark, or queue drained on transition).
+    Blackout,
+}
+
+impl DropCause {
+    /// Stable lowercase name used in JSONL output and counter keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropCause::QueueOverflow => "queue_overflow",
+            DropCause::FaultLoss => "fault_loss",
+            DropCause::Blackout => "blackout",
+        }
+    }
+}
+
+/// What pushed a subflow into fast recovery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryCause {
+    /// SACK scoreboard declared losses (dupack path).
+    FastRetransmit,
+    /// Retransmission timer fired.
+    Rto,
+    /// A dead subflow was revived and restarts conservatively.
+    Revival,
+}
+
+impl RecoveryCause {
+    /// Stable lowercase name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryCause::FastRetransmit => "fast_retransmit",
+            RecoveryCause::Rto => "rto",
+            RecoveryCause::Revival => "revival",
+        }
+    }
+}
+
+/// Which fault primitive a `Fault` event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Loss model replaced (iid / Gilbert-Elliott / off).
+    SetLoss,
+    /// Link bandwidth changed.
+    SetBandwidth,
+    /// Propagation delay changed.
+    SetPropagation,
+    /// Link blacked out.
+    LinkDown,
+    /// Link restored.
+    LinkUp,
+}
+
+impl FaultKind {
+    /// Stable lowercase name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::SetLoss => "set_loss",
+            FaultKind::SetBandwidth => "set_bandwidth",
+            FaultKind::SetPropagation => "set_propagation",
+            FaultKind::LinkDown => "link_down",
+            FaultKind::LinkUp => "link_up",
+        }
+    }
+}
+
+/// One structured trace event. `t_ns` is simulation time in nanoseconds;
+/// `link` is a link id; `conn`/`subflow` identify an MPTCP connection and the
+/// path index within it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A packet entered a link queue (or went straight to the wire).
+    Enqueue { t_ns: u64, link: u64, pkt_id: u64, qlen: usize },
+    /// A packet was dropped, with the cause.
+    Drop { t_ns: u64, link: u64, pkt_id: u64, cause: DropCause },
+    /// A scoreboard-driven (non-timeout) retransmission was sent.
+    FastRexmit { t_ns: u64, conn: u64, subflow: usize, seq: u64 },
+    /// The retransmission timer fired; `backoff` is the exponent applied.
+    RtoFired { t_ns: u64, conn: u64, subflow: usize, backoff: u32 },
+    /// An ACK arrived for a segment that had already been delivered but was
+    /// retransmitted anyway — a spurious retransmission (lower bound).
+    SpuriousRexmit { t_ns: u64, conn: u64, subflow: usize, seq: u64 },
+    /// The subflow entered fast recovery; `recover` is the exit threshold.
+    RecoveryEnter { t_ns: u64, conn: u64, subflow: usize, recover: u64, cause: RecoveryCause },
+    /// The subflow left fast recovery at cumulative ack `cum_ack`.
+    RecoveryExit { t_ns: u64, conn: u64, subflow: usize, cum_ack: u64 },
+    /// The congestion window changed (emitted only on actual change).
+    CwndChange { t_ns: u64, conn: u64, subflow: usize, cwnd_pkts: f64 },
+    /// The subflow was declared dead after repeated RTO backoffs.
+    SubflowDead { t_ns: u64, conn: u64, subflow: usize },
+    /// A dead subflow came back (probe was acknowledged).
+    SubflowRevived { t_ns: u64, conn: u64, subflow: usize },
+    /// The scheduler picked this subflow for new data `data_seq`.
+    SchedulerPick { t_ns: u64, conn: u64, subflow: usize, data_seq: u64 },
+    /// A fault primitive was applied to a link.
+    Fault { t_ns: u64, link: u64, kind: FaultKind },
+}
+
+impl TraceEvent {
+    /// Stable event-kind name: the value of the `"ev"` field in JSONL.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            TraceEvent::Enqueue { .. } => "enqueue",
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::FastRexmit { .. } => "fast_rexmit",
+            TraceEvent::RtoFired { .. } => "rto_fired",
+            TraceEvent::SpuriousRexmit { .. } => "spurious_rexmit",
+            TraceEvent::RecoveryEnter { .. } => "recovery_enter",
+            TraceEvent::RecoveryExit { .. } => "recovery_exit",
+            TraceEvent::CwndChange { .. } => "cwnd_change",
+            TraceEvent::SubflowDead { .. } => "subflow_dead",
+            TraceEvent::SubflowRevived { .. } => "subflow_revived",
+            TraceEvent::SchedulerPick { .. } => "scheduler_pick",
+            TraceEvent::Fault { .. } => "fault",
+        }
+    }
+
+    /// The event's simulation timestamp in nanoseconds.
+    pub fn t_ns(&self) -> u64 {
+        match *self {
+            TraceEvent::Enqueue { t_ns, .. }
+            | TraceEvent::Drop { t_ns, .. }
+            | TraceEvent::FastRexmit { t_ns, .. }
+            | TraceEvent::RtoFired { t_ns, .. }
+            | TraceEvent::SpuriousRexmit { t_ns, .. }
+            | TraceEvent::RecoveryEnter { t_ns, .. }
+            | TraceEvent::RecoveryExit { t_ns, .. }
+            | TraceEvent::CwndChange { t_ns, .. }
+            | TraceEvent::SubflowDead { t_ns, .. }
+            | TraceEvent::SubflowRevived { t_ns, .. }
+            | TraceEvent::SchedulerPick { t_ns, .. }
+            | TraceEvent::Fault { t_ns, .. } => t_ns,
+        }
+    }
+
+    /// Appends the event as one flat JSON object (no trailing newline) to
+    /// `out`. Hand-rolled: field names and values never need escaping, so a
+    /// serializer dependency would buy nothing.
+    pub fn to_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let ev = self.kind_name();
+        match *self {
+            TraceEvent::Enqueue { t_ns, link, pkt_id, qlen } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"{ev}\",\"t_ns\":{t_ns},\"link\":{link},\"pkt\":{pkt_id},\"qlen\":{qlen}}}"
+                );
+            }
+            TraceEvent::Drop { t_ns, link, pkt_id, cause } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"{ev}\",\"t_ns\":{t_ns},\"link\":{link},\"pkt\":{pkt_id},\"cause\":\"{}\"}}",
+                    cause.name()
+                );
+            }
+            TraceEvent::FastRexmit { t_ns, conn, subflow, seq } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"{ev}\",\"t_ns\":{t_ns},\"conn\":{conn},\"subflow\":{subflow},\"seq\":{seq}}}"
+                );
+            }
+            TraceEvent::RtoFired { t_ns, conn, subflow, backoff } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"{ev}\",\"t_ns\":{t_ns},\"conn\":{conn},\"subflow\":{subflow},\"backoff\":{backoff}}}"
+                );
+            }
+            TraceEvent::SpuriousRexmit { t_ns, conn, subflow, seq } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"{ev}\",\"t_ns\":{t_ns},\"conn\":{conn},\"subflow\":{subflow},\"seq\":{seq}}}"
+                );
+            }
+            TraceEvent::RecoveryEnter { t_ns, conn, subflow, recover, cause } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"{ev}\",\"t_ns\":{t_ns},\"conn\":{conn},\"subflow\":{subflow},\"recover\":{recover},\"cause\":\"{}\"}}",
+                    cause.name()
+                );
+            }
+            TraceEvent::RecoveryExit { t_ns, conn, subflow, cum_ack } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"{ev}\",\"t_ns\":{t_ns},\"conn\":{conn},\"subflow\":{subflow},\"cum_ack\":{cum_ack}}}"
+                );
+            }
+            TraceEvent::CwndChange { t_ns, conn, subflow, cwnd_pkts } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"{ev}\",\"t_ns\":{t_ns},\"conn\":{conn},\"subflow\":{subflow},\"cwnd_pkts\":{cwnd_pkts}}}"
+                );
+            }
+            TraceEvent::SubflowDead { t_ns, conn, subflow }
+            | TraceEvent::SubflowRevived { t_ns, conn, subflow } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"{ev}\",\"t_ns\":{t_ns},\"conn\":{conn},\"subflow\":{subflow}}}"
+                );
+            }
+            TraceEvent::SchedulerPick { t_ns, conn, subflow, data_seq } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"{ev}\",\"t_ns\":{t_ns},\"conn\":{conn},\"subflow\":{subflow},\"data_seq\":{data_seq}}}"
+                );
+            }
+            TraceEvent::Fault { t_ns, link, kind } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"{ev}\",\"t_ns\":{t_ns},\"link\":{link},\"kind\":\"{}\"}}",
+                    kind.name()
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_flat_and_carries_the_cause() {
+        let mut s = String::new();
+        TraceEvent::Drop { t_ns: 5, link: 2, pkt_id: 7, cause: DropCause::Blackout }
+            .to_json(&mut s);
+        assert_eq!(s, "{\"ev\":\"drop\",\"t_ns\":5,\"link\":2,\"pkt\":7,\"cause\":\"blackout\"}");
+    }
+
+    #[test]
+    fn every_kind_serializes_with_its_name_and_time() {
+        let evs = [
+            TraceEvent::Enqueue { t_ns: 1, link: 0, pkt_id: 0, qlen: 3 },
+            TraceEvent::Drop { t_ns: 2, link: 0, pkt_id: 1, cause: DropCause::QueueOverflow },
+            TraceEvent::FastRexmit { t_ns: 3, conn: 9, subflow: 0, seq: 4 },
+            TraceEvent::RtoFired { t_ns: 4, conn: 9, subflow: 1, backoff: 2 },
+            TraceEvent::SpuriousRexmit { t_ns: 5, conn: 9, subflow: 0, seq: 4 },
+            TraceEvent::RecoveryEnter {
+                t_ns: 6,
+                conn: 9,
+                subflow: 0,
+                recover: 40,
+                cause: RecoveryCause::Rto,
+            },
+            TraceEvent::RecoveryExit { t_ns: 7, conn: 9, subflow: 0, cum_ack: 40 },
+            TraceEvent::CwndChange { t_ns: 8, conn: 9, subflow: 0, cwnd_pkts: 2.5 },
+            TraceEvent::SubflowDead { t_ns: 9, conn: 9, subflow: 1 },
+            TraceEvent::SubflowRevived { t_ns: 10, conn: 9, subflow: 1 },
+            TraceEvent::SchedulerPick { t_ns: 11, conn: 9, subflow: 0, data_seq: 12 },
+            TraceEvent::Fault { t_ns: 12, link: 0, kind: FaultKind::LinkDown },
+        ];
+        for ev in evs {
+            let mut s = String::new();
+            ev.to_json(&mut s);
+            assert!(s.starts_with(&format!("{{\"ev\":\"{}\"", ev.kind_name())), "{s}");
+            assert!(s.contains(&format!("\"t_ns\":{}", ev.t_ns())), "{s}");
+            assert!(s.ends_with('}'), "{s}");
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! # obs — structured trace/counter observability layer
+//!
+//! The paper's energy claims rest on *why* traffic shifts between paths:
+//! which drops, retransmissions, and recovery episodes drove each
+//! algorithm's window evolution. This crate makes every simulation run
+//! auditable without re-running it under a debugger:
+//!
+//! - [`event::TraceEvent`] — a typed, all-`Copy` event taxonomy (packet
+//!   enqueue/drop with cause, fast retransmit vs RTO, recovery enter/exit,
+//!   cwnd change, subflow death/revival, scheduler decision, fault
+//!   transition);
+//! - [`sink::TraceSink`] — the consumer trait, with JSONL
+//!   ([`sink::JsonlSink`]), ring-buffer ([`sink::RingSink`]), filtering and
+//!   in-memory implementations; the no-op default is simply *no sink
+//!   installed*, which costs one branch and zero allocations on the hot path;
+//! - [`counters`] — always-on per-link / per-subflow / global counter
+//!   snapshots assembled after a run, carried through
+//!   `bench_harness::runner::RunSummary`;
+//! - [`summary`] — the JSONL summarizer behind the `trace_dump` binary.
+//!
+//! ## Determinism contract
+//!
+//! Sinks **observe**; they never consume simulator RNG, schedule events, or
+//! otherwise feed back into the run. `tests/sweep_determinism.rs` pins that
+//! a traced run and an untraced run of the same cell are byte-identical in
+//! simulation results, and `netsim/tests/trace_noalloc.rs` pins that the
+//! disabled path allocates nothing.
+
+pub mod counters;
+pub mod event;
+pub mod sink;
+pub mod summary;
+
+pub use counters::{CounterSnapshot, GlobalCounters, LinkCounters, SubflowCounters};
+pub use event::{DropCause, FaultKind, RecoveryCause, TraceEvent};
+pub use sink::{
+    jsonl_sink_in, sanitize_label, trace_path, FilterSink, JsonlSink, NullSink, RingSink, TraceSink,
+};
+pub use summary::{summarize, TraceSummary};

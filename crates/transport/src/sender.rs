@@ -19,6 +19,7 @@ use crate::rtt::RttEstimator;
 use crate::sample::{FlowSample, SubflowSample};
 use congestion::{MultipathCongestionControl, SubflowCc};
 use netsim::{Agent, Ctx, Packet, Payload, Route, SimTime, Watched};
+use obs::{RecoveryCause, SubflowCounters, TraceEvent};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
@@ -81,6 +82,12 @@ pub struct SubflowState {
     pub tx_pkts: u64,
     /// Fast (scoreboard) + RTO retransmissions.
     pub rexmits: u64,
+    /// Scoreboard-driven (non-timeout) retransmissions only.
+    pub fast_rexmits: u64,
+    /// Retransmissions the receiver later proved unnecessary: an ACK arrived
+    /// for an already-delivered, retransmitted segment. A lower bound —
+    /// segments slid out by the cumulative ACK escape the check.
+    pub spurious_rexmits: u64,
     /// RTO expirations.
     pub timeouts: u64,
     /// Packets cumulatively acknowledged.
@@ -119,6 +126,8 @@ impl SubflowState {
             segs: BTreeMap::new(),
             tx_pkts: 0,
             rexmits: 0,
+            fast_rexmits: 0,
+            spurious_rexmits: 0,
             timeouts: 0,
             acked_pkts: 0,
             recoveries: 0,
@@ -141,8 +150,10 @@ impl SubflowState {
         self.snd_nxt > self.snd_una
     }
 
-    /// Marks `seq` delivered on the scoreboard, adjusting `pipe`.
-    fn mark_delivered(&mut self, seq: u64) {
+    /// Marks `seq` delivered on the scoreboard, adjusting `pipe`. Returns
+    /// `true` when the segment was *already* delivered and had been
+    /// retransmitted — i.e. this ACK proves a retransmission spurious.
+    fn mark_delivered(&mut self, seq: u64) -> bool {
         if let Some(seg) = self.segs.get_mut(&seq) {
             if !seg.delivered {
                 seg.delivered = true;
@@ -150,8 +161,11 @@ impl SubflowState {
                     seg.in_pipe = false;
                     self.pipe = self.pipe.saturating_sub(1);
                 }
+            } else if seg.rexmits > 0 {
+                return true;
             }
         }
+        false
     }
 
     /// Classifies as lost every undelivered segment the receiver has seen
@@ -366,6 +380,26 @@ impl MptcpSender {
         self.subflows.iter().map(|s| s.recoveries).sum()
     }
 
+    /// Per-subflow counter snapshot for the observability registry
+    /// (RTO / spurious-retransmit / recovery counts per subflow).
+    pub fn subflow_counters(&self) -> Vec<SubflowCounters> {
+        self.subflows
+            .iter()
+            .enumerate()
+            .map(|(i, sf)| SubflowCounters {
+                conn: self.cfg.conn_id,
+                subflow: i,
+                rtos: sf.timeouts,
+                fast_rexmits: sf.fast_rexmits,
+                spurious_rexmits: sf.spurious_rexmits,
+                recoveries: sf.recoveries,
+                deaths: sf.deaths,
+                revivals: sf.revivals,
+                probes: sf.probes,
+            })
+            .collect()
+    }
+
     /// Mean goodput in bits/second between start and finish (or `until` for
     /// long-lived flows).
     pub fn goodput_bps(&self, until: SimTime) -> f64 {
@@ -433,6 +467,13 @@ impl MptcpSender {
             while self.subflows[r].pipe < wnd {
                 match self.subflows[r].next_rexmit(now) {
                     Some(seq) => {
+                        self.subflows[r].fast_rexmits += 1;
+                        ctx.emit(TraceEvent::FastRexmit {
+                            t_ns: now.as_nanos(),
+                            conn: self.cfg.conn_id,
+                            subflow: r,
+                            seq,
+                        });
                         self.transmit(r, seq, true, ctx);
                         self.arm_rto(r, ctx);
                     }
@@ -494,6 +535,12 @@ impl MptcpSender {
             );
             self.subflows[r].snd_nxt += 1;
             self.data_next += 1;
+            ctx.emit(TraceEvent::SchedulerPick {
+                t_ns: now.as_nanos(),
+                conn: self.cfg.conn_id,
+                subflow: r,
+                data_seq,
+            });
             self.transmit(r, seq, false, ctx);
             if was_idle {
                 self.arm_rto(r, ctx);
@@ -673,7 +720,19 @@ impl MptcpSender {
         // again: revive it (slow start, fresh RTT state) before this ACK's
         // sample feeds the estimators.
         if self.subflows[r].dead && cum_ack > self.subflows[r].snd_una {
+            let was_in_recovery = self.subflows[r].in_recovery;
             self.revive(r);
+            let t_ns = ctx.now().as_nanos();
+            ctx.emit(TraceEvent::SubflowRevived { t_ns, conn: self.cfg.conn_id, subflow: r });
+            if !was_in_recovery {
+                ctx.emit(TraceEvent::RecoveryEnter {
+                    t_ns,
+                    conn: self.cfg.conn_id,
+                    subflow: r,
+                    recover: self.subflows[r].recover,
+                    cause: RecoveryCause::Revival,
+                });
+            }
         }
 
         // RTT sample from the receiver's echo of the segment timestamp:
@@ -685,10 +744,19 @@ impl MptcpSender {
         }
 
         // Scoreboard updates.
-        {
+        let spurious = {
             let sf = &mut self.subflows[r];
             sf.sack_high = sf.sack_high.max(sack_high);
-            sf.mark_delivered(for_seq);
+            sf.mark_delivered(for_seq)
+        };
+        if spurious {
+            self.subflows[r].spurious_rexmits += 1;
+            ctx.emit(TraceEvent::SpuriousRexmit {
+                t_ns: ctx.now().as_nanos(),
+                conn: self.cfg.conn_id,
+                subflow: r,
+                seq: for_seq,
+            });
         }
         let newly_lost = self.subflows[r].advance_loss_scan();
 
@@ -704,9 +772,17 @@ impl MptcpSender {
             }
             if self.subflows[r].in_recovery && cum_ack >= self.subflows[r].recover {
                 self.subflows[r].in_recovery = false;
+                ctx.emit(TraceEvent::RecoveryExit {
+                    t_ns: ctx.now().as_nanos(),
+                    conn: self.cfg.conn_id,
+                    subflow: r,
+                    cum_ack,
+                });
             }
             if !self.subflows[r].in_recovery {
+                let cwnd_before = self.cc_states[r].cwnd;
                 self.cc.on_ack(r, &mut self.cc_states, newly, ecn_echo);
+                self.emit_cwnd_change(r, cwnd_before, ctx);
             }
             if self.subflows[r].has_outstanding() {
                 self.arm_rto(r, ctx);
@@ -724,7 +800,16 @@ impl MptcpSender {
             sf.recover = sf.snd_nxt;
             sf.rexmit_cursor = sf.snd_una;
             sf.recoveries += 1;
+            ctx.emit(TraceEvent::RecoveryEnter {
+                t_ns: ctx.now().as_nanos(),
+                conn: self.cfg.conn_id,
+                subflow: r,
+                recover: self.subflows[r].recover,
+                cause: RecoveryCause::FastRetransmit,
+            });
+            let cwnd_before = self.cc_states[r].cwnd;
             self.cc.on_loss(r, &mut self.cc_states);
+            self.emit_cwnd_change(r, cwnd_before, ctx);
         }
 
         if let Some(total) = self.cfg.total_pkts {
@@ -751,6 +836,7 @@ impl MptcpSender {
             self.arm_rto(r, ctx);
             return;
         }
+        let was_in_recovery = self.subflows[r].in_recovery;
         {
             let sf = &mut self.subflows[r];
             sf.timeouts += 1;
@@ -769,7 +855,25 @@ impl MptcpSender {
             sf.sack_high = sf.sack_high.max(sf.snd_nxt);
             sf.loss_scan = sf.snd_una;
         }
+        let t_ns = ctx.now().as_nanos();
+        ctx.emit(TraceEvent::RtoFired {
+            t_ns,
+            conn: self.cfg.conn_id,
+            subflow: r,
+            backoff: self.subflows[r].backoff,
+        });
+        if !was_in_recovery {
+            ctx.emit(TraceEvent::RecoveryEnter {
+                t_ns,
+                conn: self.cfg.conn_id,
+                subflow: r,
+                recover: self.subflows[r].recover,
+                cause: RecoveryCause::Rto,
+            });
+        }
+        let cwnd_before = self.cc_states[r].cwnd;
         self.cc.on_timeout(r, &mut self.cc_states);
+        self.emit_cwnd_change(r, cwnd_before, ctx);
         let head = self.subflows[r].snd_una;
         self.transmit(r, head, true, ctx);
         self.subflows[r].rexmit_cursor = head + 1;
@@ -781,8 +885,27 @@ impl MptcpSender {
         if let Some(k) = self.cfg.dead_after_backoffs {
             if self.subflows[r].backoff >= k {
                 self.mark_dead(r);
+                ctx.emit(TraceEvent::SubflowDead {
+                    t_ns: ctx.now().as_nanos(),
+                    conn: self.cfg.conn_id,
+                    subflow: r,
+                });
                 self.pump(ctx);
             }
+        }
+    }
+
+    /// Emits a `CwndChange` event when the algorithm actually moved subflow
+    /// `r`'s window across the preceding call.
+    fn emit_cwnd_change(&mut self, r: usize, cwnd_before: f64, ctx: &mut Ctx<'_>) {
+        let cwnd_pkts = self.cc_states[r].cwnd;
+        if cwnd_pkts != cwnd_before {
+            ctx.emit(TraceEvent::CwndChange {
+                t_ns: ctx.now().as_nanos(),
+                conn: self.cfg.conn_id,
+                subflow: r,
+                cwnd_pkts,
+            });
         }
     }
 

@@ -1,0 +1,73 @@
+//! Trace forensics: run a faulted two-path transfer with the `obs` layer
+//! attached — a streaming JSONL trace on disk plus an in-memory ring of the
+//! last few control-plane events — then read the trace back through the
+//! `trace_dump` summarizer and print the counter snapshot.
+//!
+//! ```sh
+//! cargo run --release --example trace_forensics
+//! ```
+//!
+//! Tracing is purely observational: re-running this binary produces the
+//! same numbers with or without the sink installed (DESIGN.md §9).
+
+use mptcp_energy_repro::congestion::AlgorithmKind;
+use mptcp_energy_repro::netsim::{
+    FaultAction, FaultScript, LossModel, SimDuration, SimTime, Simulator,
+};
+use mptcp_energy_repro::obs;
+use mptcp_energy_repro::paper::scenarios::counters_of;
+use mptcp_energy_repro::paper::CcChoice;
+use mptcp_energy_repro::topology::TwoPath;
+use mptcp_energy_repro::transport::{attach_flow, FlowConfig};
+use std::io::BufReader;
+
+fn main() {
+    let dir = std::env::temp_dir().join("mptcp-trace-forensics");
+    let label = "demo-cell";
+
+    // The scenario: 20 000 packets over two 10 Mb/s paths. Path 1 picks up
+    // 2 % random loss at t = 1 s; path 2 goes completely dark from 5 s to
+    // 12 s, long enough for the sender to declare it dead and revive it.
+    let mut sim = Simulator::new(9);
+    if let Some(sink) = obs::jsonl_sink_in(&dir, label) {
+        sim.set_trace_sink(sink);
+    }
+    let tp = TwoPath::dual_nic(&mut sim, 10_000_000, SimDuration::from_millis(10));
+    let down = SimTime::from_secs_f64(5.0);
+    let up = SimTime::from_secs_f64(12.0);
+    FaultScript::new()
+        .at(
+            SimTime::from_secs_f64(1.0),
+            FaultAction::SetLoss { link: tp.p1.fwd, model: LossModel::iid(0.02) },
+        )
+        .blackout(tp.p2.fwd, down, up)
+        .blackout(tp.p2.rev, down, up)
+        .install(&mut sim);
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(0).transfer_pkts(20_000).dead_after_backoffs(Some(3)),
+        CcChoice::Base(AlgorithmKind::Lia).build(2),
+        &tp.both(),
+        SimDuration::ZERO,
+    );
+    sim.run_until(SimTime::from_secs_f64(60.0));
+    drop(sim.take_trace_sink()); // detach + flush
+
+    println!(
+        "transfer finished at t = {:.2} s ({} pkts acked)\n",
+        flow.finish_time(&sim).map(|t| t.as_secs_f64()).unwrap_or(f64::NAN),
+        flow.sender_ref(&sim).data_acked(),
+    );
+
+    println!("== counter snapshot (always on, no sink needed) ==");
+    print!("{}", counters_of(&sim, std::slice::from_ref(&flow)).render());
+
+    let path = obs::trace_path(&dir, label);
+    let file = std::fs::File::open(&path).expect("trace file must exist");
+    let summary = obs::summarize(BufReader::new(file)).expect("trace must read back");
+    println!("\n== {} (what `trace_dump` prints) ==", path.display());
+    print!("{}", summary.render());
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}

@@ -12,12 +12,15 @@
 //! * [`topology`] — FatTree, VL2, BCube, EC2 VPC, testbed scenarios;
 //! * [`workload`] — Pareto bursts, CBR, permutation traffic;
 //! * [`paper`] — the paper's contribution: the Equation-(3) model, DTS,
-//!   DTS-Φ, fluid solver, conditions, scenario runners.
+//!   DTS-Φ, fluid solver, conditions, scenario runners;
+//! * [`obs`] — structured trace events, sinks (JSONL, ring, filter), and
+//!   the counter registry (DESIGN.md §9).
 
 pub use congestion;
 pub use energy_model as energy;
 pub use mptcp_energy as paper;
 pub use netsim;
+pub use obs;
 pub use topology;
 pub use transport;
 pub use workload;

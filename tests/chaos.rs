@@ -7,6 +7,11 @@
 //! (`bench_harness::runner`) — each soak owns its whole `Simulator`, so
 //! parallel execution cannot perturb outcomes, and the reproducibility test
 //! asserts exactly that by comparing a serial sweep against a parallel one.
+//!
+//! When the `SWEEP_TRACE` env var names a directory, every soak cell streams
+//! its JSONL event trace to `<dir>/soak-<seed>.jsonl`; passing cells delete
+//! their file afterwards, so on a failure only the offending traces remain
+//! (CI uploads them as artifacts — see `.github/workflows/ci.yml`).
 
 use bench_harness::runner::{run_sweep, run_sweep_jobs, SweepCell};
 use congestion::AlgorithmKind;
@@ -77,6 +82,11 @@ fn random_script(tp: &TwoPath, rng: &mut SmallRng) -> FaultScript {
         .at(heal, FaultAction::SetLoss { link: tp.p2.fwd, model: LossModel::None })
 }
 
+/// The `SWEEP_TRACE` trace directory, if tracing is requested.
+fn trace_dir() -> Option<std::path::PathBuf> {
+    std::env::var_os("SWEEP_TRACE").map(Into::into)
+}
+
 /// One soak run; returns everything that must be bit-identical across reruns.
 #[derive(Debug, PartialEq)]
 struct SoakOutcome {
@@ -88,10 +98,16 @@ struct SoakOutcome {
     failover_reinjections: u64,
     random_losses: u64,
     blackout_drops: u64,
+    counters: obs::CounterSnapshot,
 }
 
 fn soak(seed: u64) -> SoakOutcome {
     let mut sim = Simulator::new(seed);
+    if let Some(dir) = trace_dir() {
+        if let Some(sink) = obs::jsonl_sink_in(&dir, &format!("soak-{seed}")) {
+            sim.set_trace_sink(sink);
+        }
+    }
     let tp = TwoPath::dual_nic(&mut sim, 20_000_000, SimDuration::from_millis(10));
     let mut script_rng = SmallRng::seed_from_u64(seed ^ 0xC4A05);
     random_script(&tp, &mut script_rng).install(&mut sim);
@@ -107,6 +123,8 @@ fn soak(seed: u64) -> SoakOutcome {
     sim.enable_watchdog(SimDuration::from_secs_f64(10.0));
     sim.watch(flow.sender);
     sim.run_until(SimTime::from_secs_f64(120.0));
+    drop(sim.take_trace_sink());
+    let counters = mptcp_energy::scenarios::counters_of(&sim, std::slice::from_ref(&flow));
     let s = flow.sender_ref(&sim);
     SoakOutcome {
         finished: flow.is_finished(&sim),
@@ -117,6 +135,7 @@ fn soak(seed: u64) -> SoakOutcome {
         failover_reinjections: s.failover_reinjections,
         random_losses: sim.world().random_losses,
         blackout_drops: sim.world().blackout_drops,
+        counters,
     }
 }
 
@@ -131,16 +150,34 @@ fn soak_cells(seeds: impl IntoIterator<Item = u64>) -> Vec<SweepCell<'static, So
 #[test]
 #[ignore = "20-seed soak — run via `cargo test -- --ignored` (CI soak job)"]
 fn chaos_soak_completes_under_randomized_faults() {
+    let dir = trace_dir();
+    let mut failures = Vec::new();
     for r in run_sweep(soak_cells(0..SEEDS)) {
         let (seed, out) = (r.seed, &r.output);
-        assert!(!out.stalled, "seed {seed}: watchdog fired: {out:?}");
-        assert!(out.finished, "seed {seed}: transfer incomplete: {out:?}");
-        assert_eq!(out.acked, TRANSFER_PKTS, "seed {seed}");
-        assert!(
-            out.random_losses + out.blackout_drops > 0,
-            "seed {seed}: the fault script never bit — soak is vacuous"
-        );
+        let mut problems = Vec::new();
+        if out.stalled {
+            problems.push("watchdog fired");
+        }
+        if !out.finished {
+            problems.push("transfer incomplete");
+        }
+        if out.acked != TRANSFER_PKTS {
+            problems.push("acked != transfer size");
+        }
+        if out.random_losses + out.blackout_drops == 0 {
+            problems.push("the fault script never bit — soak is vacuous");
+        }
+        if problems.is_empty() {
+            // Passing cells clean up their trace, leaving only the traces
+            // that explain a failure for the CI artifact upload.
+            if let Some(dir) = dir.as_deref() {
+                let _ = std::fs::remove_file(obs::trace_path(dir, &r.label));
+            }
+        } else {
+            failures.push(format!("seed {seed}: {}: {out:?}", problems.join("; ")));
+        }
     }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
 }
 
 #[test]

@@ -9,7 +9,11 @@
 
 use bench_harness::runner::{run_sweep_jobs, RunSummary, SweepCell};
 use congestion::AlgorithmKind;
-use mptcp_energy::scenarios::{run_two_path_bursty, BurstyOptions, CcChoice, FlowResult};
+use mptcp_energy::scenarios::{
+    run_two_path_bursty, run_two_path_bursty_traced, BurstyOptions, CcChoice, FlowResult,
+};
+use obs::TraceEvent;
+use std::sync::{Arc, Mutex};
 
 fn cells(seeds: &[u64]) -> Vec<SweepCell<'static, FlowResult>> {
     let choices = [CcChoice::Base(AlgorithmKind::Lia), CcChoice::dts()];
@@ -52,5 +56,39 @@ fn serial_and_parallel_sweeps_are_byte_identical() {
     // And the runs themselves must have done real work.
     for r in &serial {
         assert!(r.output.finish_s.is_some(), "{}: transfer did not finish", r.label);
+    }
+}
+
+/// The second half of the determinism contract: installing a trace sink must
+/// not perturb the simulation. Sinks only observe — they never consume RNG
+/// draws or schedule events — so a traced run's `FlowResult` renders
+/// byte-identical to the untraced run's.
+#[test]
+fn tracing_on_and_off_are_byte_identical() {
+    let opts = BurstyOptions {
+        seed: 11,
+        transfer_bytes: Some(2_000_000),
+        duration_s: 60.0,
+        ..BurstyOptions::default()
+    };
+    for cc in [CcChoice::Base(AlgorithmKind::Lia), CcChoice::dts()] {
+        let untraced = run_two_path_bursty(&cc, &opts);
+        let events: Arc<Mutex<Vec<TraceEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let (traced, counters) =
+            run_two_path_bursty_traced(&cc, &opts, Some(Box::new(events.clone())));
+        assert_eq!(
+            format!("{untraced:?}"),
+            format!("{traced:?}"),
+            "{}: tracing changed the simulation",
+            cc.label()
+        );
+        // The comparison is meaningful only if the sink actually saw the run.
+        let n = events.lock().unwrap().len();
+        assert!(n > 1_000, "{}: trace sink saw only {n} events", cc.label());
+        assert!(
+            counters.links.iter().any(|l| l.tx_pkts > 0),
+            "{}: counter snapshot is empty",
+            cc.label()
+        );
     }
 }
