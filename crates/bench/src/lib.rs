@@ -12,6 +12,7 @@
 //!   machine handles (see EXPERIMENTS.md for the documented scaling).
 
 pub mod figs;
+pub mod repro;
 pub mod runner;
 
 pub use figs::*;

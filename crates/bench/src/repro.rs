@@ -1,0 +1,550 @@
+//! Failure-repro artifacts for invariant violations.
+//!
+//! When the online invariant checker (the `check-invariants` cargo feature)
+//! halts a sweep cell, the harness dumps a **self-contained repro artifact**:
+//! one JSONL file holding the cell's full [`ReproSpec`] (seed, transfer
+//! size, congestion control, horizon, fault timeline), the recorded
+//! violation, and the trace tail leading up to it. The `replay` binary
+//! (`cargo run --bin replay --features check-invariants -- <artifact>`)
+//! re-executes the spec deterministically and checks that the same violation
+//! recurs at the same simulated time.
+//!
+//! Artifact format — flat one-line JSON objects, parsed with the same
+//! key-scan helpers as the trace summarizer ([`obs::json_str_field`] /
+//! [`obs::json_u64_field`]):
+//!
+//! ```text
+//! {"repro":"spec","seed":7,"transfer_pkts":20000,"cc":"lia","horizon_ns":...}
+//! {"repro":"fault","at_ns":1000000000,"action":"set_loss","link":0,"model":"iid","p_bits":...}
+//! {"repro":"violation","at_ns":2345678901,"message":"..."}
+//! {"ev":"impair", ...}   # trace tail, oldest first
+//! ```
+//!
+//! Floating-point parameters are serialized as IEEE-754 bit patterns
+//! (`f64::to_bits`), so a parsed spec is *bit-identical* to the original —
+//! a decimal round-trip that lost one ulp of a loss probability would
+//! change the RNG draw sequence and lose the repro.
+
+use congestion::AlgorithmKind;
+use mptcp_energy::CcChoice;
+use netsim::{FaultAction, FaultScript, LossModel, ReorderModel, SimDuration, SimTime, Simulator};
+use obs::{json_str_field, json_u64_field, RingSink, TraceEvent};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use topology::TwoPath;
+use transport::{attach_flow, FlowConfig};
+
+/// How many trailing trace events an artifact retains.
+const TRACE_TAIL: usize = 256;
+
+/// Everything needed to re-execute one chaos/soak cell bit-for-bit: the
+/// topology is fixed (two disjoint 20 Mb/s, 10 ms paths — the soak grid's),
+/// everything else is data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReproSpec {
+    /// Simulator (and flow) seed.
+    pub seed: u64,
+    /// Transfer size in packets.
+    pub transfer_pkts: u64,
+    /// Congestion control name: `reno`, `lia`, `olia`, or `dts`.
+    pub cc: String,
+    /// Subflow death threshold (`None` disables the failover watchdog).
+    pub dead_after_backoffs: Option<u32>,
+    /// Run horizon, seconds.
+    pub horizon_s: f64,
+    /// When set, a deliberately-seeded invariant violation fires at this
+    /// simulated time — the self-test hook for the artifact/replay pipeline.
+    pub fail_at_s: Option<f64>,
+    /// The fault timeline to install.
+    pub script: FaultScript,
+}
+
+impl ReproSpec {
+    fn cc_choice(&self) -> CcChoice {
+        match self.cc.as_str() {
+            "reno" => CcChoice::Base(AlgorithmKind::Reno),
+            "lia" => CcChoice::Base(AlgorithmKind::Lia),
+            "olia" => CcChoice::Base(AlgorithmKind::Olia),
+            "dts" => CcChoice::dts(),
+            other => panic!("repro spec: unknown congestion control {other:?}"),
+        }
+    }
+}
+
+/// A recorded (or replayed) invariant violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ViolationRecord {
+    /// Simulated time of the violation, nanoseconds.
+    pub at_ns: u64,
+    /// The failed check's message.
+    pub message: String,
+}
+
+/// The outcome of executing a [`ReproSpec`].
+#[derive(Debug)]
+pub struct ReproOutcome {
+    /// Whether the transfer completed.
+    pub finished: bool,
+    /// Connection-level packets acknowledged.
+    pub acked: u64,
+    /// The first invariant violation, if the checker halted the run
+    /// (always `None` without the `check-invariants` feature).
+    pub violation: Option<ViolationRecord>,
+    /// The last [`TRACE_TAIL`] trace events, oldest first.
+    pub trace_tail: Vec<TraceEvent>,
+}
+
+/// Executes `spec` on the fixed two-path soak topology with the trace-tail
+/// ring attached and (under `check-invariants`) the default simulator and
+/// transport invariants registered.
+pub fn run_repro_cell(spec: &ReproSpec) -> ReproOutcome {
+    let mut sim = Simulator::new(spec.seed);
+    let ring = Arc::new(Mutex::new(RingSink::new(TRACE_TAIL)));
+    sim.set_trace_sink(Box::new(Arc::clone(&ring)));
+    let tp = TwoPath::dual_nic(&mut sim, 20_000_000, SimDuration::from_millis(10));
+    spec.script.clone().install(&mut sim);
+    #[cfg(feature = "check-invariants")]
+    {
+        netsim::install_default_invariants(&mut sim);
+        if let Some(fail_at) = spec.fail_at_s {
+            let at = SimTime::from_secs_f64(fail_at);
+            sim.add_invariant_check(Box::new(move |s: &Simulator| {
+                if s.now() >= at {
+                    Err(format!("seeded repro-pipeline violation (fail_at_s = {fail_at})"))
+                } else {
+                    Ok(())
+                }
+            }));
+        }
+    }
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(spec.seed)
+            .transfer_pkts(spec.transfer_pkts)
+            .dead_after_backoffs(spec.dead_after_backoffs),
+        spec.cc_choice().build(2),
+        &tp.both(),
+        SimDuration::ZERO,
+    );
+    sim.run_until(SimTime::from_secs_f64(spec.horizon_s));
+    drop(sim.take_trace_sink());
+    #[cfg(feature = "check-invariants")]
+    let violation = sim
+        .invariant_violation()
+        .map(|v| ViolationRecord { at_ns: v.at.as_nanos(), message: v.message.clone() });
+    #[cfg(not(feature = "check-invariants"))]
+    let violation = None;
+    let trace_tail =
+        ring.lock().expect("trace ring poisoned").events().copied().collect::<Vec<_>>();
+    ReproOutcome {
+        finished: flow.is_finished(&sim),
+        acked: flow.sender_ref(&sim).data_acked(),
+        violation,
+        trace_tail,
+    }
+}
+
+/// The artifact directory named by the `SWEEP_ARTIFACTS` env var, if set.
+pub fn artifact_dir() -> Option<PathBuf> {
+    std::env::var_os("SWEEP_ARTIFACTS").map(Into::into)
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = (&mut chars).take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Like [`json_str_field`] but honours backslash escapes, so violation
+/// messages containing quotes survive the round trip. Returns the *raw*
+/// (still-escaped) span; pass it through [`unesc`].
+fn json_escaped_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' => escaped = true,
+            '"' => return Some(&rest[..i]),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn fault_json(at: SimTime, action: &FaultAction, out: &mut String) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{{\"repro\":\"fault\",\"at_ns\":{}", at.as_nanos());
+    match action {
+        FaultAction::SetLoss { link, model } => {
+            let _ = write!(out, ",\"action\":\"set_loss\",\"link\":{link}");
+            match model {
+                LossModel::None => out.push_str(",\"model\":\"none\""),
+                LossModel::Iid { p } => {
+                    let _ = write!(out, ",\"model\":\"iid\",\"p_bits\":{}", p.to_bits());
+                }
+                LossModel::GilbertElliott { p_good_bad, p_bad_good, loss_good, loss_bad } => {
+                    let _ = write!(
+                        out,
+                        ",\"model\":\"ge\",\"pgb_bits\":{},\"pbg_bits\":{},\
+                         \"lg_bits\":{},\"lb_bits\":{}",
+                        p_good_bad.to_bits(),
+                        p_bad_good.to_bits(),
+                        loss_good.to_bits(),
+                        loss_bad.to_bits()
+                    );
+                }
+            }
+        }
+        FaultAction::SetBandwidth { link, bps } => {
+            let _ = write!(out, ",\"action\":\"set_bandwidth\",\"link\":{link},\"bps\":{bps}");
+        }
+        FaultAction::SetPropagation { link, propagation } => {
+            let _ = write!(
+                out,
+                ",\"action\":\"set_propagation\",\"link\":{link},\"prop_ns\":{}",
+                propagation.as_nanos()
+            );
+        }
+        FaultAction::LinkDown { link } => {
+            let _ = write!(out, ",\"action\":\"link_down\",\"link\":{link}");
+        }
+        FaultAction::LinkUp { link } => {
+            let _ = write!(out, ",\"action\":\"link_up\",\"link\":{link}");
+        }
+        FaultAction::SetReorder { link, model } => {
+            let _ = write!(out, ",\"action\":\"set_reorder\",\"link\":{link}");
+            match model {
+                ReorderModel::None => out.push_str(",\"model\":\"none\""),
+                ReorderModel::Uniform { p, max_extra } => {
+                    let _ = write!(
+                        out,
+                        ",\"model\":\"uniform\",\"p_bits\":{},\"max_extra_ns\":{}",
+                        p.to_bits(),
+                        max_extra.as_nanos()
+                    );
+                }
+            }
+        }
+        FaultAction::SetDuplicate { link, p } => {
+            let _ = write!(
+                out,
+                ",\"action\":\"set_duplicate\",\"link\":{link},\"p_bits\":{}",
+                p.to_bits()
+            );
+        }
+        FaultAction::SetCorrupt { link, p } => {
+            let _ = write!(
+                out,
+                ",\"action\":\"set_corrupt\",\"link\":{link},\"p_bits\":{}",
+                p.to_bits()
+            );
+        }
+    }
+    out.push('}');
+}
+
+fn parse_fault(line: &str) -> Result<(SimTime, FaultAction), String> {
+    let at = SimTime::from_nanos(
+        json_u64_field(line, "at_ns").ok_or_else(|| format!("fault line missing at_ns: {line}"))?,
+    );
+    let link = json_u64_field(line, "link")
+        .ok_or_else(|| format!("fault line missing link: {line}"))?
+        as netsim::LinkId;
+    let bits = |key: &str| -> Result<f64, String> {
+        json_u64_field(line, key)
+            .map(f64::from_bits)
+            .ok_or_else(|| format!("fault line missing {key}: {line}"))
+    };
+    let action = match json_str_field(line, "action") {
+        Some("set_loss") => {
+            let model = match json_str_field(line, "model") {
+                Some("none") => LossModel::None,
+                Some("iid") => LossModel::iid(bits("p_bits")?),
+                Some("ge") => LossModel::gilbert_elliott(
+                    bits("pgb_bits")?,
+                    bits("pbg_bits")?,
+                    bits("lg_bits")?,
+                    bits("lb_bits")?,
+                ),
+                other => return Err(format!("unknown loss model {other:?}: {line}")),
+            };
+            FaultAction::SetLoss { link, model }
+        }
+        Some("set_bandwidth") => FaultAction::SetBandwidth {
+            link,
+            bps: json_u64_field(line, "bps")
+                .ok_or_else(|| format!("fault line missing bps: {line}"))?,
+        },
+        Some("set_propagation") => FaultAction::SetPropagation {
+            link,
+            propagation: SimDuration::from_nanos(
+                json_u64_field(line, "prop_ns")
+                    .ok_or_else(|| format!("fault line missing prop_ns: {line}"))?,
+            ),
+        },
+        Some("link_down") => FaultAction::LinkDown { link },
+        Some("link_up") => FaultAction::LinkUp { link },
+        Some("set_reorder") => {
+            let model = match json_str_field(line, "model") {
+                Some("none") => ReorderModel::None,
+                Some("uniform") => ReorderModel::uniform(
+                    bits("p_bits")?,
+                    SimDuration::from_nanos(
+                        json_u64_field(line, "max_extra_ns")
+                            .ok_or_else(|| format!("fault line missing max_extra_ns: {line}"))?,
+                    ),
+                ),
+                other => return Err(format!("unknown reorder model {other:?}: {line}")),
+            };
+            FaultAction::SetReorder { link, model }
+        }
+        Some("set_duplicate") => FaultAction::SetDuplicate { link, p: bits("p_bits")? },
+        Some("set_corrupt") => FaultAction::SetCorrupt { link, p: bits("p_bits")? },
+        other => return Err(format!("unknown fault action {other:?}: {line}")),
+    };
+    Ok((at, action))
+}
+
+/// Renders the artifact for a violating run as a JSONL string.
+pub fn render_artifact(spec: &ReproSpec, outcome: &ReproOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"repro\":\"spec\",\"seed\":{},\"transfer_pkts\":{},\"cc\":\"{}\",\"horizon_ns\":{}",
+        spec.seed,
+        spec.transfer_pkts,
+        esc(&spec.cc),
+        SimDuration::from_secs_f64(spec.horizon_s).as_nanos()
+    );
+    if let Some(k) = spec.dead_after_backoffs {
+        let _ = write!(out, ",\"dead_after_backoffs\":{k}");
+    }
+    if let Some(fail_at) = spec.fail_at_s {
+        let _ = write!(out, ",\"fail_at_ns\":{}", SimDuration::from_secs_f64(fail_at).as_nanos());
+    }
+    out.push_str("}\n");
+    for ev in spec.script.events() {
+        fault_json(ev.at, &ev.action, &mut out);
+        out.push('\n');
+    }
+    if let Some(v) = &outcome.violation {
+        let _ = writeln!(
+            out,
+            "{{\"repro\":\"violation\",\"at_ns\":{},\"message\":\"{}\"}}",
+            v.at_ns,
+            esc(&v.message)
+        );
+    }
+    for ev in &outcome.trace_tail {
+        ev.to_json(&mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes the artifact for a violating run to `<dir>/repro-<seed>.jsonl`,
+/// creating `dir` if needed. Returns the artifact path.
+pub fn dump_artifact(
+    dir: &Path,
+    spec: &ReproSpec,
+    outcome: &ReproOutcome,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("repro-{}.jsonl", spec.seed));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(render_artifact(spec, outcome).as_bytes())?;
+    Ok(path)
+}
+
+/// Parses an artifact back into its spec and recorded violation.
+pub fn parse_artifact(text: &str) -> Result<(ReproSpec, Option<ViolationRecord>), String> {
+    let mut spec: Option<ReproSpec> = None;
+    let mut violation = None;
+    for line in text.lines() {
+        match json_str_field(line, "repro") {
+            Some("spec") => {
+                let need =
+                    |key: &str| json_u64_field(line, key).ok_or(format!("spec missing {key}"));
+                spec = Some(ReproSpec {
+                    seed: need("seed")?,
+                    transfer_pkts: need("transfer_pkts")?,
+                    cc: json_str_field(line, "cc").map(unesc).ok_or("spec missing cc")?,
+                    dead_after_backoffs: json_u64_field(line, "dead_after_backoffs")
+                        .map(|k| k as u32),
+                    horizon_s: SimDuration::from_nanos(need("horizon_ns")?).as_secs_f64(),
+                    fail_at_s: json_u64_field(line, "fail_at_ns")
+                        .map(|ns| SimDuration::from_nanos(ns).as_secs_f64()),
+                    script: FaultScript::new(),
+                });
+            }
+            Some("fault") => {
+                let spec = spec.as_mut().ok_or("fault line before spec line")?;
+                let (at, action) = parse_fault(line)?;
+                spec.script = std::mem::take(&mut spec.script).at(at, action);
+            }
+            Some("violation") => {
+                violation = Some(ViolationRecord {
+                    at_ns: json_u64_field(line, "at_ns").ok_or("violation missing at_ns")?,
+                    message: json_escaped_str_field(line, "message")
+                        .map(unesc)
+                        .ok_or("violation missing message")?,
+                });
+            }
+            _ => {} // trace tail / unknown lines — context, not config
+        }
+    }
+    Ok((spec.ok_or("artifact has no spec line")?, violation))
+}
+
+/// The result of replaying an artifact.
+#[derive(Debug)]
+pub struct ReplayReport {
+    /// The violation recorded in the artifact.
+    pub original: Option<ViolationRecord>,
+    /// The violation produced by re-executing the spec.
+    pub replayed: Option<ViolationRecord>,
+}
+
+impl ReplayReport {
+    /// True when the replay reproduced the recorded violation exactly
+    /// (same message, same simulated nanosecond).
+    pub fn reproduced(&self) -> bool {
+        self.original.is_some() && self.original == self.replayed
+    }
+}
+
+/// Re-executes the artifact at `path` and compares violations.
+pub fn replay_artifact(path: &Path) -> Result<ReplayReport, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let (spec, original) = parse_artifact(&text)?;
+    let outcome = run_repro_cell(&spec);
+    Ok(ReplayReport { original, replayed: outcome.violation })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ReproSpec {
+        ReproSpec {
+            seed: 9,
+            transfer_pkts: 500,
+            cc: "lia".into(),
+            dead_after_backoffs: Some(4),
+            horizon_s: 60.0,
+            fail_at_s: None,
+            script: FaultScript::new()
+                .at(
+                    SimTime::from_secs_f64(1.0),
+                    FaultAction::SetLoss { link: 0, model: LossModel::iid(0.0123456789) },
+                )
+                .at(
+                    SimTime::from_secs_f64(2.0),
+                    FaultAction::SetReorder {
+                        link: 1,
+                        model: ReorderModel::uniform(0.25, SimDuration::from_millis(3)),
+                    },
+                )
+                .at(SimTime::from_secs_f64(3.0), FaultAction::SetDuplicate { link: 2, p: 0.125 })
+                .at(SimTime::from_secs_f64(4.0), FaultAction::SetCorrupt { link: 3, p: 0.0625 })
+                .at(
+                    SimTime::from_secs_f64(5.0),
+                    FaultAction::SetLoss {
+                        link: 2,
+                        model: LossModel::gilbert_elliott(0.05, 0.3, 0.0, 0.37),
+                    },
+                )
+                .at(
+                    SimTime::from_secs_f64(6.0),
+                    FaultAction::SetBandwidth { link: 0, bps: 12_500_000 },
+                )
+                .at(
+                    SimTime::from_secs_f64(7.0),
+                    FaultAction::SetPropagation {
+                        link: 1,
+                        propagation: SimDuration::from_millis(17),
+                    },
+                )
+                .at(SimTime::from_secs_f64(8.0), FaultAction::LinkDown { link: 2 })
+                .at(SimTime::from_secs_f64(9.0), FaultAction::LinkUp { link: 2 }),
+        }
+    }
+
+    #[test]
+    fn spec_roundtrips_bit_exactly_through_the_artifact_format() {
+        let s = spec();
+        let outcome = ReproOutcome {
+            finished: false,
+            acked: 123,
+            violation: Some(ViolationRecord {
+                at_ns: 2_345_678_901,
+                message: "conn 9: \"quoted\"\nand a newline".into(),
+            }),
+            trace_tail: Vec::new(),
+        };
+        let text = render_artifact(&s, &outcome);
+        let (parsed, violation) = parse_artifact(&text).expect("parse");
+        assert_eq!(parsed, s, "spec did not round-trip bit-exactly");
+        assert_eq!(violation, outcome.violation);
+    }
+
+    #[test]
+    fn artifacts_without_a_violation_parse_to_none() {
+        let outcome =
+            ReproOutcome { finished: true, acked: 500, violation: None, trace_tail: Vec::new() };
+        let (_, violation) = parse_artifact(&render_artifact(&spec(), &outcome)).expect("parse");
+        assert_eq!(violation, None);
+    }
+
+    #[test]
+    fn repro_cells_execute_deterministically() {
+        let mut s = spec();
+        s.transfer_pkts = 300;
+        let a = run_repro_cell(&s);
+        let b = run_repro_cell(&s);
+        assert_eq!(a.finished, b.finished);
+        assert_eq!(a.acked, b.acked);
+        assert_eq!(a.violation, b.violation);
+        assert_eq!(a.trace_tail, b.trace_tail);
+        assert!(a.finished, "repro scenario should complete: {a:?}");
+    }
+}

@@ -12,7 +12,7 @@ use congestion::{AlgorithmKind, MultipathCongestionControl};
 use energy_model::{
     energy_of_flow, EnergyReport, HostLoadSeries, PhoneModel, PowerModel, WiredCpuModel,
 };
-use netsim::{LossModel, SimDuration, SimTime, Simulator};
+use netsim::{LossModel, ReorderModel, SimDuration, SimTime, Simulator};
 use obs::{CounterSnapshot, TraceSink};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -177,12 +177,15 @@ pub fn run_two_path_bursty_traced(
 }
 
 /// Assembles the observability counter snapshot for a finished simulation:
-/// link counters from the world plus subflow counters from each sender.
+/// link counters from the world plus subflow counters from each sender and
+/// connection-level robustness counters (zero-window stalls, persist
+/// probes, corrupt/window discards) from each endpoint pair.
 pub fn counters_of(sim: &Simulator, flows: &[FlowHandle]) -> CounterSnapshot {
     let mut snap =
         CounterSnapshot { links: sim.world().link_counters(), ..CounterSnapshot::default() };
     for f in flows {
         snap.subflows.extend(f.sender_ref(sim).subflow_counters());
+        snap.conns.push(f.conn_counters(sim));
     }
     snap
 }
@@ -521,6 +524,40 @@ pub struct WirelessOptions {
     pub wifi_loss: f64,
     /// Random uplink loss probability on the 4G path.
     pub lte_loss: f64,
+    /// Delivery impairments (reorder/duplicate/corrupt) on the WiFi uplink.
+    /// All-zero by default — inert knobs draw nothing from the RNG, so the
+    /// clean scenario stays bit-identical to the pre-impairment runs.
+    pub wifi_impair: ImpairmentKnobs,
+    /// Delivery impairments on the 4G uplink.
+    pub lte_impair: ImpairmentKnobs,
+}
+
+/// Per-path delivery-impairment knobs for scenario options: reordering
+/// jitter, duplication, and corruption probabilities. The all-zero default
+/// is inert (no RNG draws, byte-identical runs).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ImpairmentKnobs {
+    /// Per-packet probability of an extra reordering delay.
+    pub reorder_p: f64,
+    /// Maximum extra delay drawn uniformly when reordering fires, seconds.
+    pub reorder_max_s: f64,
+    /// Per-packet duplication probability.
+    pub duplicate_p: f64,
+    /// Per-packet corruption probability (delivered but poisoned).
+    pub corrupt_p: f64,
+}
+
+impl ImpairmentKnobs {
+    /// Installs these knobs on `link` (no-ops stay no-ops).
+    fn apply(&self, sim: &mut Simulator, link: netsim::LinkId) {
+        let imp = sim.world_mut().link_mut(link).impairment_mut();
+        imp.set_reorder(ReorderModel::uniform(
+            self.reorder_p,
+            SimDuration::from_secs_f64(self.reorder_max_s),
+        ));
+        imp.set_duplicate(self.duplicate_p);
+        imp.set_corrupt(self.corrupt_p);
+    }
 }
 
 impl Default for WirelessOptions {
@@ -533,16 +570,21 @@ impl Default for WirelessOptions {
             rcv_buf_bytes: 256 * 1024,
             wifi_loss: 0.0,
             lte_loss: 0.0,
+            wifi_impair: ImpairmentKnobs::default(),
+            lte_impair: ImpairmentKnobs::default(),
         }
     }
 }
 
-/// Installs the wireless scenario's random-loss impairments on the uplink
-/// (data-direction) hops. `LossModel::iid(0.0)` is `LossModel::None`, so the
+/// Installs the wireless scenario's random-loss and delivery impairments on
+/// the uplink (data-direction) hops. `LossModel::iid(0.0)` is
+/// `LossModel::None` and all-zero [`ImpairmentKnobs`] are inert, so the
 /// lossless defaults draw nothing from the RNG.
 pub(crate) fn apply_wireless_loss(sim: &mut Simulator, tp: &TwoPath, opts: &WirelessOptions) {
     sim.world_mut().link_mut(tp.p1.fwd).impairment_mut().set_loss(LossModel::iid(opts.wifi_loss));
     sim.world_mut().link_mut(tp.p2.fwd).impairment_mut().set_loss(LossModel::iid(opts.lte_loss));
+    opts.wifi_impair.apply(sim, tp.p1.fwd);
+    opts.lte_impair.apply(sim, tp.p2.fwd);
 }
 
 /// Runs the Fig. 17 scenario: an infinite MPTCP flow over WiFi (10 Mb/s,

@@ -3,13 +3,17 @@
 //! Two layers:
 //!
 //! * **[`Impairment`]** — per-link packet-loss models ([`LossModel::Iid`]
-//!   random loss, [`LossModel::GilbertElliott`] bursty loss) and an up/down
-//!   state. Impairments are consulted by the [`World`](crate::sim::World)
-//!   when a packet is offered to a link, *before* the DropTail queue sees it,
-//!   using the simulation's seeded RNG — so faulty runs stay exactly
-//!   reproducible. A link whose loss model is [`LossModel::None`] draws
-//!   nothing from the RNG, leaving the random stream of fault-free scenarios
-//!   untouched.
+//!   random loss, [`LossModel::GilbertElliott`] bursty loss), an up/down
+//!   state, and the adversarial delivery impairments: [`ReorderModel`]
+//!   extra-delay jitter (breaks FIFO delivery), duplication (a packet is
+//!   delivered twice), and corruption (a packet is delivered poisoned and
+//!   must be discarded by the endpoint). Loss is consulted by the
+//!   [`World`](crate::sim::World) when a packet is offered to a link,
+//!   *before* the DropTail queue sees it; reorder/duplicate/corrupt are
+//!   rolled once per transmitted packet, after serialization. All draws come
+//!   from the simulation's seeded RNG — so faulty runs stay exactly
+//!   reproducible — and every inactive model draws nothing, leaving the
+//!   random stream of fault-free scenarios untouched.
 //!
 //! * **[`FaultScript`]** — a declarative timeline of [`FaultAction`]s
 //!   (loss / bandwidth / propagation changes, blackouts) that installs
@@ -40,6 +44,15 @@ use crate::sim::{Agent, Ctx};
 use crate::time::{SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::Rng;
+
+/// Validates one probability argument, rejecting NaN with a dedicated
+/// message (the range check alone would report NaN with the generic
+/// out-of-range text, hiding the real bug at the call site).
+fn check_prob(name: &str, p: f64) -> f64 {
+    assert!(!p.is_nan(), "{name} must not be NaN");
+    assert!((0.0..=1.0).contains(&p), "{name} out of range: {p}");
+    p
+}
 
 /// A per-packet loss process applied where a packet is offered to a link.
 #[derive(Clone, Debug, PartialEq, Default)]
@@ -73,9 +86,9 @@ impl LossModel {
     ///
     /// # Panics
     ///
-    /// Panics if `p` is outside `[0, 1]`.
+    /// Panics if `p` is NaN or outside `[0, 1]`.
     pub fn iid(p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "loss probability out of range: {p}");
+        check_prob("loss probability", p);
         if p == 0.0 {
             LossModel::None
         } else {
@@ -87,7 +100,7 @@ impl LossModel {
     ///
     /// # Panics
     ///
-    /// Panics if any probability is outside `[0, 1]`.
+    /// Panics if any probability is NaN or outside `[0, 1]`.
     pub fn gilbert_elliott(
         p_good_bad: f64,
         p_bad_good: f64,
@@ -100,13 +113,50 @@ impl LossModel {
             ("loss_good", loss_good),
             ("loss_bad", loss_bad),
         ] {
-            assert!((0.0..=1.0).contains(&p), "{name} out of range: {p}");
+            check_prob(name, p);
         }
         LossModel::GilbertElliott { p_good_bad, p_bad_good, loss_good, loss_bad }
     }
 }
 
-/// Runtime impairment state of one link: loss process + up/down.
+/// A per-packet extra-delay process applied after a packet finishes
+/// serialization, before its propagation across the link. Jittered packets
+/// arrive behind packets transmitted later, breaking FIFO delivery.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum ReorderModel {
+    /// No reordering (the default; draws nothing from the RNG).
+    #[default]
+    None,
+    /// With probability `p`, add extra delay drawn uniformly from
+    /// `[1 ns, max_extra]`.
+    Uniform {
+        /// Per-packet jitter probability in `[0, 1]`.
+        p: f64,
+        /// Upper bound on the extra delay.
+        max_extra: SimDuration,
+    },
+}
+
+impl ReorderModel {
+    /// Uniform jitter: with probability `p`, delay a packet by up to
+    /// `max_extra`. A zero probability or zero bound collapses to
+    /// [`ReorderModel::None`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is NaN or outside `[0, 1]`.
+    pub fn uniform(p: f64, max_extra: SimDuration) -> Self {
+        check_prob("reorder probability", p);
+        if p == 0.0 || max_extra.is_zero() {
+            ReorderModel::None
+        } else {
+            ReorderModel::Uniform { p, max_extra }
+        }
+    }
+}
+
+/// Runtime impairment state of one link: loss process, up/down, and the
+/// post-transmission delivery impairments (reorder / duplicate / corrupt).
 #[derive(Clone, Debug, PartialEq, Default)]
 pub struct Impairment {
     loss: LossModel,
@@ -114,6 +164,9 @@ pub struct Impairment {
     /// burst process survives loss-model reconfiguration of *other* fields.
     ge_bad: bool,
     down: bool,
+    reorder: ReorderModel,
+    duplicate_p: f64,
+    corrupt_p: f64,
 }
 
 impl Impairment {
@@ -127,6 +180,44 @@ impl Impairment {
     pub fn set_loss(&mut self, model: LossModel) {
         self.ge_bad = false;
         self.loss = model;
+    }
+
+    /// The active reorder model.
+    pub fn reorder_model(&self) -> &ReorderModel {
+        &self.reorder
+    }
+
+    /// Replaces the reorder (extra-delay jitter) model.
+    pub fn set_reorder(&mut self, model: ReorderModel) {
+        self.reorder = model;
+    }
+
+    /// The per-packet duplication probability.
+    pub fn duplicate_p(&self) -> f64 {
+        self.duplicate_p
+    }
+
+    /// Sets the probability that a transmitted packet is delivered twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is NaN or outside `[0, 1]`.
+    pub fn set_duplicate(&mut self, p: f64) {
+        self.duplicate_p = check_prob("duplicate probability", p);
+    }
+
+    /// The per-packet corruption probability.
+    pub fn corrupt_p(&self) -> f64 {
+        self.corrupt_p
+    }
+
+    /// Sets the probability that a transmitted packet is delivered poisoned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is NaN or outside `[0, 1]`.
+    pub fn set_corrupt(&mut self, p: f64) {
+        self.corrupt_p = check_prob("corrupt probability", p);
     }
 
     /// Whether the link is administratively up.
@@ -156,6 +247,34 @@ impl Impairment {
                 p > 0.0 && rng.gen_bool(p)
             }
         }
+    }
+
+    /// Rolls the reorder process for one transmitted packet copy, returning
+    /// the extra delay to add (if any). Draws RNG only when a model is
+    /// active.
+    pub(crate) fn roll_reorder(&mut self, rng: &mut SmallRng) -> Option<SimDuration> {
+        match self.reorder {
+            ReorderModel::None => None,
+            ReorderModel::Uniform { p, max_extra } => {
+                if rng.gen_bool(p) {
+                    Some(SimDuration::from_nanos(rng.gen_range(1..=max_extra.as_nanos())))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Rolls the duplication process; `true` means deliver a second copy.
+    /// Draws RNG only when duplication is active.
+    pub(crate) fn roll_duplicate(&mut self, rng: &mut SmallRng) -> bool {
+        self.duplicate_p > 0.0 && rng.gen_bool(self.duplicate_p)
+    }
+
+    /// Rolls the corruption process; `true` means poison the packet. Draws
+    /// RNG only when corruption is active.
+    pub(crate) fn roll_corrupt(&mut self, rng: &mut SmallRng) -> bool {
+        self.corrupt_p > 0.0 && rng.gen_bool(self.corrupt_p)
     }
 }
 
@@ -196,6 +315,74 @@ pub enum FaultAction {
         /// Target link.
         link: LinkId,
     },
+    /// Installs `model` as the link's reorder (extra-delay jitter) process.
+    SetReorder {
+        /// Target link.
+        link: LinkId,
+        /// Reorder model to install.
+        model: ReorderModel,
+    },
+    /// Sets the per-packet duplication probability.
+    SetDuplicate {
+        /// Target link.
+        link: LinkId,
+        /// Probability in `[0, 1]` that a transmitted packet is delivered
+        /// twice.
+        p: f64,
+    },
+    /// Sets the per-packet corruption probability.
+    SetCorrupt {
+        /// Target link.
+        link: LinkId,
+        /// Probability in `[0, 1]` that a transmitted packet arrives
+        /// poisoned.
+        p: f64,
+    },
+}
+
+impl FaultAction {
+    /// The link this action targets.
+    pub fn link(&self) -> LinkId {
+        match *self {
+            FaultAction::SetLoss { link, .. }
+            | FaultAction::SetBandwidth { link, .. }
+            | FaultAction::SetPropagation { link, .. }
+            | FaultAction::LinkDown { link }
+            | FaultAction::LinkUp { link }
+            | FaultAction::SetReorder { link, .. }
+            | FaultAction::SetDuplicate { link, .. }
+            | FaultAction::SetCorrupt { link, .. } => link,
+        }
+    }
+
+    /// A short stable name for the action kind, used in validation messages.
+    fn kind_name(&self) -> &'static str {
+        match self {
+            FaultAction::SetLoss { .. } => "set_loss",
+            FaultAction::SetBandwidth { .. } => "set_bandwidth",
+            FaultAction::SetPropagation { .. } => "set_propagation",
+            FaultAction::LinkDown { .. } => "link_down",
+            FaultAction::LinkUp { .. } => "link_up",
+            FaultAction::SetReorder { .. } => "set_reorder",
+            FaultAction::SetDuplicate { .. } => "set_duplicate",
+            FaultAction::SetCorrupt { .. } => "set_corrupt",
+        }
+    }
+
+    /// True when applying both actions at the same instant on the same link
+    /// is ambiguous or contradictory.
+    fn conflicts_with(&self, other: &FaultAction) -> bool {
+        if self.link() != other.link() {
+            return false;
+        }
+        let updown = |a: &FaultAction| {
+            matches!(a, FaultAction::LinkDown { .. } | FaultAction::LinkUp { .. })
+        };
+        // Two knob writes of the same kind race (last-writer-wins by
+        // insertion order, which the script author almost never intends),
+        // and down+up at one instant is a contradiction either way round.
+        self.kind_name() == other.kind_name() || (updown(self) && updown(other))
+    }
 }
 
 /// A timestamped [`FaultAction`].
@@ -247,8 +434,38 @@ impl FaultScript {
     /// Registers the script with `sim` as an agent and schedules every event.
     /// Events timed at or before the current clock apply at the current time.
     /// Returns the agent id (useful only for diagnostics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the script is invalid: an action targets a link `sim` does
+    /// not have, or two actions at the same instant on the same link
+    /// conflict (down+up, or two writes of the same knob whose outcome would
+    /// silently depend on insertion order).
     pub fn install(mut self, sim: &mut crate::sim::Simulator) -> crate::packet::AgentId {
         self.events.sort_by_key(|e| e.at);
+        let links = sim.world().link_count();
+        for ev in &self.events {
+            let link = ev.action.link();
+            assert!(
+                link < links,
+                "fault script targets link {link} but the simulator has only {links} links"
+            );
+        }
+        for (i, a) in self.events.iter().enumerate() {
+            for b in &self.events[i + 1..] {
+                if b.at != a.at {
+                    break; // sorted: later events cannot tie with `a`
+                }
+                assert!(
+                    !a.action.conflicts_with(&b.action),
+                    "conflicting fault actions at {}: {} and {} on link {}",
+                    a.at,
+                    a.action.kind_name(),
+                    b.action.kind_name(),
+                    a.action.link()
+                );
+            }
+        }
         let now = sim.now();
         let delays: Vec<SimDuration> =
             self.events.iter().map(|e| e.at.saturating_since(now)).collect();
@@ -362,6 +579,72 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "loss probability must not be NaN")]
+    fn iid_rejects_nan_with_a_clear_message() {
+        let _ = LossModel::iid(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "p_bad_good must not be NaN")]
+    fn gilbert_elliott_rejects_nan_with_a_clear_message() {
+        let _ = LossModel::gilbert_elliott(0.1, f64::NAN, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate probability must not be NaN")]
+    fn duplicate_rejects_nan_with_a_clear_message() {
+        Impairment::default().set_duplicate(f64::NAN);
+    }
+
+    #[test]
+    fn inactive_delivery_impairments_draw_nothing() {
+        let mut imp = Impairment::default();
+        let mut rng = SmallRng::seed_from_u64(9);
+        let witness = SmallRng::seed_from_u64(9);
+        for _ in 0..100 {
+            assert!(imp.roll_reorder(&mut rng).is_none());
+            assert!(!imp.roll_duplicate(&mut rng));
+            assert!(!imp.roll_corrupt(&mut rng));
+        }
+        assert_eq!(rng, witness, "inactive impairments must not perturb the RNG stream");
+    }
+
+    #[test]
+    fn reorder_jitter_is_bounded_and_tracks_probability() {
+        let mut imp = Impairment::default();
+        let max = SimDuration::from_millis(20);
+        imp.set_reorder(ReorderModel::uniform(0.25, max));
+        let mut rng = SmallRng::seed_from_u64(10);
+        let mut hits = 0usize;
+        for _ in 0..20_000 {
+            if let Some(d) = imp.roll_reorder(&mut rng) {
+                hits += 1;
+                assert!(!d.is_zero() && d <= max, "jitter {d:?} out of bounds");
+            }
+        }
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "reorder rate {rate}");
+    }
+
+    #[test]
+    fn reorder_uniform_collapses_to_none_when_inert() {
+        assert_eq!(ReorderModel::uniform(0.0, SimDuration::from_millis(5)), ReorderModel::None);
+        assert_eq!(ReorderModel::uniform(0.5, SimDuration::ZERO), ReorderModel::None);
+    }
+
+    #[test]
+    fn duplicate_and_corrupt_rates_track_probability() {
+        let mut imp = Impairment::default();
+        imp.set_duplicate(0.1);
+        imp.set_corrupt(0.05);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let dups = (0..20_000).filter(|_| imp.roll_duplicate(&mut rng)).count();
+        let corrupt = (0..20_000).filter(|_| imp.roll_corrupt(&mut rng)).count();
+        assert!((dups as f64 / 20_000.0 - 0.1).abs() < 0.02, "dup rate {dups}");
+        assert!((corrupt as f64 / 20_000.0 - 0.05).abs() < 0.02, "corrupt rate {corrupt}");
+    }
+
+    #[test]
     fn script_events_sort_on_install() {
         let s = FaultScript::new()
             .at(SimTime::from_secs_f64(2.0), FaultAction::LinkUp { link: 0 })
@@ -381,5 +664,54 @@ mod tests {
             SimTime::from_secs_f64(2.0),
             SimTime::from_secs_f64(2.0),
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "targets link 3")]
+    fn install_rejects_unknown_links() {
+        let mut sim = crate::sim::Simulator::new(1);
+        let _ = sim.add_link(crate::link::LinkConfig::new(1_000_000, SimDuration::from_millis(1)));
+        FaultScript::new()
+            .at(SimTime::from_secs_f64(1.0), FaultAction::LinkDown { link: 3 })
+            .install(&mut sim);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting fault actions")]
+    fn install_rejects_down_and_up_at_the_same_instant() {
+        let mut sim = crate::sim::Simulator::new(1);
+        let l = sim.add_link(crate::link::LinkConfig::new(1_000_000, SimDuration::from_millis(1)));
+        let t = SimTime::from_secs_f64(2.0);
+        FaultScript::new()
+            .at(t, FaultAction::LinkDown { link: l })
+            .at(t, FaultAction::LinkUp { link: l })
+            .install(&mut sim);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting fault actions")]
+    fn install_rejects_duplicate_knob_writes_at_the_same_instant() {
+        let mut sim = crate::sim::Simulator::new(1);
+        let l = sim.add_link(crate::link::LinkConfig::new(1_000_000, SimDuration::from_millis(1)));
+        let t = SimTime::from_secs_f64(2.0);
+        FaultScript::new()
+            .at(t, FaultAction::SetLoss { link: l, model: LossModel::iid(0.1) })
+            .at(t, FaultAction::SetLoss { link: l, model: LossModel::None })
+            .install(&mut sim);
+    }
+
+    #[test]
+    fn install_accepts_same_instant_actions_on_distinct_links() {
+        let mut sim = crate::sim::Simulator::new(1);
+        let a = sim.add_link(crate::link::LinkConfig::new(1_000_000, SimDuration::from_millis(1)));
+        let b = sim.add_link(crate::link::LinkConfig::new(1_000_000, SimDuration::from_millis(1)));
+        let t = SimTime::from_secs_f64(1.0);
+        FaultScript::new()
+            .at(t, FaultAction::SetLoss { link: a, model: LossModel::iid(0.1) })
+            .at(t, FaultAction::SetLoss { link: b, model: LossModel::iid(0.2) })
+            .at(t, FaultAction::SetCorrupt { link: a, p: 0.01 })
+            .install(&mut sim);
+        sim.run_until(SimTime::from_secs_f64(2.0));
+        assert_eq!(sim.world().link(a).impairment().corrupt_p(), 0.01);
     }
 }

@@ -40,6 +40,8 @@
 //! assert_eq!(sim.agent::<Counter>(sink).bytes, 1500);
 //! ```
 
+#[cfg(feature = "check-invariants")]
+pub mod check;
 pub mod event;
 pub mod faults;
 pub mod link;
@@ -49,14 +51,18 @@ pub mod time;
 
 /// Convenient glob import of the common simulator types.
 pub mod prelude {
-    pub use crate::faults::{FaultAction, FaultEvent, FaultScript, Impairment, LossModel};
+    pub use crate::faults::{
+        FaultAction, FaultEvent, FaultScript, Impairment, LossModel, ReorderModel,
+    };
     pub use crate::link::{Link, LinkConfig, LinkStats};
     pub use crate::packet::{AgentId, LinkId, Packet, Payload, Route};
     pub use crate::sim::{Agent, Ctx, Simulator, StallReport, StalledFlow, Watched, World};
     pub use crate::time::{SimDuration, SimTime};
 }
 
-pub use faults::{FaultAction, FaultEvent, FaultScript, Impairment, LossModel};
+#[cfg(feature = "check-invariants")]
+pub use check::{install_default_invariants, InvariantCheck, InvariantViolation};
+pub use faults::{FaultAction, FaultEvent, FaultScript, Impairment, LossModel, ReorderModel};
 pub use link::{Link, LinkConfig, LinkStats};
 pub use packet::{AgentId, LinkId, Packet, Payload, Route};
 pub use sim::{Agent, Ctx, Simulator, StallReport, StalledFlow, Watched, World};

@@ -76,6 +76,16 @@ pub struct LinkStats {
     /// Packets dropped because the link was down, including queued packets
     /// drained when the link went down.
     pub blackout_drops: u64,
+    /// Packets offered to the link (whether accepted, queued, or dropped).
+    /// Conservation invariant: `offered = tx_pkts + queue_len + in_service +
+    /// drops + random_losses + blackout_drops` at any event boundary.
+    pub offered: u64,
+    /// Packet copies delayed by the reorder impairment after transmission.
+    pub reordered: u64,
+    /// Extra packet copies created by the duplication impairment.
+    pub duplicated: u64,
+    /// Packets poisoned by the corruption impairment (still delivered).
+    pub corrupted: u64,
 }
 
 /// Runtime state of a unidirectional link.
@@ -169,6 +179,26 @@ impl Link {
     /// Counts a packet dropped because the link was down.
     pub(crate) fn note_blackout_drop(&mut self) {
         self.stats.blackout_drops += 1;
+    }
+
+    /// Counts a packet offered to the link (for conservation accounting).
+    pub(crate) fn note_offered(&mut self) {
+        self.stats.offered += 1;
+    }
+
+    /// Counts a packet copy delayed by the reorder impairment.
+    pub(crate) fn note_reordered(&mut self) {
+        self.stats.reordered += 1;
+    }
+
+    /// Counts an extra copy created by the duplication impairment.
+    pub(crate) fn note_duplicated(&mut self) {
+        self.stats.duplicated += 1;
+    }
+
+    /// Counts a packet poisoned by the corruption impairment.
+    pub(crate) fn note_corrupted(&mut self) {
+        self.stats.corrupted += 1;
     }
 
     /// Sets the link administratively up or down at time `now`. Going down
@@ -297,6 +327,7 @@ mod tests {
             sent_at: SimTime::ZERO,
             ecn_ce: false,
             hop: 0,
+            corrupted: false,
             route: Route::direct(0),
             payload: Payload::Raw,
         }

@@ -80,8 +80,10 @@ pub enum Payload {
         sack_high: u64,
         /// The subflow sequence of the segment that triggered this ACK — the
         /// per-packet selective-acknowledgement signal the sender's
-        /// scoreboard uses to mark individual deliveries.
-        for_seq: u64,
+        /// scoreboard uses to mark individual deliveries. `None` when the
+        /// ACK acknowledges no new segment (a pure window report, e.g. the
+        /// reply to a discarded zero-window probe).
+        for_seq: Option<u64>,
         /// Cumulative connection-level data ACK: next expected data sequence.
         data_ack: u64,
         /// Receive window in packets (connection level).
@@ -113,6 +115,10 @@ pub struct Packet {
     pub ecn_ce: bool,
     /// Index into `route.links` of the next link to traverse.
     pub hop: usize,
+    /// Poisoned by a corruption impairment: the payload must not be trusted,
+    /// and the destination agent is expected to discard the packet
+    /// (checksum-failure semantics).
+    pub corrupted: bool,
     /// The source route.
     pub route: Arc<Route>,
     /// Transport payload.
@@ -147,6 +153,7 @@ mod tests {
             sent_at: SimTime::ZERO,
             ecn_ce: false,
             hop: 0,
+            corrupted: false,
             route: r,
             payload: Payload::Raw,
         };

@@ -33,7 +33,7 @@ use crate::faults::FaultAction;
 use crate::link::{Enqueue, Link, LinkConfig};
 use crate::packet::{AgentId, LinkId, Packet, Payload, Route};
 use crate::time::{SimDuration, SimTime};
-use obs::{DropCause, FaultKind, LinkCounters, TraceEvent, TraceSink};
+use obs::{DropCause, FaultKind, ImpairKind, LinkCounters, TraceEvent, TraceSink};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::any::Any;
@@ -173,11 +173,15 @@ impl World {
                 LinkCounters {
                     link: i as u64,
                     tx_pkts: s.tx_pkts,
+                    offered: s.offered,
                     drops_queue: s.drops,
                     drops_fault: s.random_losses,
                     drops_blackout: s.blackout_drops,
                     ecn_marks: s.ecn_marks,
                     queue_high_water: s.max_qlen,
+                    reordered: s.reordered,
+                    duplicated: s.duplicated,
+                    corrupted: s.corrupted,
                 }
             })
             .collect()
@@ -240,6 +244,7 @@ impl World {
             sent_at: self.now,
             ecn_ce: false,
             hop: 0,
+            corrupted: false,
             route,
             payload,
         };
@@ -260,6 +265,7 @@ impl World {
         let t_ns = self.now.as_nanos();
         let pkt_id = pkt.id;
         let l = &mut self.links[link];
+        l.note_offered();
         if !l.is_up() {
             l.note_blackout_drop();
             self.blackout_drops += 1;
@@ -354,20 +360,98 @@ impl World {
                 self.set_link_up(*link, true);
                 (*link, FaultKind::LinkUp)
             }
+            FaultAction::SetReorder { link, model } => {
+                self.links[*link].impairment_mut().set_reorder(model.clone());
+                (*link, FaultKind::SetReorder)
+            }
+            FaultAction::SetDuplicate { link, p } => {
+                self.links[*link].impairment_mut().set_duplicate(*p);
+                (*link, FaultKind::SetDuplicate)
+            }
+            FaultAction::SetCorrupt { link, p } => {
+                self.links[*link].impairment_mut().set_corrupt(*p);
+                (*link, FaultKind::SetCorrupt)
+            }
         };
         self.emit(TraceEvent::Fault { t_ns: self.now.as_nanos(), link: affected as u64, kind });
     }
 
     fn forward_after_tx(&mut self, link: LinkId, mut pkt: Packet) {
-        let prop = self.links[link].config().propagation;
+        // Delivery impairments roll in a fixed order — corrupt, duplicate,
+        // jitter(original), jitter(duplicate) — so the RNG stream is a pure
+        // function of the configured models; inactive models draw nothing,
+        // which keeps fault-free runs byte-identical with or without this
+        // machinery (pinned by faults::tests).
+        let (prop, corrupt, duplicate, jitter, dup_jitter) = {
+            let l = &mut self.links[link];
+            let prop = l.config().propagation;
+            let imp = l.impairment_mut();
+            let corrupt = imp.roll_corrupt(&mut self.rng);
+            let duplicate = imp.roll_duplicate(&mut self.rng);
+            let jitter = imp.roll_reorder(&mut self.rng);
+            let dup_jitter = if duplicate { imp.roll_reorder(&mut self.rng) } else { None };
+            if corrupt {
+                l.note_corrupted();
+            }
+            if duplicate {
+                l.note_duplicated();
+            }
+            if jitter.is_some() {
+                l.note_reordered();
+            }
+            if dup_jitter.is_some() {
+                l.note_reordered();
+            }
+            (prop, corrupt, duplicate, jitter, dup_jitter)
+        };
+        let t_ns = self.now.as_nanos();
+        if corrupt {
+            pkt.corrupted = true;
+            self.emit(TraceEvent::Impair {
+                t_ns,
+                link: link as u64,
+                pkt_id: pkt.id,
+                kind: ImpairKind::Corrupt,
+            });
+        }
+        if duplicate {
+            self.emit(TraceEvent::Impair {
+                t_ns,
+                link: link as u64,
+                pkt_id: pkt.id,
+                kind: ImpairKind::Duplicate,
+            });
+        }
+        for _ in 0..(jitter.is_some() as usize + dup_jitter.is_some() as usize) {
+            self.emit(TraceEvent::Impair {
+                t_ns,
+                link: link as u64,
+                pkt_id: pkt.id,
+                kind: ImpairKind::Reorder,
+            });
+        }
         pkt.hop += 1;
-        let arrival = self.now + prop;
+        let base = self.now + prop;
+        let dup_copy = if duplicate { Some(pkt.clone()) } else { None };
+        self.schedule_arrival(base + jitter.unwrap_or(SimDuration::ZERO), pkt);
+        if let Some(copy) = dup_copy {
+            // The copy inherits corruption (same bits on the wire twice) and
+            // rolls its own jitter, so the two arrivals can land in either
+            // order.
+            self.schedule_arrival(base + dup_jitter.unwrap_or(SimDuration::ZERO), copy);
+        }
+    }
+
+    /// Schedules one packet copy to arrive at `at`: delivered to the route's
+    /// destination agent after the last hop, otherwise offered to the next
+    /// link on the route.
+    fn schedule_arrival(&mut self, at: SimTime, pkt: Packet) {
         if pkt.at_last_hop() {
             let agent = pkt.route.dst;
-            self.queue.push(arrival, EventKind::Deliver { agent, pkt });
+            self.queue.push(at, EventKind::Deliver { agent, pkt });
         } else {
             let next = pkt.route.links[pkt.hop];
-            self.queue.push(arrival, EventKind::LinkEnqueue { link: next, pkt });
+            self.queue.push(at, EventKind::LinkEnqueue { link: next, pkt });
         }
     }
 }
@@ -484,6 +568,13 @@ pub struct Simulator {
     world: World,
     agents: Vec<Option<Box<dyn Agent>>>,
     watchdog: Option<Watchdog>,
+    /// Online invariant checks, run after every processed event. Compiled
+    /// out entirely without the `check-invariants` feature.
+    #[cfg(feature = "check-invariants")]
+    checks: Vec<crate::check::InvariantCheck>,
+    /// First invariant violation observed; run loops halt once set.
+    #[cfg(feature = "check-invariants")]
+    violation: Option<crate::check::InvariantViolation>,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -500,7 +591,15 @@ impl std::fmt::Debug for Simulator {
 impl Simulator {
     /// Creates an empty simulator with the given RNG seed.
     pub fn new(seed: u64) -> Self {
-        Simulator { world: World::new(seed), agents: Vec::new(), watchdog: None }
+        Simulator {
+            world: World::new(seed),
+            agents: Vec::new(),
+            watchdog: None,
+            #[cfg(feature = "check-invariants")]
+            checks: Vec::new(),
+            #[cfg(feature = "check-invariants")]
+            violation: None,
+        }
     }
 
     /// Registers a link and returns its id.
@@ -632,6 +731,64 @@ impl Simulator {
         self.stall_report().is_some()
     }
 
+    /// Registers an online invariant check, run against the simulator after
+    /// every processed event. The first check to return `Err` records an
+    /// [`crate::check::InvariantViolation`] and halts all run loops.
+    #[cfg(feature = "check-invariants")]
+    pub fn add_invariant_check(&mut self, check: crate::check::InvariantCheck) {
+        self.checks.push(check);
+    }
+
+    /// The recorded invariant violation, if any check has failed.
+    #[cfg(feature = "check-invariants")]
+    pub fn invariant_violation(&self) -> Option<&crate::check::InvariantViolation> {
+        self.violation.as_ref()
+    }
+
+    /// Whether an invariant violation has halted the simulator. Always
+    /// `false` without the `check-invariants` feature.
+    pub fn invariant_halted(&self) -> bool {
+        #[cfg(feature = "check-invariants")]
+        {
+            self.violation.is_some()
+        }
+        #[cfg(not(feature = "check-invariants"))]
+        {
+            false
+        }
+    }
+
+    /// Runs every registered invariant check; records the first failure and
+    /// returns `false` on (new or prior) violation. A no-op returning `true`
+    /// without the feature.
+    fn invariants_ok(&mut self) -> bool {
+        #[cfg(feature = "check-invariants")]
+        {
+            if self.violation.is_some() {
+                return false;
+            }
+            if self.checks.is_empty() {
+                return true;
+            }
+            // Checks take `&Simulator`, so lift them out for the duration.
+            let mut checks = std::mem::take(&mut self.checks);
+            let mut failed = None;
+            for c in checks.iter_mut() {
+                if let Err(message) = c(self) {
+                    failed = Some(message);
+                    break;
+                }
+            }
+            self.checks = checks;
+            if let Some(message) = failed {
+                self.violation =
+                    Some(crate::check::InvariantViolation { at: self.world.now, message });
+                return false;
+            }
+        }
+        true
+    }
+
     /// Runs one watchdog check at the current clock. Declares a stall when a
     /// watched agent was in flight at both this check and the previous one
     /// without its progress counter moving.
@@ -677,7 +834,7 @@ impl Simulator {
             let wd = self.watchdog.as_mut().expect("watchdog vanished mid-check");
             wd.next_check = check_at + wd.interval;
         }
-        if self.stalled() {
+        if self.stalled() || self.invariant_halted() {
             return false;
         }
         let Some(ev) = self.world.queue.pop() else { return false };
@@ -701,7 +858,7 @@ impl Simulator {
                 self.world.offer_to_link(link, pkt);
             }
         }
-        true
+        self.invariants_ok()
     }
 
     /// Runs until the event queue is exhausted, `deadline` is reached, or the
@@ -716,7 +873,7 @@ impl Simulator {
                 break;
             }
         }
-        if self.world.now < deadline && !self.stalled() {
+        if self.world.now < deadline && !self.stalled() && !self.invariant_halted() {
             self.world.now = deadline;
         }
     }

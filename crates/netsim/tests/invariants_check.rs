@@ -1,0 +1,103 @@
+//! Online invariant checker behaviour (only built with `check-invariants`):
+//! default invariants hold under heavy impaired traffic, and a deliberately
+//! failing check halts every run loop at the violating event.
+
+#![cfg(feature = "check-invariants")]
+
+use netsim::check::install_default_invariants;
+use netsim::prelude::*;
+
+#[derive(Default)]
+struct Sink {
+    delivered: u64,
+}
+
+impl Agent for Sink {
+    fn on_packet(&mut self, _pkt: Packet, _ctx: &mut Ctx<'_>) {
+        self.delivered += 1;
+    }
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {}
+}
+
+fn impaired_sim(seed: u64) -> (Simulator, LinkId, AgentId) {
+    let mut sim = Simulator::new(seed);
+    let l = sim.add_link(LinkConfig::new(5_000_000, SimDuration::from_micros(200)).queue_limit(8));
+    {
+        let imp = sim.world_mut().link_mut(l).impairment_mut();
+        imp.set_loss(LossModel::iid(0.05));
+        imp.set_reorder(ReorderModel::uniform(0.2, SimDuration::from_millis(3)));
+        imp.set_duplicate(0.1);
+        imp.set_corrupt(0.1);
+    }
+    let sink = sim.add_agent(Box::new(Sink::default()));
+    (sim, l, sink)
+}
+
+#[test]
+fn default_invariants_hold_under_impaired_traffic() {
+    let (mut sim, l, sink) = impaired_sim(21);
+    install_default_invariants(&mut sim);
+    let route = Route::new(vec![l], sink);
+    for _ in 0..500 {
+        sim.world_mut().send_packet(sink, route.clone(), 700, Payload::Raw);
+    }
+    sim.run_until(SimTime::from_secs_f64(30.0));
+    assert!(sim.invariant_violation().is_none(), "{:?}", sim.invariant_violation());
+    assert!(!sim.invariant_halted());
+    assert!(sim.agent::<Sink>(sink).delivered > 0);
+    assert_eq!(sim.now(), SimTime::from_secs_f64(30.0), "clock reaches the deadline");
+}
+
+#[test]
+fn a_failing_check_halts_run_loops_at_the_violation() {
+    let (mut sim, l, sink) = impaired_sim(22);
+    install_default_invariants(&mut sim);
+    let fail_after = SimTime::from_secs_f64(0.01);
+    sim.add_invariant_check(Box::new(move |s: &Simulator| {
+        if s.now() >= fail_after {
+            Err(format!("deliberate failure past t={:.3}s", fail_after.as_secs_f64()))
+        } else {
+            Ok(())
+        }
+    }));
+    let route = Route::new(vec![l], sink);
+    for _ in 0..500 {
+        sim.world_mut().send_packet(sink, route.clone(), 700, Payload::Raw);
+    }
+    sim.run_until(SimTime::from_secs_f64(30.0));
+    let v = sim.invariant_violation().expect("violation must be recorded").clone();
+    assert!(v.message.contains("deliberate failure"), "{}", v.message);
+    assert!(v.at >= fail_after);
+    assert!(sim.invariant_halted());
+    // The clock freezes at the violating event rather than jumping to the
+    // deadline, and further stepping refuses to run.
+    assert!(sim.now() < SimTime::from_secs_f64(30.0));
+    let frozen = sim.now();
+    assert!(!sim.step());
+    assert_eq!(sim.now(), frozen);
+    assert!(sim.pending_events() > 0, "events remain but the simulator is halted");
+    let display = format!("{v}");
+    assert!(display.contains("invariant violated at t="), "{display}");
+}
+
+#[test]
+fn checker_runs_are_byte_identical_to_unchecked_runs() {
+    let run = |checked: bool| {
+        let (mut sim, l, sink) = impaired_sim(23);
+        if checked {
+            install_default_invariants(&mut sim);
+        }
+        let route = Route::new(vec![l], sink);
+        for _ in 0..300 {
+            sim.world_mut().send_packet(sink, route.clone(), 700, Payload::Raw);
+        }
+        sim.run_until(SimTime::from_secs_f64(20.0));
+        format!(
+            "{:?}/{}/{:?}",
+            sim.world().link_counters(),
+            sim.agent::<Sink>(sink).delivered,
+            sim.now()
+        )
+    };
+    assert_eq!(run(false), run(true));
+}

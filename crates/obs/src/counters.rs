@@ -24,6 +24,14 @@ pub struct LinkCounters {
     pub ecn_marks: u64,
     /// Maximum queue occupancy observed (packets).
     pub queue_high_water: usize,
+    /// Packets offered to the link (accepted, queued, or dropped).
+    pub offered: u64,
+    /// Packet copies given extra reorder jitter after transmission.
+    pub reordered: u64,
+    /// Extra packet copies created by the duplication impairment.
+    pub duplicated: u64,
+    /// Packets poisoned by the corruption impairment (still delivered).
+    pub corrupted: u64,
 }
 
 impl LinkCounters {
@@ -56,6 +64,42 @@ pub struct SubflowCounters {
     pub probes: u64,
 }
 
+/// Per-connection counters spanning sender and receiver: flow-control stalls
+/// and the receive-side discard accounting.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ConnCounters {
+    /// Connection id.
+    pub conn: u64,
+    /// Times the sender parked behind the persist timer (advertised window
+    /// zero with nothing outstanding).
+    pub zero_window_stalls: u64,
+    /// Persist-timer window probes sent.
+    pub persist_probes: u64,
+    /// Corrupted ACKs the sender discarded unparsed.
+    pub corrupt_acks: u64,
+    /// Corrupted data segments the receiver discarded unparsed.
+    pub corrupt_discards: u64,
+    /// Data segments refused because the receive buffer was full.
+    pub rwnd_dropped: u64,
+    /// Data segments refused by the subflow out-of-order buffer bound.
+    pub ooo_dropped: u64,
+    /// Duplicate data segments the receiver absorbed idempotently.
+    pub duplicates: u64,
+}
+
+impl ConnCounters {
+    /// True when nothing noteworthy happened on this connection.
+    pub fn is_quiet(&self) -> bool {
+        self.zero_window_stalls == 0
+            && self.persist_probes == 0
+            && self.corrupt_acks == 0
+            && self.corrupt_discards == 0
+            && self.rwnd_dropped == 0
+            && self.ooo_dropped == 0
+            && self.duplicates == 0
+    }
+}
+
 /// Process-wide counters that have no per-link/per-subflow home.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct GlobalCounters {
@@ -73,6 +117,8 @@ pub struct CounterSnapshot {
     pub links: Vec<LinkCounters>,
     /// One entry per (connection, subflow).
     pub subflows: Vec<SubflowCounters>,
+    /// One entry per connection.
+    pub conns: Vec<ConnCounters>,
     /// Process-wide counts.
     pub global: GlobalCounters,
 }
@@ -98,17 +144,27 @@ impl CounterSnapshot {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for l in self.links.iter().filter(|l| l.drops() > 0 || l.queue_high_water > 0) {
+        for l in self.links.iter().filter(|l| {
+            l.drops() > 0
+                || l.queue_high_water > 0
+                || l.reordered > 0
+                || l.duplicated > 0
+                || l.corrupted > 0
+        }) {
             let _ = writeln!(
                 out,
-                "link {}: tx={} drops(queue={} fault={} blackout={}) ecn={} q_hwm={}",
+                "link {}: tx={} drops(queue={} fault={} blackout={}) ecn={} q_hwm={} \
+                 reordered={} duplicated={} corrupted={}",
                 l.link,
                 l.tx_pkts,
                 l.drops_queue,
                 l.drops_fault,
                 l.drops_blackout,
                 l.ecn_marks,
-                l.queue_high_water
+                l.queue_high_water,
+                l.reordered,
+                l.duplicated,
+                l.corrupted
             );
         }
         for s in &self.subflows {
@@ -125,6 +181,21 @@ impl CounterSnapshot {
                 s.deaths,
                 s.revivals,
                 s.probes
+            );
+        }
+        for c in self.conns.iter().filter(|c| !c.is_quiet()) {
+            let _ = writeln!(
+                out,
+                "conn {}: zw_stalls={} persist_probes={} corrupt(acks={} data={}) \
+                 rwnd_dropped={} ooo_dropped={} duplicates={}",
+                c.conn,
+                c.zero_window_stalls,
+                c.persist_probes,
+                c.corrupt_acks,
+                c.corrupt_discards,
+                c.rwnd_dropped,
+                c.ooo_dropped,
+                c.duplicates
             );
         }
         if self.global.nan_samples > 0 || self.global.dropped_load_samples > 0 {
@@ -153,6 +224,15 @@ mod tests {
                 SubflowCounters { rtos: 3, recoveries: 2, ..Default::default() },
                 SubflowCounters { subflow: 1, rtos: 1, recoveries: 1, ..Default::default() },
             ],
+            conns: vec![
+                ConnCounters { conn: 7, ..Default::default() },
+                ConnCounters {
+                    conn: 8,
+                    zero_window_stalls: 1,
+                    persist_probes: 4,
+                    ..Default::default()
+                },
+            ],
             global: GlobalCounters::default(),
         };
         assert_eq!(snap.total_drops(), 7);
@@ -161,5 +241,8 @@ mod tests {
         let text = snap.render();
         assert!(text.contains("blackout=1"), "{text}");
         assert!(text.contains("recoveries=2"), "{text}");
+        // Quiet connections stay out of the digest; noisy ones show up.
+        assert!(!text.contains("conn 7:"), "{text}");
+        assert!(text.contains("conn 8: zw_stalls=1 persist_probes=4"), "{text}");
     }
 }

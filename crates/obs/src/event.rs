@@ -52,6 +52,52 @@ impl RecoveryCause {
     }
 }
 
+/// Which adversarial impairment touched a packet in flight. Unlike a drop,
+/// the packet is still delivered — late, twice, or poisoned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ImpairKind {
+    /// Extra per-packet delay jitter pushed this packet behind later ones.
+    Reorder,
+    /// A second copy of the packet was scheduled for delivery.
+    Duplicate,
+    /// The packet was poisoned; the endpoint must discard it on receipt.
+    Corrupt,
+}
+
+impl ImpairKind {
+    /// Stable lowercase name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ImpairKind::Reorder => "reorder",
+            ImpairKind::Duplicate => "duplicate",
+            ImpairKind::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// Why a transport endpoint refused a delivered packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiscardCause {
+    /// The packet arrived poisoned (checksum-failure semantics): no state
+    /// change, no ACK.
+    Corrupt,
+    /// The receive buffer had no room for new connection-level data.
+    WindowFull,
+    /// The subflow out-of-order reassembly buffer was at its bound.
+    OooLimit,
+}
+
+impl DiscardCause {
+    /// Stable lowercase name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DiscardCause::Corrupt => "corrupt",
+            DiscardCause::WindowFull => "window_full",
+            DiscardCause::OooLimit => "ooo_limit",
+        }
+    }
+}
+
 /// Which fault primitive a `Fault` event records.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultKind {
@@ -65,6 +111,12 @@ pub enum FaultKind {
     LinkDown,
     /// Link restored.
     LinkUp,
+    /// Reorder (extra-delay jitter) model replaced.
+    SetReorder,
+    /// Duplication probability changed.
+    SetDuplicate,
+    /// Corruption probability changed.
+    SetCorrupt,
 }
 
 impl FaultKind {
@@ -76,6 +128,9 @@ impl FaultKind {
             FaultKind::SetPropagation => "set_propagation",
             FaultKind::LinkDown => "link_down",
             FaultKind::LinkUp => "link_up",
+            FaultKind::SetReorder => "set_reorder",
+            FaultKind::SetDuplicate => "set_duplicate",
+            FaultKind::SetCorrupt => "set_corrupt",
         }
     }
 }
@@ -110,6 +165,18 @@ pub enum TraceEvent {
     SchedulerPick { t_ns: u64, conn: u64, subflow: usize, data_seq: u64 },
     /// A fault primitive was applied to a link.
     Fault { t_ns: u64, link: u64, kind: FaultKind },
+    /// An impairment touched a packet that is still delivered (late, doubled,
+    /// or poisoned).
+    Impair { t_ns: u64, link: u64, pkt_id: u64, kind: ImpairKind },
+    /// A transport endpoint discarded a delivered packet, with the cause.
+    SegDiscard { t_ns: u64, conn: u64, pkt_id: u64, cause: DiscardCause },
+    /// The sender ran out of send credit: advertised window is zero with
+    /// nothing outstanding, so it parks behind the persist timer.
+    ZeroWindowStall { t_ns: u64, conn: u64 },
+    /// A persist-timer window probe was sent; `backoff` is the exponent.
+    ZeroWindowProbe { t_ns: u64, conn: u64, subflow: usize, backoff: u32 },
+    /// An ACK reopened the window and the sender resumed.
+    ZeroWindowResume { t_ns: u64, conn: u64, rwnd_pkts: u64 },
 }
 
 impl TraceEvent {
@@ -128,6 +195,11 @@ impl TraceEvent {
             TraceEvent::SubflowRevived { .. } => "subflow_revived",
             TraceEvent::SchedulerPick { .. } => "scheduler_pick",
             TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Impair { .. } => "impair",
+            TraceEvent::SegDiscard { .. } => "seg_discard",
+            TraceEvent::ZeroWindowStall { .. } => "zero_window_stall",
+            TraceEvent::ZeroWindowProbe { .. } => "zero_window_probe",
+            TraceEvent::ZeroWindowResume { .. } => "zero_window_resume",
         }
     }
 
@@ -145,7 +217,12 @@ impl TraceEvent {
             | TraceEvent::SubflowDead { t_ns, .. }
             | TraceEvent::SubflowRevived { t_ns, .. }
             | TraceEvent::SchedulerPick { t_ns, .. }
-            | TraceEvent::Fault { t_ns, .. } => t_ns,
+            | TraceEvent::Fault { t_ns, .. }
+            | TraceEvent::Impair { t_ns, .. }
+            | TraceEvent::SegDiscard { t_ns, .. }
+            | TraceEvent::ZeroWindowStall { t_ns, .. }
+            | TraceEvent::ZeroWindowProbe { t_ns, .. }
+            | TraceEvent::ZeroWindowResume { t_ns, .. } => t_ns,
         }
     }
 
@@ -226,6 +303,35 @@ impl TraceEvent {
                     kind.name()
                 );
             }
+            TraceEvent::Impair { t_ns, link, pkt_id, kind } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"{ev}\",\"t_ns\":{t_ns},\"link\":{link},\"pkt\":{pkt_id},\"kind\":\"{}\"}}",
+                    kind.name()
+                );
+            }
+            TraceEvent::SegDiscard { t_ns, conn, pkt_id, cause } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"{ev}\",\"t_ns\":{t_ns},\"conn\":{conn},\"pkt\":{pkt_id},\"cause\":\"{}\"}}",
+                    cause.name()
+                );
+            }
+            TraceEvent::ZeroWindowStall { t_ns, conn } => {
+                let _ = write!(out, "{{\"ev\":\"{ev}\",\"t_ns\":{t_ns},\"conn\":{conn}}}");
+            }
+            TraceEvent::ZeroWindowProbe { t_ns, conn, subflow, backoff } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"{ev}\",\"t_ns\":{t_ns},\"conn\":{conn},\"subflow\":{subflow},\"backoff\":{backoff}}}"
+                );
+            }
+            TraceEvent::ZeroWindowResume { t_ns, conn, rwnd_pkts } => {
+                let _ = write!(
+                    out,
+                    "{{\"ev\":\"{ev}\",\"t_ns\":{t_ns},\"conn\":{conn},\"rwnd_pkts\":{rwnd_pkts}}}"
+                );
+            }
         }
     }
 }
@@ -263,6 +369,11 @@ mod tests {
             TraceEvent::SubflowRevived { t_ns: 10, conn: 9, subflow: 1 },
             TraceEvent::SchedulerPick { t_ns: 11, conn: 9, subflow: 0, data_seq: 12 },
             TraceEvent::Fault { t_ns: 12, link: 0, kind: FaultKind::LinkDown },
+            TraceEvent::Impair { t_ns: 13, link: 0, pkt_id: 2, kind: ImpairKind::Reorder },
+            TraceEvent::SegDiscard { t_ns: 14, conn: 9, pkt_id: 2, cause: DiscardCause::Corrupt },
+            TraceEvent::ZeroWindowStall { t_ns: 15, conn: 9 },
+            TraceEvent::ZeroWindowProbe { t_ns: 16, conn: 9, subflow: 0, backoff: 1 },
+            TraceEvent::ZeroWindowResume { t_ns: 17, conn: 9, rwnd_pkts: 4 },
         ];
         for ev in evs {
             let mut s = String::new();

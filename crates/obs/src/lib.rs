@@ -31,9 +31,10 @@ pub mod event;
 pub mod sink;
 pub mod summary;
 
-pub use counters::{CounterSnapshot, GlobalCounters, LinkCounters, SubflowCounters};
-pub use event::{DropCause, FaultKind, RecoveryCause, TraceEvent};
+pub use counters::{ConnCounters, CounterSnapshot, GlobalCounters, LinkCounters, SubflowCounters};
+pub use event::{DiscardCause, DropCause, FaultKind, ImpairKind, RecoveryCause, TraceEvent};
 pub use sink::{
-    jsonl_sink_in, sanitize_label, trace_path, FilterSink, JsonlSink, NullSink, RingSink, TraceSink,
+    jsonl_sink_in, sanitize_label, trace_path, FilterSink, JsonlSink, NullSink, RingSink, TeeSink,
+    TraceSink,
 };
-pub use summary::{summarize, TraceSummary};
+pub use summary::{json_str_field, json_u64_field, summarize, TraceSummary};

@@ -93,6 +93,31 @@ impl TraceSink for RingSink {
     }
 }
 
+/// Fans every event out to two sinks. Lets a harness keep a full JSONL trace
+/// on disk *and* an in-memory ring tail for failure artifacts in one run.
+pub struct TeeSink {
+    a: Box<dyn TraceSink>,
+    b: Box<dyn TraceSink>,
+}
+
+impl TeeSink {
+    /// Combines two sinks; both see every event, `a` first.
+    pub fn new(a: Box<dyn TraceSink>, b: Box<dyn TraceSink>) -> TeeSink {
+        TeeSink { a, b }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.a.record(ev);
+        self.b.record(ev);
+    }
+    fn flush(&mut self) {
+        self.a.flush();
+        self.b.flush();
+    }
+}
+
 /// Keeps only events passing a predicate, in an unbounded Vec. Lets tests
 /// capture the low-rate control-plane events (recovery, death, revival) of a
 /// long run without retaining the packet firehose.
@@ -216,6 +241,19 @@ mod tests {
         assert_eq!(ring.len(), 3);
         let times: Vec<u64> = ring.events().map(|e| e.t_ns()).collect();
         assert_eq!(times, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn tee_sink_feeds_both_sides() {
+        let left: Arc<Mutex<Vec<TraceEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let right = Arc::new(Mutex::new(RingSink::new(2)));
+        let mut tee = TeeSink::new(Box::new(left.clone()), Box::new(right.clone()));
+        for t in 0..5 {
+            tee.record(&ev(t));
+        }
+        assert_eq!(left.lock().unwrap().len(), 5);
+        assert_eq!(right.lock().unwrap().total, 5);
+        assert_eq!(right.lock().unwrap().len(), 2);
     }
 
     #[test]

@@ -8,6 +8,19 @@ pub const DEFAULT_MSS_BYTES: u32 = 1_500;
 /// Default wire size of a pure ACK.
 pub const DEFAULT_ACK_BYTES: u32 = 40;
 
+/// Receiver application read model: the app drains `pkts` packets from the
+/// in-order receive buffer every `interval`. A slow reader fills the buffer
+/// and shrinks the advertised window — down to zero, exercising the sender's
+/// persist/window-probe machinery. `FlowConfig::app_read` defaults to `None`
+/// (the app consumes instantly, the pre-existing behaviour).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AppRead {
+    /// Time between application reads.
+    pub interval: SimDuration,
+    /// Packets consumed per read.
+    pub pkts: u64,
+}
+
 /// How new data is striped over subflows with window space.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Scheduler {
@@ -58,6 +71,10 @@ pub struct FlowConfig {
     /// re-send the blocking segment on a faster subflow and halve the
     /// blocker's window). Off by default; see `tests/reinjection.rs`.
     pub reinjection: bool,
+    /// Receiver application read model; `None` = the application consumes
+    /// delivered data instantly (never a receive-buffer limit beyond
+    /// reassembly).
+    pub app_read: Option<AppRead>,
     /// Declare a subflow *dead* after this many consecutive RTO backoffs
     /// without forward progress: its stranded data is reinjected onto live
     /// subflows, the scheduler skips it, and low-rate probes watch for
@@ -81,6 +98,7 @@ impl FlowConfig {
             sample_every: SimDuration::from_millis(10),
             scheduler: Scheduler::LowestSrtt,
             reinjection: false,
+            app_read: None,
             dead_after_backoffs: Some(6),
         }
     }
@@ -138,6 +156,15 @@ impl FlowConfig {
     /// Enables opportunistic reinjection + penalization.
     pub fn reinjection(mut self, on: bool) -> Self {
         self.reinjection = on;
+        self
+    }
+
+    /// Models a rate-limited receiving application: drain `pkts` packets
+    /// from the receive buffer every `interval`.
+    pub fn app_read(mut self, interval: SimDuration, pkts: u64) -> Self {
+        assert!(pkts > 0, "app read must consume at least one packet");
+        assert!(!interval.is_zero(), "app read interval must be positive");
+        self.app_read = Some(AppRead { interval, pkts });
         self
     }
 

@@ -66,6 +66,24 @@ impl FlowHandle {
     pub fn samples<'a>(&self, sim: &'a Simulator) -> &'a [FlowSample] {
         self.sender_ref(sim).samples()
     }
+
+    /// Connection-level robustness counters (zero-window stalls, persist
+    /// probes, corrupt/window/reassembly discards) assembled from both
+    /// endpoints, for the observability registry.
+    pub fn conn_counters(&self, sim: &Simulator) -> obs::ConnCounters {
+        let s = self.sender_ref(sim);
+        let r = self.receiver_ref(sim);
+        obs::ConnCounters {
+            conn: self.conn_id,
+            zero_window_stalls: s.zero_window_stalls,
+            persist_probes: s.persist_probes,
+            corrupt_acks: s.corrupt_acks,
+            corrupt_discards: r.corrupt_discards,
+            rwnd_dropped: r.rwnd_dropped,
+            ooo_dropped: r.ooo_dropped,
+            duplicates: r.duplicates,
+        }
+    }
 }
 
 /// Attaches a connection to `sim`: registers the two endpoint agents, wires
@@ -86,12 +104,44 @@ pub fn attach_flow(
     let conn_id = cfg.conn_id;
     let ack_bytes = cfg.ack_bytes;
     let rcv_buf = cfg.rcv_buf_pkts;
+    let app_read = cfg.app_read;
     let sender = sim.add_agent(Box::new(MptcpSender::new(cfg, cc)));
     let receiver = sim.add_agent(Box::new(MptcpReceiver::new(conn_id, ack_bytes, rcv_buf)));
+    sim.agent_mut::<MptcpReceiver>(receiver).set_app_read(app_read);
     for p in paths {
         sim.agent_mut::<MptcpSender>(sender).add_path(Route::new(p.fwd.clone(), receiver));
         sim.agent_mut::<MptcpReceiver>(receiver).add_path(Route::new(p.rev.clone(), sender));
     }
+    #[cfg(feature = "check-invariants")]
+    register_flow_invariants(sim, sender, receiver);
     sim.kick(sender, start_at, TK_START);
     FlowHandle { sender, receiver, conn_id }
+}
+
+/// Registers this connection's endpoint invariants with the simulator's
+/// online checker (`check-invariants` feature): exactly-once in-order
+/// delivery accounting, scoreboard/pipe consistency, window bounds, and the
+/// cross-endpoint ACK bound. Cheap O(subflows) checks run every step; the
+/// O(scoreboard) deep audit runs every 256th.
+#[cfg(feature = "check-invariants")]
+fn register_flow_invariants(sim: &mut Simulator, sender: AgentId, receiver: AgentId) {
+    let mut tick: u32 = 0;
+    sim.add_invariant_check(Box::new(move |s: &Simulator| {
+        tick = tick.wrapping_add(1);
+        let snd = s.agent::<MptcpSender>(sender);
+        let rcv = s.agent::<MptcpReceiver>(receiver);
+        snd.check_invariants(tick.is_multiple_of(256))?;
+        rcv.check_invariants()?;
+        // The sender can never believe more data was acknowledged than the
+        // receiver has actually delivered in order.
+        if snd.data_acked() > rcv.data_delivered() {
+            return Err(format!(
+                "conn {}: sender data_acked {} exceeds receiver in-order delivery {}",
+                snd.config().conn_id,
+                snd.data_acked(),
+                rcv.data_delivered()
+            ));
+        }
+        Ok(())
+    }));
 }

@@ -19,7 +19,7 @@ use crate::rtt::RttEstimator;
 use crate::sample::{FlowSample, SubflowSample};
 use congestion::{MultipathCongestionControl, SubflowCc};
 use netsim::{Agent, Ctx, Packet, Payload, Route, SimTime, Watched};
-use obs::{RecoveryCause, SubflowCounters, TraceEvent};
+use obs::{DiscardCause, RecoveryCause, SubflowCounters, TraceEvent};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
@@ -30,6 +30,9 @@ const TK_SAMPLE: u64 = 2;
 /// High bit marking an RTO token; subflow in bits 32..48, generation in low
 /// 32 bits.
 const TK_RTO_BIT: u64 = 1 << 63;
+/// Bit marking a persist (zero-window probe) timer token; generation in the
+/// low 32 bits. One persist timer serves the whole connection.
+const TK_PERSIST_BIT: u64 = 1 << 62;
 
 /// Duplicate threshold for loss classification (RFC 6675 DupThresh).
 const DUP_THRESH: u64 = 3;
@@ -50,6 +53,9 @@ struct Seg {
     in_pipe: bool,
     /// Retransmission count.
     rexmits: u32,
+    /// Already counted as a proven-spurious retransmission (dup-ACK
+    /// discipline: duplicated ACKs must not inflate the counter).
+    spurious_counted: bool,
     /// Last (re)transmission time, for lost-retransmission detection.
     last_tx: SimTime,
 }
@@ -161,7 +167,8 @@ impl SubflowState {
                     seg.in_pipe = false;
                     self.pipe = self.pipe.saturating_sub(1);
                 }
-            } else if seg.rexmits > 0 {
+            } else if seg.rexmits > 0 && !seg.spurious_counted {
+                seg.spurious_counted = true;
                 return true;
             }
         }
@@ -262,6 +269,22 @@ pub struct MptcpSender {
     reinject_queue: VecDeque<u64>,
     /// Segments reinjected because their subflow died.
     pub failover_reinjections: u64,
+    /// The connection is stalled on a zero receive window: nothing
+    /// outstanding, nothing sendable, persist timer armed.
+    zero_window: bool,
+    /// Persist-timer backoff exponent (reset on resume or data progress).
+    persist_backoff: u32,
+    /// Persist-timer generation (stale-fire rejection, like `rto_gen`).
+    persist_gen: u64,
+    /// The in-flight window probe, if one was materialized:
+    /// `(subflow, subflow seq)`.
+    probe: Option<(usize, u64)>,
+    /// Times the connection entered a zero-window stall.
+    pub zero_window_stalls: u64,
+    /// Window probes sent by the persist timer.
+    pub persist_probes: u64,
+    /// Corrupted ACKs discarded unparsed.
+    pub corrupt_acks: u64,
 }
 
 impl std::fmt::Debug for MptcpSender {
@@ -298,6 +321,13 @@ impl MptcpSender {
             reinjections: 0,
             reinject_queue: VecDeque::new(),
             failover_reinjections: 0,
+            zero_window: false,
+            persist_backoff: 0,
+            persist_gen: 0,
+            probe: None,
+            zero_window_stalls: 0,
+            persist_probes: 0,
+            corrupt_acks: 0,
         }
     }
 
@@ -447,7 +477,123 @@ impl MptcpSender {
     }
 
     fn conn_window_limit(&self) -> u64 {
-        self.peer_rwnd.min(self.cfg.rcv_buf_pkts).max(1)
+        // No floor: a peer advertising zero means zero. Progress is then the
+        // persist timer's responsibility, not a clamp's.
+        self.peer_rwnd.min(self.cfg.rcv_buf_pkts)
+    }
+
+    /// Whether the sender is currently stalled on a zero receive window.
+    pub fn zero_window_stalled(&self) -> bool {
+        self.zero_window
+    }
+
+    /// Whether unsent data remains (for finite transfers).
+    fn more_data_pending(&self) -> bool {
+        self.cfg.total_pkts.is_none_or(|t| self.data_next < t)
+    }
+
+    /// The live subflow with the lowest smoothed RTT (falling back to 0) —
+    /// where window probes go.
+    fn probe_subflow(&self) -> usize {
+        let mut best = 0;
+        let mut best_srtt = f64::INFINITY;
+        for r in 0..self.subflows.len() {
+            if self.subflows[r].dead {
+                continue;
+            }
+            let srtt = self.subflows[r].rtt.srtt().unwrap_or(f64::MAX);
+            if srtt < best_srtt {
+                best = r;
+                best_srtt = srtt;
+            }
+        }
+        best
+    }
+
+    /// Enters the zero-window stall state and arms the persist timer.
+    fn enter_zero_window(&mut self, ctx: &mut Ctx<'_>) {
+        self.zero_window = true;
+        self.zero_window_stalls += 1;
+        self.persist_backoff = 0;
+        ctx.emit(TraceEvent::ZeroWindowStall {
+            t_ns: ctx.now().as_nanos(),
+            conn: self.cfg.conn_id,
+        });
+        self.arm_persist(ctx);
+    }
+
+    fn arm_persist(&mut self, ctx: &mut Ctx<'_>) {
+        self.persist_gen += 1;
+        let r = self.probe_subflow();
+        let delay = self.subflows[r].rtt.rto_backed_off(self.persist_backoff);
+        ctx.schedule_in(delay, TK_PERSIST_BIT | (self.persist_gen & 0xffff_ffff));
+    }
+
+    /// Leaves the zero-window stall: disarm the persist timer, restore RTO
+    /// coverage for anything outstanding (the probe included — its loss must
+    /// not deadlock the connection), and let `pump` resume.
+    fn exit_zero_window(&mut self, ctx: &mut Ctx<'_>) {
+        self.zero_window = false;
+        self.persist_backoff = 0;
+        self.persist_gen += 1; // disarm: pending persist fires are stale
+        self.probe = None;
+        ctx.emit(TraceEvent::ZeroWindowResume {
+            t_ns: ctx.now().as_nanos(),
+            conn: self.cfg.conn_id,
+            rwnd_pkts: self.peer_rwnd,
+        });
+        for r in 0..self.subflows.len() {
+            if self.subflows[r].has_outstanding() && !self.subflows[r].dead {
+                self.arm_rto(r, ctx);
+            }
+        }
+    }
+
+    /// Persist timer fired: send (or re-send) a one-packet window probe and
+    /// re-arm with exponential backoff. Probes ride the normal transmit path
+    /// but are covered by the persist timer instead of the RTO — a discarded
+    /// probe elicits a pure window report, not delivery.
+    fn on_persist(&mut self, gen: u64, ctx: &mut Ctx<'_>) {
+        if gen != self.persist_gen & 0xffff_ffff || !self.zero_window || self.finished_at.is_some()
+        {
+            return; // stale timer
+        }
+        let (r, seq, first_send) = match self.probe {
+            Some((r, seq)) => (r, seq, false),
+            None => {
+                // Materialize the probe: the next new data packet, charged to
+                // the scoreboard like any segment so a window that reopens
+                // mid-probe accounts for it normally.
+                let r = self.probe_subflow();
+                let seq = self.subflows[r].snd_nxt;
+                let data_seq = self.data_next;
+                self.subflows[r].segs.insert(
+                    seq,
+                    Seg {
+                        data_seq,
+                        delivered: false,
+                        in_pipe: false,
+                        rexmits: 0,
+                        spurious_counted: false,
+                        last_tx: ctx.now(),
+                    },
+                );
+                self.subflows[r].snd_nxt += 1;
+                self.data_next += 1;
+                self.probe = Some((r, seq));
+                (r, seq, true)
+            }
+        };
+        self.persist_probes += 1;
+        ctx.emit(TraceEvent::ZeroWindowProbe {
+            t_ns: ctx.now().as_nanos(),
+            conn: self.cfg.conn_id,
+            subflow: r,
+            backoff: self.persist_backoff,
+        });
+        self.transmit(r, seq, !first_send, ctx);
+        self.persist_backoff = (self.persist_backoff + 1).min(16);
+        self.arm_persist(ctx);
     }
 
     /// The transmission pump: repair classified losses first, then stripe new
@@ -486,7 +632,14 @@ impl MptcpSender {
         // 3. New data via the configured packet scheduler.
         loop {
             let outstanding = self.data_next - self.data_acked;
-            if outstanding >= self.conn_window_limit() {
+            let limit = self.conn_window_limit();
+            if outstanding >= limit {
+                // True zero-window stall: the peer advertises nothing, we
+                // have nothing in flight to elicit an ACK, yet data remains.
+                // Without a probe the connection deadlocks — enter persist.
+                if limit == 0 && outstanding == 0 && self.more_data_pending() && !self.zero_window {
+                    self.enter_zero_window(ctx);
+                }
                 if self.cfg.reinjection {
                     self.try_reinject(ctx);
                 }
@@ -531,7 +684,14 @@ impl MptcpSender {
             let data_seq = self.data_next;
             self.subflows[r].segs.insert(
                 seq,
-                Seg { data_seq, delivered: false, in_pipe: false, rexmits: 0, last_tx: now },
+                Seg {
+                    data_seq,
+                    delivered: false,
+                    in_pipe: false,
+                    rexmits: 0,
+                    spurious_counted: false,
+                    last_tx: now,
+                },
             );
             self.subflows[r].snd_nxt += 1;
             self.data_next += 1;
@@ -592,7 +752,14 @@ impl MptcpSender {
         let seq = self.subflows[r].snd_nxt;
         self.subflows[r].segs.insert(
             seq,
-            Seg { data_seq: target, delivered: false, in_pipe: false, rexmits: 0, last_tx: now },
+            Seg {
+                data_seq: target,
+                delivered: false,
+                in_pipe: false,
+                rexmits: 0,
+                spurious_counted: false,
+                last_tx: now,
+            },
         );
         self.subflows[r].snd_nxt += 1;
         self.transmit(r, seq, false, ctx);
@@ -642,7 +809,14 @@ impl MptcpSender {
             let seq = self.subflows[r].snd_nxt;
             self.subflows[r].segs.insert(
                 seq,
-                Seg { data_seq, delivered: false, in_pipe: false, rexmits: 0, last_tx: now },
+                Seg {
+                    data_seq,
+                    delivered: false,
+                    in_pipe: false,
+                    rexmits: 0,
+                    spurious_counted: false,
+                    last_tx: now,
+                },
             );
             self.subflows[r].snd_nxt += 1;
             self.transmit(r, seq, false, ctx);
@@ -703,7 +877,7 @@ impl MptcpSender {
         r: usize,
         cum_ack: u64,
         sack_high: u64,
-        for_seq: u64,
+        for_seq: Option<u64>,
         data_ack: u64,
         rwnd_pkts: u64,
         ecn_echo: bool,
@@ -713,8 +887,25 @@ impl MptcpSender {
         if r >= self.subflows.len() {
             return; // stray ACK for an unknown subflow
         }
-        self.peer_rwnd = rwnd_pkts.max(1);
+        self.peer_rwnd = rwnd_pkts;
+        let data_ack_advanced = data_ack > self.data_acked;
         self.data_acked = self.data_acked.max(data_ack);
+        if self.zero_window {
+            if self.peer_rwnd > 0 {
+                // The window reopened — every persist probe elicits a window
+                // report, so this arrives even when the probe data itself
+                // was discarded at the receiver.
+                self.exit_zero_window(ctx);
+            } else if data_ack_advanced {
+                // Still closed but making progress: restart the backoff, and
+                // if the probe itself was delivered let the next fire probe
+                // with fresh data — one packet squeezes through per probe.
+                self.persist_backoff = 0;
+                if self.data_acked >= self.data_next {
+                    self.probe = None;
+                }
+            }
+        }
 
         // A dead subflow whose probe moved the cumulative ACK is reachable
         // again: revive it (slow start, fresh RTT state) before this ACK's
@@ -743,11 +934,15 @@ impl MptcpSender {
             self.cc_states[r].observe_rtt(rtt_s);
         }
 
-        // Scoreboard updates.
+        // Scoreboard updates. `for_seq: None` is a pure window report (e.g.
+        // the reply to a discarded probe): no segment was delivered.
         let spurious = {
             let sf = &mut self.subflows[r];
             sf.sack_high = sf.sack_high.max(sack_high);
-            sf.mark_delivered(for_seq)
+            match for_seq {
+                Some(seq) => sf.mark_delivered(seq),
+                None => false,
+            }
         };
         if spurious {
             self.subflows[r].spurious_rexmits += 1;
@@ -755,7 +950,7 @@ impl MptcpSender {
                 t_ns: ctx.now().as_nanos(),
                 conn: self.cfg.conn_id,
                 subflow: r,
-                seq: for_seq,
+                seq: for_seq.unwrap_or(0),
             });
         }
         let newly_lost = self.subflows[r].advance_loss_scan();
@@ -935,6 +1130,69 @@ impl MptcpSender {
         self.samples.push(FlowSample { at: now, interval_s: dt, subflows });
         self.last_sample_at = now;
     }
+
+    /// Online self-check for the invariant checker: sequencing and window
+    /// bounds every call, plus a full scoreboard recount when `deep` (the
+    /// caller throttles deep passes — they are O(segs)).
+    #[cfg(feature = "check-invariants")]
+    pub fn check_invariants(&self, deep: bool) -> Result<(), String> {
+        let conn = self.cfg.conn_id;
+        if self.data_acked > self.data_next {
+            return Err(format!(
+                "conn {conn}: data_acked {} ran past data_next {}",
+                self.data_acked, self.data_next
+            ));
+        }
+        for (r, (sf, st)) in self.subflows.iter().zip(&self.cc_states).enumerate() {
+            if !st.cwnd.is_finite() || st.cwnd <= 0.0 {
+                return Err(format!("conn {conn} sf{r}: cwnd degenerate: {}", st.cwnd));
+            }
+            if sf.snd_una > sf.snd_nxt {
+                return Err(format!(
+                    "conn {conn} sf{r}: snd_una {} past snd_nxt {}",
+                    sf.snd_una, sf.snd_nxt
+                ));
+            }
+            if sf.pipe as usize > sf.segs.len() {
+                return Err(format!(
+                    "conn {conn} sf{r}: pipe {} exceeds scoreboard size {}",
+                    sf.pipe,
+                    sf.segs.len()
+                ));
+            }
+            if deep {
+                let in_pipe = sf.segs.values().filter(|s| s.in_pipe).count() as u64;
+                if in_pipe != sf.pipe {
+                    return Err(format!(
+                        "conn {conn} sf{r}: pipe {} != scoreboard recount {in_pipe}",
+                        sf.pipe
+                    ));
+                }
+                if let Some(s) = sf.segs.values().find(|s| s.delivered && s.in_pipe) {
+                    return Err(format!(
+                        "conn {conn} sf{r}: delivered segment still in pipe: {s:?}"
+                    ));
+                }
+                if let Some((&first, _)) = sf.segs.first_key_value() {
+                    if first < sf.snd_una {
+                        return Err(format!(
+                            "conn {conn} sf{r}: scoreboard entry {first} below snd_una {}",
+                            sf.snd_una
+                        ));
+                    }
+                }
+                if let Some((&last, _)) = sf.segs.last_key_value() {
+                    if last >= sf.snd_nxt {
+                        return Err(format!(
+                            "conn {conn} sf{r}: scoreboard entry {last} at/past snd_nxt {}",
+                            sf.snd_nxt
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl Watched for MptcpSender {
@@ -983,6 +1241,18 @@ impl Agent for MptcpSender {
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx<'_>) {
+        if pkt.corrupted {
+            // Checksum failure: the ACK's fields cannot be trusted, so it is
+            // discarded unparsed.
+            self.corrupt_acks += 1;
+            ctx.emit(TraceEvent::SegDiscard {
+                t_ns: ctx.now().as_nanos(),
+                conn: self.cfg.conn_id,
+                pkt_id: pkt.id,
+                cause: DiscardCause::Corrupt,
+            });
+            return;
+        }
         if let Payload::Ack {
             conn,
             subflow,
@@ -1013,11 +1283,13 @@ impl Agent for MptcpSender {
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_>) {
         if token & TK_RTO_BIT != 0 {
-            let r = ((token >> 32) & 0x7fff_ffff) as usize;
+            let r = ((token >> 32) & 0x3fff_ffff) as usize;
             let gen = token & 0xffff_ffff;
             if r < self.subflows.len() {
                 self.on_rto(r, gen, ctx);
             }
+        } else if token & TK_PERSIST_BIT != 0 {
+            self.on_persist(token & 0xffff_ffff, ctx);
         } else if token == TK_START {
             if self.started_at.is_none() {
                 assert!(!self.subflows.is_empty(), "sender started with no paths");

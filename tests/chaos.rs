@@ -16,7 +16,7 @@
 use bench_harness::runner::{run_sweep, run_sweep_jobs, SweepCell};
 use congestion::AlgorithmKind;
 use mptcp_energy::CcChoice;
-use netsim::{FaultAction, FaultScript, LossModel, SimDuration, SimTime, Simulator};
+use netsim::{FaultAction, FaultScript, LossModel, ReorderModel, SimDuration, SimTime, Simulator};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use topology::TwoPath;
@@ -82,6 +82,35 @@ fn random_script(tp: &TwoPath, rng: &mut SmallRng) -> FaultScript {
         .at(heal, FaultAction::SetLoss { link: tp.p2.fwd, model: LossModel::None })
 }
 
+/// Layers delivery impairments (reordering jitter, duplication, corrupted
+/// ACKs) on top of the base fault timeline — the `soak-adv-*` cells. The
+/// instants are distinct per wave, the action kinds are distinct per
+/// instant, and everything heals by t = 14.5 s so the tail always drains.
+fn adversarial_script(tp: &TwoPath, rng: &mut SmallRng) -> FaultScript {
+    let mut script = random_script(tp, rng);
+    for wave in 0..2 {
+        let at = SimTime::from_secs_f64(1.5 + wave as f64 * 5.0 + rng.gen_range(0.0..1.0));
+        script = script
+            .at(
+                at,
+                FaultAction::SetReorder {
+                    link: tp.p1.fwd,
+                    model: ReorderModel::uniform(
+                        rng.gen_range(0.05..0.4),
+                        SimDuration::from_millis(rng.gen_range(1..6)),
+                    ),
+                },
+            )
+            .at(at, FaultAction::SetDuplicate { link: tp.p2.fwd, p: rng.gen_range(0.01..0.15) })
+            .at(at, FaultAction::SetCorrupt { link: tp.p2.rev, p: rng.gen_range(0.005..0.05) });
+    }
+    let heal = SimTime::from_secs_f64(14.5);
+    script
+        .at(heal, FaultAction::SetReorder { link: tp.p1.fwd, model: ReorderModel::None })
+        .at(heal, FaultAction::SetDuplicate { link: tp.p2.fwd, p: 0.0 })
+        .at(heal, FaultAction::SetCorrupt { link: tp.p2.rev, p: 0.0 })
+}
+
 /// The `SWEEP_TRACE` trace directory, if tracing is requested.
 fn trace_dir() -> Option<std::path::PathBuf> {
     std::env::var_os("SWEEP_TRACE").map(Into::into)
@@ -101,16 +130,25 @@ struct SoakOutcome {
     counters: obs::CounterSnapshot,
 }
 
-fn soak(seed: u64) -> SoakOutcome {
+fn soak_with(seed: u64, adversarial: bool) -> SoakOutcome {
+    let label = if adversarial { format!("soak-adv-{seed}") } else { format!("soak-{seed}") };
     let mut sim = Simulator::new(seed);
     if let Some(dir) = trace_dir() {
-        if let Some(sink) = obs::jsonl_sink_in(&dir, &format!("soak-{seed}")) {
+        if let Some(sink) = obs::jsonl_sink_in(&dir, &label) {
             sim.set_trace_sink(sink);
         }
     }
     let tp = TwoPath::dual_nic(&mut sim, 20_000_000, SimDuration::from_millis(10));
     let mut script_rng = SmallRng::seed_from_u64(seed ^ 0xC4A05);
-    random_script(&tp, &mut script_rng).install(&mut sim);
+    let script = if adversarial {
+        adversarial_script(&tp, &mut script_rng)
+    } else {
+        random_script(&tp, &mut script_rng)
+    };
+    script.clone().install(&mut sim);
+    #[cfg(feature = "check-invariants")]
+    netsim::install_default_invariants(&mut sim);
+    let cc_name = if seed.is_multiple_of(2) { "lia" } else { "dts" };
     let cc =
         if seed.is_multiple_of(2) { CcChoice::Base(AlgorithmKind::Lia) } else { CcChoice::dts() };
     let flow = attach_flow(
@@ -124,6 +162,35 @@ fn soak(seed: u64) -> SoakOutcome {
     sim.watch(flow.sender);
     sim.run_until(SimTime::from_secs_f64(120.0));
     drop(sim.take_trace_sink());
+    // A halted invariant checker aborts the cell: dump the self-contained
+    // repro artifact (spec + fault timeline + violation) first, then panic so
+    // the sweep runner propagates the failure verbatim.
+    #[cfg(feature = "check-invariants")]
+    if let Some(v) = sim.invariant_violation() {
+        use bench_harness::repro::{dump_artifact, ReproOutcome, ReproSpec, ViolationRecord};
+        let spec = ReproSpec {
+            seed,
+            transfer_pkts: TRANSFER_PKTS,
+            cc: cc_name.into(),
+            dead_after_backoffs: Some(4),
+            horizon_s: 120.0,
+            fail_at_s: None,
+            script,
+        };
+        let outcome = ReproOutcome {
+            finished: flow.is_finished(&sim),
+            acked: flow.sender_ref(&sim).data_acked(),
+            violation: Some(ViolationRecord { at_ns: v.at.as_nanos(), message: v.message.clone() }),
+            trace_tail: Vec::new(),
+        };
+        let dumped = bench_harness::repro::artifact_dir()
+            .and_then(|dir| dump_artifact(&dir, &spec, &outcome).ok());
+        panic!(
+            "{label}: {v}{}",
+            dumped.map_or(String::new(), |p| format!(" (repro artifact: {})", p.display()))
+        );
+    }
+    let _ = cc_name;
     let counters = mptcp_energy::scenarios::counters_of(&sim, std::slice::from_ref(&flow));
     let s = flow.sender_ref(&sim);
     SoakOutcome {
@@ -143,7 +210,15 @@ fn soak(seed: u64) -> SoakOutcome {
 fn soak_cells(seeds: impl IntoIterator<Item = u64>) -> Vec<SweepCell<'static, SoakOutcome>> {
     seeds
         .into_iter()
-        .map(|seed| SweepCell::new(format!("soak-{seed}"), seed, move || soak(seed)))
+        .map(|seed| SweepCell::new(format!("soak-{seed}"), seed, move || soak_with(seed, false)))
+        .collect()
+}
+
+/// The adversarial-impairment cells: same grid, plus reorder/dup/corrupt.
+fn adv_cells(seeds: impl IntoIterator<Item = u64>) -> Vec<SweepCell<'static, SoakOutcome>> {
+    seeds
+        .into_iter()
+        .map(|seed| SweepCell::new(format!("soak-adv-{seed}"), seed, move || soak_with(seed, true)))
         .collect()
 }
 
@@ -152,8 +227,11 @@ fn soak_cells(seeds: impl IntoIterator<Item = u64>) -> Vec<SweepCell<'static, So
 fn chaos_soak_completes_under_randomized_faults() {
     let dir = trace_dir();
     let mut failures = Vec::new();
-    for r in run_sweep(soak_cells(0..SEEDS)) {
+    let mut cells = soak_cells(0..SEEDS);
+    cells.extend(adv_cells(0..SEEDS));
+    for r in run_sweep(cells) {
         let (seed, out) = (r.seed, &r.output);
+        let adversarial = r.label.starts_with("soak-adv-");
         let mut problems = Vec::new();
         if out.stalled {
             problems.push("watchdog fired");
@@ -166,6 +244,15 @@ fn chaos_soak_completes_under_randomized_faults() {
         }
         if out.random_losses + out.blackout_drops == 0 {
             problems.push("the fault script never bit — soak is vacuous");
+        }
+        if adversarial {
+            let (reordered, duplicated, corrupted) =
+                out.counters.links.iter().fold((0, 0, 0), |(r, d, c), l| {
+                    (r + l.reordered, d + l.duplicated, c + l.corrupted)
+                });
+            if reordered == 0 || duplicated == 0 || corrupted == 0 {
+                problems.push("an adversarial impairment never bit — adv soak is vacuous");
+            }
         }
         if problems.is_empty() {
             // Passing cells clean up their trace, leaving only the traces
@@ -191,5 +278,23 @@ fn chaos_runs_are_reproducible_per_seed() {
     assert_eq!(serial, parallel, "serial vs parallel soak outcomes diverged");
     for r in &serial {
         assert!(r.output.finished, "{}: transfer incomplete: {:?}", r.label, r.output);
+    }
+}
+
+#[test]
+fn adversarial_chaos_runs_are_reproducible_per_seed() {
+    // Same contract for the reorder/dup/corrupt cells: the impairment RNG
+    // draws live inside each cell's own simulator, so thread scheduling must
+    // not perturb them either — and the impairments must actually fire.
+    let seeds = [2u64, 5];
+    let serial = run_sweep_jobs(adv_cells(seeds), 1);
+    let parallel = run_sweep_jobs(adv_cells(seeds), 8);
+    assert_eq!(serial, parallel, "serial vs parallel adversarial outcomes diverged");
+    for r in &serial {
+        assert!(r.output.finished, "{}: transfer incomplete: {:?}", r.label, r.output);
+        assert_eq!(r.output.acked, TRANSFER_PKTS, "{}: exactly-once broken", r.label);
+        let touched: u64 =
+            r.output.counters.links.iter().map(|l| l.reordered + l.duplicated + l.corrupted).sum();
+        assert!(touched > 0, "{}: adversarial impairments never fired", r.label);
     }
 }
