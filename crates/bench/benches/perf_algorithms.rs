@@ -31,7 +31,7 @@ fn bench_per_ack(c: &mut Criterion) {
                 cc.on_ack(r % 4, &mut fs, 1, false);
                 r += 1;
                 std::hint::black_box(fs[0].cwnd)
-            })
+            });
         });
     }
     for cc_choice in [CcChoice::dts(), CcChoice::dts_phi()] {
@@ -43,7 +43,7 @@ fn bench_per_ack(c: &mut Criterion) {
                 cc.on_ack(r % 4, &mut fs, 1, false);
                 r += 1;
                 std::hint::black_box(fs[0].cwnd)
-            })
+            });
         });
     }
     group.finish();
@@ -56,14 +56,14 @@ fn bench_epsilon_ablation(c: &mut Criterion) {
         b.iter(|| {
             r += 1;
             std::hint::black_box(epsilon_exact((r % 1000) as f64 / 1000.0, 10.0, 0.5))
-        })
+        });
     });
     group.bench_function("fixed_point_taylor", |b| {
         let mut r = 0u64;
         b.iter(|| {
             r += 1;
             std::hint::black_box(epsilon_fixed_point((r % 1000) as f64 / 1000.0))
-        })
+        });
     });
     group.finish();
 }

@@ -21,7 +21,7 @@ fn bench_event_loop(c: &mut Criterion) {
             }
             sim.run_to_completion();
             std::hint::black_box(sim.agent::<workload::Sink>(sink).pkts)
-        })
+        });
     });
 }
 
@@ -41,7 +41,7 @@ fn bench_bulk_transfer(c: &mut Criterion) {
             sim.run_until(SimTime::from_secs_f64(10.0));
             assert!(flow.is_finished(&sim));
             std::hint::black_box(flow.goodput_bps(&sim))
-        })
+        });
     });
 }
 
@@ -66,7 +66,7 @@ fn bench_mptcp_two_paths(c: &mut Criterion) {
             sim.run_until(SimTime::from_secs_f64(10.0));
             assert!(flow.is_finished(&sim));
             std::hint::black_box(flow.goodput_bps(&sim))
-        })
+        });
     });
 }
 
@@ -101,7 +101,7 @@ fn bench_faulted_transfer(c: &mut Criterion) {
             sim.run_until(SimTime::from_secs_f64(20.0));
             assert!(flow.is_finished(&sim));
             std::hint::black_box(flow.goodput_bps(&sim))
-        })
+        });
     });
 }
 

@@ -130,7 +130,7 @@ pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    let head: Vec<String> = header.iter().map(ToString::to_string).collect();
     out.push_str(&fmt_row(&head, &widths));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));

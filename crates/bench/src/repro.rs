@@ -61,13 +61,13 @@ pub struct ReproSpec {
 }
 
 impl ReproSpec {
-    fn cc_choice(&self) -> CcChoice {
+    fn cc_choice(&self) -> Result<CcChoice, String> {
         match self.cc.as_str() {
-            "reno" => CcChoice::Base(AlgorithmKind::Reno),
-            "lia" => CcChoice::Base(AlgorithmKind::Lia),
-            "olia" => CcChoice::Base(AlgorithmKind::Olia),
-            "dts" => CcChoice::dts(),
-            other => panic!("repro spec: unknown congestion control {other:?}"),
+            "reno" => Ok(CcChoice::Base(AlgorithmKind::Reno)),
+            "lia" => Ok(CcChoice::Base(AlgorithmKind::Lia)),
+            "olia" => Ok(CcChoice::Base(AlgorithmKind::Olia)),
+            "dts" => Ok(CcChoice::dts()),
+            other => Err(format!("repro spec: unknown congestion control {other:?}")),
         }
     }
 }
@@ -98,7 +98,14 @@ pub struct ReproOutcome {
 /// Executes `spec` on the fixed two-path soak topology with the trace-tail
 /// ring attached and (under `check-invariants`) the default simulator and
 /// transport invariants registered.
-pub fn run_repro_cell(spec: &ReproSpec) -> ReproOutcome {
+///
+/// # Errors
+///
+/// Returns an error when the spec names an unknown congestion control —
+/// artifacts are hand-editable text, so a typo must surface as a message,
+/// not a panic.
+pub fn run_repro_cell(spec: &ReproSpec) -> Result<ReproOutcome, String> {
+    let cc = spec.cc_choice()?;
     let mut sim = Simulator::new(spec.seed);
     let ring = Arc::new(Mutex::new(RingSink::new(TRACE_TAIL)));
     sim.set_trace_sink(Box::new(Arc::clone(&ring)));
@@ -123,7 +130,7 @@ pub fn run_repro_cell(spec: &ReproSpec) -> ReproOutcome {
         FlowConfig::new(spec.seed)
             .transfer_pkts(spec.transfer_pkts)
             .dead_after_backoffs(spec.dead_after_backoffs),
-        spec.cc_choice().build(2),
+        cc.build(2),
         &tp.both(),
         SimDuration::ZERO,
     );
@@ -135,14 +142,20 @@ pub fn run_repro_cell(spec: &ReproSpec) -> ReproOutcome {
         .map(|v| ViolationRecord { at_ns: v.at.as_nanos(), message: v.message.clone() });
     #[cfg(not(feature = "check-invariants"))]
     let violation = None;
-    let trace_tail =
-        ring.lock().expect("trace ring poisoned").events().copied().collect::<Vec<_>>();
-    ReproOutcome {
+    // The simulator ran on this thread, so the ring cannot be poisoned; the
+    // recovery path keeps the tail readable even if that ever changes.
+    let trace_tail = ring
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .events()
+        .copied()
+        .collect::<Vec<_>>();
+    Ok(ReproOutcome {
         finished: flow.is_finished(&sim),
         acked: flow.sender_ref(&sim).data_acked(),
         violation,
         trace_tail,
-    }
+    })
 }
 
 /// The artifact directory named by the `SWEEP_ARTIFACTS` env var, if set.
@@ -456,7 +469,7 @@ pub fn replay_artifact(path: &Path) -> Result<ReplayReport, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let (spec, original) = parse_artifact(&text)?;
-    let outcome = run_repro_cell(&spec);
+    let outcome = run_repro_cell(&spec)?;
     Ok(ReplayReport { original, replayed: outcome.violation })
 }
 
@@ -539,8 +552,8 @@ mod tests {
     fn repro_cells_execute_deterministically() {
         let mut s = spec();
         s.transfer_pkts = 300;
-        let a = run_repro_cell(&s);
-        let b = run_repro_cell(&s);
+        let a = run_repro_cell(&s).expect("repro cell failed");
+        let b = run_repro_cell(&s).expect("repro cell failed");
         assert_eq!(a.finished, b.finished);
         assert_eq!(a.acked, b.acked);
         assert_eq!(a.violation, b.violation);

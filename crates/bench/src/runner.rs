@@ -110,7 +110,7 @@ fn parse_jobs(v: Option<&str>) -> Option<usize> {
 /// hard usage error, and silently falling back could mask a typo'd
 /// reproducibility run) before using the default.
 pub fn default_jobs() -> usize {
-    let available = || std::thread::available_parallelism().map_or(1, |n| n.get());
+    let available = || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     match std::env::var("SWEEP_JOBS") {
         Ok(v) => parse_jobs(Some(&v)).unwrap_or_else(|| {
             eprintln!(
@@ -154,23 +154,38 @@ pub fn run_sweep_jobs<T: Send>(cells: Vec<SweepCell<'_, T>>, jobs: usize) -> Vec
     let cursor = AtomicUsize::new(0);
     let tasks: Vec<Mutex<Option<SweepCell<'_, T>>>> =
         cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
-    let slots: Vec<Mutex<Option<RunSummary<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
+    let mut results: Vec<(usize, RunSummary<T>)> = std::thread::scope(|scope| {
         let workers: Vec<_> = (0..jobs)
             .map(|_| {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+                scope.spawn(|| {
+                    // Each worker returns the (index, summary) pairs it ran;
+                    // results travel back through join() instead of shared
+                    // slot mutexes, so there is no lock to poison on the
+                    // result path.
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return mine;
+                        }
+                        // A poisoned task lock means another worker panicked
+                        // *inside the claim*, which cannot corrupt the
+                        // Option<SweepCell> it protects — recover and keep
+                        // draining the queue so the panic payload is re-raised
+                        // only after surviving cells finish.
+                        let claimed = tasks[i]
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .take();
+                        let Some(cell) = claimed else {
+                            unreachable!("cursor handed out cell {i} twice")
+                        };
+                        let (output, counters) = (cell.run)();
+                        mine.push((
+                            i,
+                            RunSummary { label: cell.label, seed: cell.seed, output, counters },
+                        ));
                     }
-                    let cell = tasks[i]
-                        .lock()
-                        .expect("sweep task lock poisoned")
-                        .take()
-                        .expect("cell claimed twice");
-                    let (output, counters) = (cell.run)();
-                    *slots[i].lock().expect("sweep result lock poisoned") =
-                        Some(RunSummary { label: cell.label, seed: cell.seed, output, counters });
                 })
             })
             .collect();
@@ -180,24 +195,24 @@ pub fn run_sweep_jobs<T: Send>(cells: Vec<SweepCell<'_, T>>, jobs: usize) -> Vec
         // first cell panic can be re-raised verbatim. A panicking worker stops
         // claiming cells, but the surviving workers drain the rest of the
         // queue before their joins return.
+        let mut done = Vec::with_capacity(n);
         let mut first_panic = None;
         for worker in workers {
-            if let Err(payload) = worker.join() {
-                first_panic.get_or_insert(payload);
+            match worker.join() {
+                Ok(mine) => done.extend(mine),
+                Err(payload) => {
+                    first_panic.get_or_insert(payload);
+                }
             }
         }
         if let Some(payload) = first_panic {
             std::panic::resume_unwind(payload);
         }
+        done
     });
-    slots
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("sweep result lock poisoned")
-                .expect("worker pool joined with an unfilled result slot")
-        })
-        .collect()
+    results.sort_by_key(|(i, _)| *i);
+    assert_eq!(results.len(), n, "worker pool joined with missing results");
+    results.into_iter().map(|(_, summary)| summary).collect()
 }
 
 #[cfg(test)]

@@ -36,7 +36,7 @@ impl Balia {
         if xr <= 0.0 {
             return 1.0;
         }
-        let xmax = flows.iter().map(|f| f.rate()).fold(0.0f64, f64::max);
+        let xmax = flows.iter().map(SubflowCc::rate).fold(0.0f64, f64::max);
         (xmax / xr).max(1.0)
     }
 }
@@ -68,6 +68,10 @@ impl MultipathCongestionControl for Balia {
 }
 
 #[cfg(test)]
+// Tests drive window arithmetic whose operands (halving, +1 steps,
+// literal initial values) are exact in f64, so strict comparison pins
+// the algorithm without tolerance slop.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -74,6 +74,10 @@ impl MultipathCongestionControl for Lia {
 }
 
 #[cfg(test)]
+// Tests drive window arithmetic whose operands (halving, +1 steps,
+// literal initial values) are exact in f64, so strict comparison pins
+// the algorithm without tolerance slop.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

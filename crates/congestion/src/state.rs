@@ -100,7 +100,7 @@ impl Default for SubflowCc {
 
 /// Sum of send-rate estimates over active subflows: `Σ_k x_k`.
 pub fn total_rate(flows: &[SubflowCc]) -> f64 {
-    flows.iter().map(|f| f.rate()).sum()
+    flows.iter().map(SubflowCc::rate).sum()
 }
 
 /// Sum of congestion windows over active subflows: `Σ_k w_k`.
@@ -114,6 +114,10 @@ pub fn active_count(flows: &[SubflowCc]) -> usize {
 }
 
 #[cfg(test)]
+// Tests drive window arithmetic whose operands (halving, +1 steps,
+// literal initial values) are exact in f64, so strict comparison pins
+// the algorithm without tolerance slop.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

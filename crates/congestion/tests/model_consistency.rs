@@ -45,7 +45,7 @@ const STATES: &[(&[f64], &[f64])] = &[
 ];
 
 fn sum_x(fs: &[SubflowCc]) -> f64 {
-    fs.iter().map(|f| f.rate()).sum()
+    fs.iter().map(SubflowCc::rate).sum()
 }
 
 fn sum_w(fs: &[SubflowCc]) -> f64 {
@@ -118,7 +118,7 @@ fn balia_matches_its_psi() {
     for (ws, rtts) in STATES {
         let fs = flows(ws, rtts);
         let mut cc = Balia::new();
-        let xmax = fs.iter().map(|f| f.rate()).fold(0.0f64, f64::max);
+        let xmax = fs.iter().map(SubflowCc::rate).fold(0.0f64, f64::max);
         for r in 0..fs.len() {
             let alpha = (xmax / fs[r].rate()).max(1.0);
             let psi = 0.4 + alpha / 2.0 + alpha * alpha / 10.0;

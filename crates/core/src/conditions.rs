@@ -57,9 +57,12 @@ pub fn check_condition1(
     view: &FlowView<'_>,
     tol: f64,
 ) -> Result<(), Condition1Violation> {
-    let h = (0..view.n())
-        .max_by(|&a, &b| view.x[a].partial_cmp(&view.x[b]).unwrap())
-        .expect("empty flow");
+    // total_cmp gives NaN a fixed position in the order instead of panicking
+    // on incomparable rates; a flow with zero paths has no best path, so the
+    // check vacuously passes.
+    let Some(h) = (0..view.n()).max_by(|&a, &b| view.x[a].total_cmp(&view.x[b])) else {
+        return Ok(());
+    };
     if (model.beta - 0.5).abs() > tol {
         return Err(Condition1Violation::BetaNotHalf { beta: model.beta });
     }

@@ -54,12 +54,10 @@ pub fn wireless_path_costs(wifi_mbps: f64, lte_mbps: f64) -> [f64; 2] {
 /// (never empty: the cheapest path is always admitted).
 pub fn select_paths(costs: &[f64], policy: PathPolicy) -> Vec<usize> {
     assert!(!costs.is_empty(), "no paths to select from");
-    let cheapest = costs
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("NaN cost"))
-        .map(|(i, _)| i)
-        .expect("non-empty");
+    // IEEE total order places NaN after every real cost, so a NaN entry can
+    // never be chosen as cheapest; the assert above makes the iterator
+    // non-empty, so the default index is unreachable.
+    let cheapest = costs.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).map_or(0, |(i, _)| i);
     match policy {
         PathPolicy::AllPaths => (0..costs.len()).collect(),
         PathPolicy::CheapestOnly => vec![cheapest],
@@ -139,7 +137,7 @@ pub fn run_wireless_with_policy(
         label: format!("{}+select", cc.label()),
         goodput_bps: sender.goodput_bps(sim.now()),
         energy,
-        finish_s: sender.finished_at().map(|t| t.as_secs_f64()),
+        finish_s: sender.finished_at().map(SimTime::as_secs_f64),
         rexmits: sender.total_rexmits(),
         timeouts: sender.total_timeouts(),
         tput_trace: sender

@@ -96,7 +96,7 @@ impl FlowResult {
             label,
             goodput_bps: sender.goodput_bps(sim.now()),
             energy,
-            finish_s: sender.finished_at().map(|t| t.as_secs_f64()),
+            finish_s: sender.finished_at().map(SimTime::as_secs_f64),
             rexmits: sender.total_rexmits(),
             timeouts: sender.total_timeouts(),
             tput_trace: sender
@@ -136,6 +136,13 @@ impl Default for BurstyOptions {
             transfer_bytes: None,
         }
     }
+}
+
+/// Widens a host/flow index to `u64` for flow ids and stagger arithmetic.
+/// Lossless on every supported target (`usize` is at most 64 bits); the
+/// saturating fallback only exists to make the conversion total.
+fn idx_u64(i: usize) -> u64 {
+    u64::try_from(i).unwrap_or(u64::MAX)
 }
 
 /// Runs the Fig. 5(b) scenario: one MPTCP connection over two 100 Mb/s paths
@@ -235,7 +242,7 @@ pub fn run_shared_bottleneck(cc: &CcChoice, opts: &SharedOptions) -> Vec<f64> {
         let start = SimDuration::from_millis(stagger_rng.gen_range(0..200));
         attach_flow(
             &mut sim,
-            FlowConfig::new(1000 + i as u64).sample_every(SimDuration::from_millis(100)),
+            FlowConfig::new(1000 + idx_u64(i)).sample_every(SimDuration::from_millis(100)),
             AlgorithmKind::Reno.build(1),
             &sb.tcp_path(i),
             start,
@@ -372,7 +379,7 @@ pub fn run_ec2(cc: &CcChoice, opts: &Ec2Options) -> FleetResult {
                     .sample_every(SimDuration::from_millis(50)),
                 cc.build(n),
                 &paths,
-                SimDuration::from_millis(i as u64 % 20),
+                SimDuration::from_millis(idx_u64(i) % 20),
             )
         })
         .collect();
@@ -495,7 +502,7 @@ pub fn run_datacenter(kind: DcKind, cc: &CcChoice, opts: &DcOptions) -> FleetRes
                     .sample_every(SimDuration::from_millis(100)),
                 cc.build(n),
                 &paths,
-                SimDuration::from_millis((i as u64 * 7) % 100),
+                SimDuration::from_millis((idx_u64(i) * 7) % 100),
             )
         })
         .collect();
@@ -631,7 +638,7 @@ pub fn host_energy(
     let last_finish = flows
         .iter()
         .filter_map(|f| f.finish_time(sim))
-        .map(|t| t.as_secs_f64())
+        .map(SimTime::as_secs_f64)
         .fold(0.0f64, f64::max);
     series.energy(model, if last_finish > 0.0 { Some(last_finish) } else { None })
 }
@@ -693,10 +700,10 @@ pub fn run_hierarchy(cc: &CcChoice, opts: &HierarchyOptions) -> HierarchyResult 
         .map(|u| {
             attach_flow(
                 &mut sim,
-                FlowConfig::new(u as u64).sample_every(SimDuration::from_millis(50)),
+                FlowConfig::new(idx_u64(u)).sample_every(SimDuration::from_millis(50)),
                 cc.build(2),
                 &h.user_paths(u),
-                SimDuration::from_millis((u as u64 * 13) % 100),
+                SimDuration::from_millis((idx_u64(u) * 13) % 100),
             )
         })
         .collect();

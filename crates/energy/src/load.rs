@@ -43,6 +43,10 @@ pub trait PowerModel {
 }
 
 #[cfg(test)]
+// Tests pin outputs that are copies of model constants (base/tail/idle
+// watts, zero throughput) reached without arithmetic, so exact float
+// comparison is the correct strictness.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -169,6 +169,10 @@ impl HostLoadSeries {
 }
 
 #[cfg(test)]
+// Tests pin outputs that are copies of model constants (base/tail/idle
+// watts, zero throughput) reached without arithmetic, so exact float
+// comparison is the correct strictness.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::cpu::WiredCpuModel;

@@ -108,6 +108,9 @@ fn host_series_with_interface_mapping() {
 }
 
 #[test]
+// Bit-reproducibility check: reset() must restore the exact same power
+// computation, so the strict comparison is intended.
+#[allow(clippy::float_cmp)]
 fn phone_reset_between_runs_restores_idle_state() {
     let mut phone = PhoneModel::nexus5();
     let active = [PathLoad::new(5e6, 0.05), PathLoad::new(5e6, 0.1)];

@@ -54,6 +54,22 @@ fn check_prob(name: &str, p: f64) -> f64 {
     p
 }
 
+/// Exact-zero sentinel test for probabilities and rates.
+///
+/// This is the **canonical allowlisted F001 pattern** (see `DESIGN.md` §11):
+/// a literal `0.0` probability is a sentinel meaning "feature disabled", and
+/// the distinction matters for determinism — an exactly-zero model is
+/// collapsed to its inert variant and draws *nothing* from the seeded RNG,
+/// while any nonzero probability consumes draws and shifts the random
+/// stream of every later event. An epsilon compare here would make runs with
+/// `p = 1e-300` silently draw-free. Route every float sentinel check through
+/// this helper so the exact-compare allowlist stays a single entry.
+#[allow(clippy::float_cmp)]
+pub fn is_exactly_zero(p: f64) -> bool {
+    debug_assert!(!p.is_nan(), "sentinel test on NaN");
+    p == 0.0 // simlint: allow(F001, canonical exact-zero sentinel; zero must mean draw-free, so no epsilon applies)
+}
+
 /// A per-packet loss process applied where a packet is offered to a link.
 #[derive(Clone, Debug, PartialEq, Default)]
 pub enum LossModel {
@@ -89,7 +105,7 @@ impl LossModel {
     /// Panics if `p` is NaN or outside `[0, 1]`.
     pub fn iid(p: f64) -> Self {
         check_prob("loss probability", p);
-        if p == 0.0 {
+        if is_exactly_zero(p) {
             LossModel::None
         } else {
             LossModel::Iid { p }
@@ -147,7 +163,7 @@ impl ReorderModel {
     /// Panics if `p` is NaN or outside `[0, 1]`.
     pub fn uniform(p: f64, max_extra: SimDuration) -> Self {
         check_prob("reorder probability", p);
-        if p == 0.0 || max_extra.is_zero() {
+        if is_exactly_zero(p) || max_extra.is_zero() {
             ReorderModel::None
         } else {
             ReorderModel::Uniform { p, max_extra }
@@ -495,6 +511,9 @@ impl Agent for FaultScriptAgent {
 }
 
 #[cfg(test)]
+// Tests read back configured probabilities verbatim (no arithmetic), so
+// exact float comparison is the intended strictness.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use rand::SeedableRng;

@@ -62,7 +62,9 @@ pub mod prelude {
 
 #[cfg(feature = "check-invariants")]
 pub use check::{install_default_invariants, InvariantCheck, InvariantViolation};
-pub use faults::{FaultAction, FaultEvent, FaultScript, Impairment, LossModel, ReorderModel};
+pub use faults::{
+    is_exactly_zero, FaultAction, FaultEvent, FaultScript, Impairment, LossModel, ReorderModel,
+};
 pub use link::{Link, LinkConfig, LinkStats};
 pub use packet::{AgentId, LinkId, Packet, Payload, Route};
 pub use sim::{Agent, Ctx, Simulator, StallReport, StalledFlow, Watched, World};

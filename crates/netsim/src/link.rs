@@ -52,8 +52,10 @@ impl LinkConfig {
     /// Panics if the configured bandwidth is zero.
     pub fn serialization(&self, bytes: u32) -> SimDuration {
         assert!(self.bandwidth_bps > 0, "link bandwidth must be positive");
-        let ns = (bytes as u128 * 8 * 1_000_000_000) / self.bandwidth_bps as u128;
-        SimDuration::from_nanos(ns as u64)
+        let ns = (u128::from(bytes) * 8 * 1_000_000_000) / u128::from(self.bandwidth_bps);
+        // A bare `as u64` here used to truncate: u32::MAX bytes at 1 bit/s is
+        // ~3.4e19 ns, past u64::MAX, and wrapped to a *shorter* delay.
+        SimDuration::from_nanos_u128(ns)
     }
 }
 
@@ -297,6 +299,7 @@ impl Link {
     ///
     /// Panics if the link was not transmitting.
     pub fn tx_done(&mut self, now: SimTime) -> (Packet, Option<SimDuration>) {
+        // simlint: allow(P001, documented panic: the simulator only schedules TxDone while a transmission is in service, so an idle link here is event-queue corruption)
         let pkt = self.in_flight.take().expect("tx_done on idle link");
         self.stats.tx_pkts += 1;
         self.stats.tx_bytes += u64::from(pkt.size_bytes);
@@ -338,6 +341,28 @@ mod tests {
         let cfg = LinkConfig::new(100_000_000, SimDuration::from_millis(1));
         // 1500 bytes at 100 Mb/s = 120 us.
         assert_eq!(cfg.serialization(1500), SimDuration::from_micros(120));
+    }
+
+    #[test]
+    fn serialization_saturates_instead_of_wrapping() {
+        // Regression: `ns as u64` truncated the u128 intermediate for a
+        // u32::MAX-byte packet on a 1 bit/s link (~3.4e19 ns > u64::MAX),
+        // silently *shortening* the delay. It must clamp to the maximum
+        // representable duration instead.
+        let cfg = LinkConfig::new(1, SimDuration::ZERO);
+        assert_eq!(cfg.serialization(u32::MAX), SimDuration::from_nanos(u64::MAX));
+        // Ordinary values are unchanged by the checked path.
+        let fast = LinkConfig::new(100_000_000, SimDuration::ZERO);
+        assert_eq!(fast.serialization(1500), SimDuration::from_micros(120));
+    }
+
+    #[test]
+    fn from_nanos_u128_roundtrips_in_range() {
+        assert_eq!(SimDuration::from_nanos_u128(42), SimDuration::from_nanos(42));
+        assert_eq!(
+            SimDuration::from_nanos_u128(u128::from(u64::MAX) + 1),
+            SimDuration::from_nanos(u64::MAX)
+        );
     }
 
     #[test]

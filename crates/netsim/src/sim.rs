@@ -161,6 +161,14 @@ impl World {
         }
     }
 
+    /// The `u64` link id carried by trace events. [`LinkId`] is a `usize`
+    /// index, so the conversion is lossless on every supported target; the
+    /// fallback only exists to keep the conversion total.
+    #[inline]
+    fn trace_link_id(link: LinkId) -> u64 {
+        u64::try_from(link).unwrap_or(u64::MAX)
+    }
+
     /// Per-link counter snapshot (drops by cause, queue high-water),
     /// assembled from [`Link::stats`] — available whether or not a trace
     /// sink was installed.
@@ -171,7 +179,7 @@ impl World {
             .map(|(i, l)| {
                 let s = l.stats();
                 LinkCounters {
-                    link: i as u64,
+                    link: World::trace_link_id(i),
                     tx_pkts: s.tx_pkts,
                     offered: s.offered,
                     drops_queue: s.drops,
@@ -271,7 +279,7 @@ impl World {
             self.blackout_drops += 1;
             self.emit(TraceEvent::Drop {
                 t_ns,
-                link: link as u64,
+                link: World::trace_link_id(link),
                 pkt_id,
                 cause: DropCause::Blackout,
             });
@@ -281,7 +289,7 @@ impl World {
             self.random_losses += 1;
             self.emit(TraceEvent::Drop {
                 t_ns,
-                link: link as u64,
+                link: World::trace_link_id(link),
                 pkt_id,
                 cause: DropCause::FaultLoss,
             });
@@ -292,16 +300,26 @@ impl World {
         match outcome {
             Enqueue::StartTx(ser) => {
                 self.queue.push(self.now + ser, EventKind::LinkTxDone { link });
-                self.emit(TraceEvent::Enqueue { t_ns, link: link as u64, pkt_id, qlen });
+                self.emit(TraceEvent::Enqueue {
+                    t_ns,
+                    link: World::trace_link_id(link),
+                    pkt_id,
+                    qlen,
+                });
             }
             Enqueue::Queued => {
-                self.emit(TraceEvent::Enqueue { t_ns, link: link as u64, pkt_id, qlen });
+                self.emit(TraceEvent::Enqueue {
+                    t_ns,
+                    link: World::trace_link_id(link),
+                    pkt_id,
+                    qlen,
+                });
             }
             Enqueue::Dropped => {
                 self.dropped_pkts += 1;
                 self.emit(TraceEvent::Drop {
                     t_ns,
-                    link: link as u64,
+                    link: World::trace_link_id(link),
                     pkt_id,
                     cause: DropCause::QueueOverflow,
                 });
@@ -324,7 +342,7 @@ impl World {
         for pkt_id in drained {
             self.emit(TraceEvent::Drop {
                 t_ns,
-                link: id as u64,
+                link: World::trace_link_id(id),
                 pkt_id,
                 cause: DropCause::Blackout,
             });
@@ -373,7 +391,11 @@ impl World {
                 (*link, FaultKind::SetCorrupt)
             }
         };
-        self.emit(TraceEvent::Fault { t_ns: self.now.as_nanos(), link: affected as u64, kind });
+        self.emit(TraceEvent::Fault {
+            t_ns: self.now.as_nanos(),
+            link: World::trace_link_id(affected),
+            kind,
+        });
     }
 
     fn forward_after_tx(&mut self, link: LinkId, mut pkt: Packet) {
@@ -409,7 +431,7 @@ impl World {
             pkt.corrupted = true;
             self.emit(TraceEvent::Impair {
                 t_ns,
-                link: link as u64,
+                link: World::trace_link_id(link),
                 pkt_id: pkt.id,
                 kind: ImpairKind::Corrupt,
             });
@@ -417,7 +439,7 @@ impl World {
         if duplicate {
             self.emit(TraceEvent::Impair {
                 t_ns,
-                link: link as u64,
+                link: World::trace_link_id(link),
                 pkt_id: pkt.id,
                 kind: ImpairKind::Duplicate,
             });
@@ -425,7 +447,7 @@ impl World {
         for _ in 0..(jitter.is_some() as usize + dup_jitter.is_some() as usize) {
             self.emit(TraceEvent::Impair {
                 t_ns,
-                link: link as u64,
+                link: World::trace_link_id(link),
                 pkt_id: pkt.id,
                 kind: ImpairKind::Reorder,
             });
@@ -648,7 +670,9 @@ impl Simulator {
     /// Panics if `id` is unknown, the agent is mid-dispatch, or `T` is not its
     /// concrete type.
     pub fn agent<T: Agent>(&self, id: AgentId) -> &T {
+        // simlint: allow(P001, documented panic: typed agent access is a test/setup API whose misuse is a caller bug, not a runtime condition)
         let a = self.agents[id].as_ref().expect("agent is mid-dispatch");
+        // simlint: allow(P001, documented panic: see above — the downcast encodes the caller-supplied type)
         (&**a as &dyn Any).downcast_ref::<T>().expect("agent type mismatch")
     }
 
@@ -658,7 +682,9 @@ impl Simulator {
     ///
     /// Same conditions as [`Simulator::agent`].
     pub fn agent_mut<T: Agent>(&mut self, id: AgentId) -> &mut T {
+        // simlint: allow(P001, documented panic: typed agent access is a test/setup API whose misuse is a caller bug, not a runtime condition)
         let a = self.agents[id].as_mut().expect("agent is mid-dispatch");
+        // simlint: allow(P001, documented panic: see above — the downcast encodes the caller-supplied type)
         (&mut **a as &mut dyn Any).downcast_mut::<T>().expect("agent type mismatch")
     }
 
@@ -679,6 +705,7 @@ impl Simulator {
     }
 
     fn dispatch(&mut self, agent: AgentId, f: impl FnOnce(&mut dyn Agent, &mut Ctx<'_>)) {
+        // simlint: allow(P001, invariant: dispatch is never reentrant — the event loop is single-threaded and agents cannot trigger dispatch from within dispatch)
         let mut a = self.agents[agent].take().expect("reentrant agent dispatch");
         {
             let mut ctx = Ctx { world: &mut self.world, self_id: agent };
@@ -716,6 +743,7 @@ impl Simulator {
     ///
     /// Panics if the watchdog is not enabled.
     pub fn watch(&mut self, agent: AgentId) {
+        // simlint: allow(P001, documented panic: watch() without enable_watchdog() is a setup-order bug surfaced at configuration time)
         let wd = self.watchdog.as_mut().expect("enable_watchdog before watch");
         wd.watched.push(agent);
         wd.last.push(None);
@@ -831,6 +859,7 @@ impl Simulator {
                 self.world.now = check_at;
             }
             self.watchdog_check();
+            // simlint: allow(P001, invariant: the loop condition just observed Some(watchdog) and nothing in between can clear it)
             let wd = self.watchdog.as_mut().expect("watchdog vanished mid-check");
             wd.next_check = check_at + wd.interval;
         }

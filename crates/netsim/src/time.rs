@@ -18,6 +18,21 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
+/// Converts fractional seconds to saturating nanoseconds — the single place
+/// float time becomes integer time.
+///
+/// # Panics
+///
+/// Panics if `secs` is negative or not finite.
+fn saturating_nanos_from_secs(secs: f64, what: &str) -> u64 {
+    assert!(secs.is_finite() && secs >= 0.0, "invalid {what} {secs}");
+    // Validated non-negative and finite above, and float→int `as` casts
+    // saturate at the destination bounds (Rust 1.45+), so a value beyond
+    // u64::MAX nanoseconds (~584 years) clamps instead of wrapping.
+    let nanos = (secs * 1e9).round();
+    nanos as u64 // simlint: allow(A001, saturating by float-to-int cast semantics; input validated finite and non-negative)
+}
+
 /// An absolute instant of simulated time, in nanoseconds since the start of
 /// the simulation.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -42,8 +57,7 @@ impl SimTime {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "invalid simulation time {secs}");
-        SimTime((secs * 1e9).round() as u64)
+        SimTime(saturating_nanos_from_secs(secs, "simulation time"))
     }
 
     /// Raw nanoseconds since the simulation start.
@@ -92,8 +106,20 @@ impl SimDuration {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "invalid duration {secs}");
-        SimDuration((secs * 1e9).round() as u64)
+        SimDuration(saturating_nanos_from_secs(secs, "duration"))
+    }
+
+    /// Creates a duration from a 128-bit nanosecond count, saturating at the
+    /// representable maximum (~584 years). The checked entry point for
+    /// arithmetic that widens to `u128` to avoid intermediate overflow — a
+    /// bare `as u64` here once truncated serialization delays of large
+    /// packets on pathological sub-bit/s links (see `LinkConfig::serialization`).
+    pub const fn from_nanos_u128(ns: u128) -> Self {
+        if ns > u64::MAX as u128 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(ns as u64) // simlint: allow(A001, bounds-checked on the previous line; cast cannot truncate)
+        }
     }
 
     /// Raw nanoseconds.

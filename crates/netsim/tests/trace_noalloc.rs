@@ -8,6 +8,11 @@
 //! event queue and link buffers) and asserts the second pass allocates
 //! nothing.
 
+// The workspace denies `unsafe_code`; this test is the single sanctioned
+// exception — implementing `GlobalAlloc` (inherently unsafe) to count
+// allocations. The impl only delegates to `System` and bumps an atomic.
+#![allow(unsafe_code)]
+
 use netsim::prelude::*;
 use netsim::sim::{Agent, Ctx};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -24,7 +29,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.alloc(layout)
     }
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        System.dealloc(ptr, layout);
     }
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);

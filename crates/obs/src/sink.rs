@@ -42,10 +42,13 @@ impl TraceSink for Vec<TraceEvent> {
 /// the writer side.
 impl<S: TraceSink> TraceSink for Arc<Mutex<S>> {
     fn record(&mut self, ev: &TraceEvent) {
-        self.lock().expect("trace sink lock poisoned").record(ev);
+        // A poisoned lock means some other thread is already unwinding; the
+        // sink holds plain data, and recording through it anyway preserves
+        // the trace tail that explains that very panic.
+        self.lock().unwrap_or_else(std::sync::PoisonError::into_inner).record(ev);
     }
     fn flush(&mut self) {
-        self.lock().expect("trace sink lock poisoned").flush();
+        self.lock().unwrap_or_else(std::sync::PoisonError::into_inner).flush();
     }
 }
 
@@ -239,7 +242,7 @@ mod tests {
         }
         assert_eq!(ring.total, 10);
         assert_eq!(ring.len(), 3);
-        let times: Vec<u64> = ring.events().map(|e| e.t_ns()).collect();
+        let times: Vec<u64> = ring.events().map(TraceEvent::t_ns).collect();
         assert_eq!(times, vec![7, 8, 9]);
     }
 

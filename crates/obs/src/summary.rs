@@ -23,7 +23,7 @@ pub fn json_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 pub fn json_u64_field(line: &str, key: &str) -> Option<u64> {
     let pat = format!("\"{key}\":");
     let start = line.find(&pat)? + pat.len();
-    let digits: String = line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    let digits: String = line[start..].chars().take_while(char::is_ascii_digit).collect();
     digits.parse().ok()
 }
 

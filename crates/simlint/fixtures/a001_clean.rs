@@ -1,0 +1,17 @@
+// Fixture: saturating/checked conversions in time arithmetic are clean, and
+// integer casts on lines without time/sequence markers are out of scope.
+use netsim::time::SimDuration;
+
+pub fn serialization_ns(bytes: u32, bandwidth_bps: u64) -> SimDuration {
+    let ns = (u128::from(bytes) * 8 * 1_000_000_000) / u128::from(bandwidth_bps);
+    SimDuration::from_nanos_u128(ns)
+}
+
+pub fn clamp_window(pkts: u64) -> u32 {
+    u32::try_from(pkts).unwrap_or(u32::MAX)
+}
+
+pub fn index(i: u32) -> usize {
+    // No time/sequence marker on this line: plain index widening is fine.
+    i as usize
+}

@@ -1,0 +1,12 @@
+// Fixture: A001 must fire on bare integer `as` casts in time/sequence
+// arithmetic (the PR 2 `rto_backed_off` overflow class).
+use netsim::time::SimDuration;
+
+pub fn serialization_ns(bytes: u32, bandwidth_bps: u64) -> SimDuration {
+    let ns = (bytes as u128 * 8 * 1_000_000_000) / bandwidth_bps as u128;
+    SimDuration::from_nanos(ns as u64)
+}
+
+pub fn truncate_seq(seq: u64) -> u32 {
+    seq as u32
+}

@@ -1,0 +1,16 @@
+// Fixture: BTree collections are deterministic; mentions of HashMap in
+// comments or strings must not fire.
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Unlike a `HashMap`, iteration order here is the key order.
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn label() -> (&'static str, BTreeSet<u32>) {
+    ("not a real HashSet", BTreeSet::new())
+}

@@ -1,0 +1,8 @@
+// Fixture: simulated time is fine; "Instant" in prose must not fire.
+use netsim::time::{SimDuration, SimTime};
+
+/// Returns the instant one tick later (the word "Instant" in a comment is
+/// not a wall-clock read).
+pub fn next_tick(now: SimTime) -> SimTime {
+    now + SimDuration::from_millis(1)
+}

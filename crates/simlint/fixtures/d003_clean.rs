@@ -1,0 +1,7 @@
+// Fixture: seeded generators are the sanctioned path.
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+
+pub fn roll(seed: u64) -> f64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    rng.gen::<f64>()
+}

@@ -1,0 +1,8 @@
+// Fixture: D003 must fire on every unseeded randomness source.
+pub fn roll() -> f64 {
+    let mut rng = rand::thread_rng();
+    let x: f64 = rand::random();
+    let y = rand::rngs::SmallRng::from_entropy().gen::<f64>();
+    let _os = rand::rngs::OsRng;
+    x + y + rng.gen::<f64>()
+}

@@ -1,0 +1,12 @@
+// Fixture: tolerance compares and integer equality are clean.
+pub fn is_disabled(p: f64) -> bool {
+    p.abs() < 1e-12
+}
+
+pub fn is_close(q: f64) -> bool {
+    (q - 1.0).abs() < 1e-9
+}
+
+pub fn is_zero_len(n: usize) -> bool {
+    n == 0
+}

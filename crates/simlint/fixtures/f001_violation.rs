@@ -1,0 +1,8 @@
+// Fixture: F001 must fire on exact comparisons against float literals.
+pub fn is_disabled(p: f64) -> bool {
+    p == 0.0
+}
+
+pub fn is_full(q: f64) -> bool {
+    1.0 != q
+}

@@ -1,0 +1,24 @@
+// Fixture: error propagation, stated invariants, and test code are clean.
+pub fn first(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+pub fn parse(s: &str) -> Result<u32, std::num::ParseIntError> {
+    s.parse()
+}
+
+pub fn invariant(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty(), "caller guarantees non-empty input");
+    xs.iter().copied().fold(0, u32::max)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let xs = [1u32, 2];
+        assert_eq!(*xs.first().unwrap(), 1);
+        let n: u32 = "7".parse().expect("test data");
+        assert_eq!(n, 7);
+    }
+}

@@ -1,0 +1,14 @@
+// Fixture: waiver hygiene. A reasonless waiver is W001; a waiver that
+// matches no finding is W002; neither silences the underlying finding.
+
+pub fn missing_reason(p: f64) -> bool {
+    p == 0.0 // simlint: allow(F001)
+}
+
+pub fn unknown_rule(p: f64) -> bool {
+    p == 0.0 // simlint: allow(Z999, no such rule)
+}
+
+pub fn unused(n: usize) -> bool {
+    n == 0 // simlint: allow(F001, integers compare exactly so this never fires)
+}

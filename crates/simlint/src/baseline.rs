@@ -1,0 +1,103 @@
+//! The checked-in baseline: `path:line:rule` keys for findings that predate
+//! the linter and are suppressed rather than fixed.
+//!
+//! Policy for this repository is that the baseline stays **empty** — every
+//! pre-existing violation was either fixed or carries an inline waiver with a
+//! reason — but the mechanism exists so a future rule can land before its
+//! fallout is fully burned down (add findings with `--write-baseline`, burn
+//! them down, delete the entries).
+
+use std::collections::BTreeSet;
+
+use crate::rules::Finding;
+
+/// Parses a baseline file: one `path:line:rule` key per line; blank lines and
+/// `#` comments ignored. Returns the suppressed keys.
+pub fn parse(text: &str) -> BTreeSet<String> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(ToOwned::to_owned)
+        .collect()
+}
+
+/// Renders findings as a baseline file body, sorted, with a header explaining
+/// the burn-down policy.
+pub fn render(findings: &[Finding]) -> String {
+    let mut out = String::from(
+        "# simlint baseline — suppressed pre-existing findings (path:line:rule).\n\
+         # Policy: keep this file empty; fix or inline-waive instead. Entries\n\
+         # here are temporary burn-down debt for newly-introduced rules.\n",
+    );
+    let keys: BTreeSet<String> = findings.iter().map(Finding::baseline_key).collect();
+    for k in keys {
+        out.push_str(&k);
+        out.push('\n');
+    }
+    out
+}
+
+/// Splits findings into `(new, suppressed, stale)` against a baseline:
+/// `new` are unsuppressed findings, `suppressed` were matched by the
+/// baseline, and `stale` are baseline keys that matched nothing (candidates
+/// for deletion).
+pub fn apply(
+    findings: Vec<Finding>,
+    baseline: &BTreeSet<String>,
+) -> (Vec<Finding>, Vec<Finding>, Vec<String>) {
+    let mut fresh = Vec::new();
+    let mut suppressed = Vec::new();
+    let mut matched: BTreeSet<&str> = BTreeSet::new();
+    for f in findings {
+        let key = f.baseline_key();
+        if let Some(hit) = baseline.iter().find(|b| **b == key) {
+            matched.insert(hit.as_str());
+            suppressed.push(f);
+        } else {
+            fresh.push(f);
+        }
+    }
+    let stale = baseline.iter().filter(|b| !matched.contains(b.as_str())).cloned().collect();
+    (fresh, suppressed, stale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: usize) -> Finding {
+        Finding { file: file.into(), line, rule: "P001", message: "m".into() }
+    }
+
+    #[test]
+    fn roundtrip_add_suppress_remove() {
+        // Add: render a baseline from current findings.
+        let found = vec![finding("a.rs", 3), finding("b.rs", 7)];
+        let text = render(&found);
+        let base = parse(&text);
+        assert_eq!(base.len(), 2);
+
+        // Suppress: the same findings are no longer "new".
+        let (fresh, suppressed, stale) = apply(found.clone(), &base);
+        assert!(fresh.is_empty());
+        assert_eq!(suppressed.len(), 2);
+        assert!(stale.is_empty());
+
+        // Remove: fixing one finding leaves its baseline entry stale.
+        let (fresh, suppressed, stale) = apply(vec![finding("a.rs", 3)], &base);
+        assert!(fresh.is_empty());
+        assert_eq!(suppressed.len(), 1);
+        assert_eq!(stale, vec!["b.rs:7:P001".to_owned()]);
+
+        // A brand-new finding surfaces regardless of the baseline.
+        let (fresh, _, _) = apply(vec![finding("c.rs", 1)], &base);
+        assert_eq!(fresh.len(), 1);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let base = parse("# header\n\n  a.rs:1:D001  \n");
+        assert!(base.contains("a.rs:1:D001"));
+        assert_eq!(base.len(), 1);
+    }
+}

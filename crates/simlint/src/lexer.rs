@@ -1,0 +1,436 @@
+//! A hand-rolled Rust surface lexer.
+//!
+//! `simlint` rules must never fire inside comments, string literals, or raw
+//! strings (a doc example mentioning `HashMap` is not a determinism bug), and
+//! waiver comments must be readable wherever they appear. This module splits a
+//! source file into per-line [`Line`]s whose `code` field has comment text and
+//! literal *contents* blanked out (delimiters are kept so columns stay
+//! roughly stable) and whose `comment` field collects the comment text.
+//!
+//! The lexer understands: line comments, nested block comments, string
+//! literals with escapes, byte strings, raw (byte) strings with any number of
+//! `#`s, character literals, and lifetimes (`'a` is not an unterminated char
+//! literal). It does not parse Rust — rules operate on a per-line token
+//! stream — which is exactly the checkpatch-style trade-off: fast,
+//! dependency-free, and precise enough when paired with explicit waivers.
+
+/// One physical source line, split into code and comment channels.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Line {
+    /// The line with comments and literal contents replaced by spaces.
+    pub code: String,
+    /// Concatenated comment text appearing on the line.
+    pub comment: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Code,
+    LineComment { doc: bool },
+    BlockComment { depth: u32, doc: bool },
+    Str { raw_hashes: Option<u8> },
+    CharLit,
+}
+
+/// Splits `src` into lines with comment/string content separated from code.
+pub fn split_lines(src: &str) -> Vec<Line> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut mode = Mode::Code;
+    let mut i = 0;
+
+    // Returns the number of `#`s if a raw-string opener (`"`, `#"`, `##"`, …)
+    // starts at `j`, after the `r` / `br` prefix has been consumed.
+    let raw_opener = |j: usize| -> Option<u8> {
+        let mut hashes = 0u8;
+        let mut k = j;
+        while k < chars.len() && chars[k] == '#' && hashes < u8::MAX {
+            hashes += 1;
+            k += 1;
+        }
+        (k < chars.len() && chars[k] == '"').then_some(hashes)
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if matches!(mode, Mode::LineComment { .. }) {
+                mode = Mode::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = chars.get(i + 1).copied();
+                let prev_is_ident =
+                    i.checked_sub(1).is_some_and(|p| chars[p].is_alphanumeric() || chars[p] == '_');
+                match c {
+                    '/' if next == Some('/') => {
+                        // Doc comments (`///`, `//!`) are documentation, not
+                        // lint directives: their text never reaches the
+                        // waiver parser, so prose like "allow(RULE, reason)"
+                        // in rustdoc cannot be mistaken for a waiver.
+                        let doc = matches!(chars.get(i + 2), Some('/' | '!'));
+                        cur.code.push_str("  ");
+                        mode = Mode::LineComment { doc };
+                        i += 2;
+                    }
+                    '/' if next == Some('*') => {
+                        let doc = matches!(chars.get(i + 2), Some('*' | '!'))
+                            && chars.get(i + 3) != Some(&'/');
+                        cur.code.push_str("  ");
+                        mode = Mode::BlockComment { depth: 1, doc };
+                        i += 2;
+                    }
+                    '"' => {
+                        cur.code.push('"');
+                        mode = Mode::Str { raw_hashes: None };
+                        i += 1;
+                    }
+                    'r' | 'b' if !prev_is_ident => {
+                        // Possible raw-string / byte-string prefix: `r"`,
+                        // `r#"`, `b"`, `br#"`, …
+                        let after_prefix = match (c, next) {
+                            ('b', Some('r')) => Some(i + 2),
+                            ('r' | 'b', _) => Some(i + 1),
+                            _ => None,
+                        };
+                        let opener = after_prefix.and_then(|j| {
+                            if c == 'b' && next == Some('"') {
+                                Some((j, None)) // plain byte string
+                            } else {
+                                raw_opener(j).map(|h| (j + h as usize, Some(h)))
+                            }
+                        });
+                        match opener {
+                            Some((quote_at, hashes)) if chars.get(quote_at) == Some(&'"') => {
+                                for _ in i..=quote_at {
+                                    cur.code.push(' ');
+                                }
+                                cur.code.pop();
+                                cur.code.push('"');
+                                let raw = match hashes {
+                                    // `b"…"` behaves like a normal string
+                                    // (escapes active); `r`/`br` disable them.
+                                    Some(h) if c == 'r' || next == Some('r') => Some(h),
+                                    _ => None,
+                                };
+                                mode = Mode::Str { raw_hashes: raw };
+                                i = quote_at + 1;
+                            }
+                            _ => {
+                                cur.code.push(c);
+                                i += 1;
+                            }
+                        }
+                    }
+                    '\'' => {
+                        // Char literal vs lifetime: `'\…'` and `'x'` are
+                        // literals; anything else (`'static`, `'_`) is a
+                        // lifetime and stays in code mode.
+                        if next == Some('\\') {
+                            cur.code.push('\'');
+                            mode = Mode::CharLit;
+                            i += 1;
+                        } else if chars.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                            cur.code.push_str("' ");
+                            cur.code.push('\'');
+                            i += 3;
+                        } else {
+                            cur.code.push('\'');
+                            i += 1;
+                        }
+                    }
+                    _ => {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+            Mode::LineComment { doc } => {
+                if !doc {
+                    cur.comment.push(c);
+                }
+                cur.code.push(' ');
+                i += 1;
+            }
+            Mode::BlockComment { depth, doc } => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    cur.code.push_str("  ");
+                    i += 2;
+                    if depth == 1 {
+                        mode = Mode::Code;
+                    } else {
+                        mode = Mode::BlockComment { depth: depth - 1, doc };
+                    }
+                } else if c == '/' && next == Some('*') {
+                    if !doc {
+                        cur.comment.push_str("/*");
+                    }
+                    cur.code.push_str("  ");
+                    i += 2;
+                    mode = Mode::BlockComment { depth: depth + 1, doc };
+                } else {
+                    if !doc {
+                        cur.comment.push(c);
+                    }
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Str { raw_hashes } => {
+                match raw_hashes {
+                    None => {
+                        if c == '\\' {
+                            // A trailing `\` continues the string onto the
+                            // next line; leave the newline for the top of the
+                            // loop so line numbers stay aligned.
+                            if chars.get(i + 1) == Some(&'\n') {
+                                cur.code.push(' ');
+                                i += 1;
+                            } else {
+                                cur.code.push_str("  ");
+                                i += 2;
+                            }
+                        } else if c == '"' {
+                            cur.code.push('"');
+                            mode = Mode::Code;
+                            i += 1;
+                        } else {
+                            cur.code.push(' ');
+                            i += 1;
+                        }
+                    }
+                    Some(h) => {
+                        let closes =
+                            c == '"' && (1..=h as usize).all(|k| chars.get(i + k) == Some(&'#'));
+                        if closes {
+                            cur.code.push('"');
+                            for _ in 0..h {
+                                cur.code.push(' ');
+                            }
+                            mode = Mode::Code;
+                            i += 1 + h as usize;
+                        } else {
+                            cur.code.push(' ');
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            Mode::CharLit => {
+                if c == '\\' {
+                    cur.code.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    cur.code.push('\'');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+/// A token of line code: identifiers, numeric literals, and operator
+/// punctuation. Only what the rules need — not a full Rust lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Numeric literal (integer or float), suffix included.
+    Num(String),
+    /// Operator / punctuation (`==`, `!=`, `::`, or a single char).
+    Punct(String),
+}
+
+impl Tok {
+    /// The identifier text, if this token is one.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is a floating-point literal: has a decimal point,
+    /// an exponent, or an `f32`/`f64` suffix.
+    pub fn is_float_literal(&self) -> bool {
+        match self {
+            Tok::Num(s) => {
+                s.contains('.')
+                    || s.ends_with("f32")
+                    || s.ends_with("f64")
+                    || (s.contains(['e', 'E']) && !s.starts_with("0x") && !s.starts_with("0X"))
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Tokenizes one line of comment-stripped code.
+pub fn tokenize(code: &str) -> Vec<Tok> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.push(Tok::Ident(chars[start..i].iter().collect()));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            // A `.` continues the number only when not a `..` range and when
+            // followed by a digit or end-of-number (`1.` / `1.5`, not `1.max`).
+            if i < chars.len()
+                && chars[i] == '.'
+                && chars.get(i + 1) != Some(&'.')
+                && chars.get(i + 1).is_none_or(char::is_ascii_digit)
+            {
+                i += 1;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    i += 1;
+                }
+                // Exponent: `1.5e-3`.
+                if chars.get(i).is_some_and(|&e| e == 'e' || e == 'E') {
+                    let mut j = i + 1;
+                    if chars.get(j).is_some_and(|&s| s == '+' || s == '-') {
+                        j += 1;
+                    }
+                    if chars.get(j).is_some_and(char::is_ascii_digit) {
+                        i = j;
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                // Suffix: `1.0f64`.
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+            }
+            out.push(Tok::Num(chars[start..i].iter().collect()));
+        } else {
+            let pair: String = chars[i..(i + 2).min(chars.len())].iter().collect();
+            if matches!(pair.as_str(), "==" | "!=" | "::" | "->" | "=>" | "<=" | ">=") {
+                out.push(Tok::Punct(pair));
+                i += 2;
+            } else {
+                out.push(Tok::Punct(c.to_string()));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        split_lines(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_blanked() {
+        let lines = split_lines("let x = 1; // HashMap here\nlet y = 2;");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].comment.contains("HashMap"));
+        assert!(lines[1].code.contains("let y"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let lines = split_lines("a /* one /* two */ still */ b\nc /* open\nHashMap\n*/ d");
+        assert!(lines[0].code.contains('a') && lines[0].code.contains('b'));
+        assert!(!lines[0].code.contains("still"));
+        assert!(!lines[2].code.contains("HashMap"));
+        assert!(lines[2].comment.contains("HashMap"));
+        assert!(lines[3].code.contains('d'));
+    }
+
+    #[test]
+    fn strings_are_blanked_but_quotes_kept() {
+        let lines = split_lines(r#"let s = "HashMap // not a comment"; let t = 1;"#);
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].code.contains("let t = 1"));
+        assert_eq!(lines[0].code.matches('"').count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"thread_rng() " inside"#; let u = 2;"###;
+        let lines = split_lines(src);
+        assert!(!lines[0].code.contains("thread_rng"));
+        assert!(lines[0].code.contains("let u = 2"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let lines = split_lines(r##"let a = b"SystemTime"; let b2 = br#"Instant"#; x"##);
+        assert!(!lines[0].code.contains("SystemTime"));
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[0].code.ends_with('x'));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let lines = codes("fn f<'a>(x: &'a str) { let c = ','; let d = '\\''; g(x) }");
+        assert!(lines[0].contains("fn f<'a>(x: &'a str)"));
+        assert!(lines[0].contains("g(x)"));
+        assert!(!lines[0].contains(','));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let lines = codes(r#"let s = "a\"HashSet"; done()"#);
+        assert!(!lines[0].contains("HashSet"));
+        assert!(lines[0].contains("done()"));
+    }
+
+    #[test]
+    fn ident_ending_in_r_is_not_raw_string() {
+        let lines = codes(r#"for x in iter { "s"; }"#);
+        assert!(lines[0].contains("for x in iter"));
+    }
+
+    #[test]
+    fn tokenizer_floats_and_ops() {
+        let toks = tokenize("if p == 0.0 && q != 1e9 { a.b(2..3, 1.5e-3, 7f64) }");
+        assert!(toks.contains(&Tok::Punct("==".into())));
+        assert!(toks.contains(&Tok::Num("0.0".into())));
+        assert!(Tok::Num("1e9".into()).is_float_literal());
+        assert!(Tok::Num("1.5e-3".into()).is_float_literal());
+        assert!(Tok::Num("7f64".into()).is_float_literal());
+        assert!(!Tok::Num("2".into()).is_float_literal());
+        assert!(!Tok::Num("0x1e9".into()).is_float_literal());
+        // `2..3` lexes as number, range punct, number — not a float.
+        assert!(toks.contains(&Tok::Num("2".into())));
+        assert!(toks.contains(&Tok::Num("3".into())));
+    }
+
+    #[test]
+    fn method_call_on_int_is_not_float() {
+        let toks = tokenize("x(1.max(2))");
+        assert!(toks.contains(&Tok::Num("1".into())));
+        assert!(toks.iter().any(|t| t.ident() == Some("max")));
+    }
+}

@@ -1,0 +1,122 @@
+//! # simlint — workspace determinism & safety linter
+//!
+//! Every result in this reproduction rests on bit-exact determinism: the
+//! paper's DTS/DTS-Φ claims are validated by seeded sweeps, and PRs 2–4 each
+//! fixed a bug from the same few classes — unchecked `as` casts wrapping
+//! `SimDuration` arithmetic, silent float edge cases, panics escaping worker
+//! threads. The runtime invariant checker (`netsim::check`) catches those
+//! *after* they corrupt a run; this crate catches them at review time, the
+//! way htsim-style simulators and the Linux MPTCP tree lean on
+//! checkpatch/sparse-class tooling rather than runtime luck.
+//!
+//! The build is vendored-only, so the lexer is hand-rolled (no `syn`): see
+//! [`lexer`] for what it understands, [`rules`] for the rule set, and
+//! `DESIGN.md` §11 for the history each rule encodes. Violations are silenced
+//! by an inline `// simlint: allow(RULE, reason)` waiver — the reason is
+//! mandatory — or by a `simlint.baseline` entry (kept empty in this repo).
+//!
+//! Run it as `cargo run -p simlint -- --check`; exit code 0 means clean, 1
+//! means findings, 2 means usage or I/O error.
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+pub use rules::{lint_source, Finding};
+
+/// Directory names never descended into: third-party code, build output,
+/// VCS metadata, and the linter's own deliberately-violating test fixtures.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", "fixtures", ".github", ".claude"];
+
+/// Top-level entries scanned for `.rs` files.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// Recursively collects the workspace's lintable `.rs` files, sorted by
+/// workspace-relative path so reports and baselines are stable.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    walk(&path, out)?;
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut files = Vec::new();
+    for top in SCAN_ROOTS {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// A workspace-relative, `/`-separated display path.
+fn rel_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
+}
+
+/// Lints every file under `root`, returning findings sorted by path/line.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for file in collect_files(root)? {
+        let src = std::fs::read_to_string(&file)?;
+        findings.extend(lint_source(&rel_path(root, &file), &src));
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+/// Locates the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// The outcome of a full `--check` run against a baseline.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// Findings not covered by the baseline — these fail the build.
+    pub fresh: Vec<Finding>,
+    /// Findings suppressed by the baseline.
+    pub suppressed: Vec<Finding>,
+    /// Baseline keys that matched nothing (should be deleted).
+    pub stale: Vec<String>,
+}
+
+/// Lints the workspace and applies the baseline at `baseline_path` (missing
+/// file = empty baseline).
+pub fn check(root: &Path, baseline_path: &Path) -> std::io::Result<CheckReport> {
+    let findings = lint_workspace(root)?;
+    let base: BTreeSet<String> = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => baseline::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeSet::new(),
+        Err(e) => return Err(e),
+    };
+    let (fresh, suppressed, stale) = baseline::apply(findings, &base);
+    Ok(CheckReport { fresh, suppressed, stale })
+}

@@ -1,0 +1,114 @@
+//! CLI for the workspace linter. See `simlint --help`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::rules::ALL_RULES;
+
+const USAGE: &str = "\
+simlint — workspace determinism & safety linter
+
+USAGE:
+    cargo run -p simlint -- [OPTIONS]
+
+OPTIONS:
+    --check             Lint the workspace (the default; kept for explicit CI
+                        invocations). Exit 0 = clean, 1 = findings, 2 = error.
+    --root DIR          Workspace root (default: nearest ancestor with a
+                        [workspace] Cargo.toml).
+    --baseline FILE     Baseline file (default: <root>/simlint.baseline).
+    --write-baseline    Rewrite the baseline to suppress all current findings.
+    --list-rules        Print the rule set and exit.
+    -h, --help          This text.
+
+Waive a finding inline with `// simlint: allow(RULE, reason)` on (or directly
+above) the offending line; the reason is mandatory. See DESIGN.md §11.";
+
+struct Opts {
+    root: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    write_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts { root: None, baseline: None, write_baseline: false, list_rules: false };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--check" => {}
+            "--root" => {
+                opts.root = Some(it.next().ok_or("--root needs a directory argument")?.into());
+            }
+            "--baseline" => {
+                opts.baseline = Some(it.next().ok_or("--baseline needs a file argument")?.into());
+            }
+            "--write-baseline" => opts.write_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+
+    if opts.list_rules {
+        for (id, summary) in ALL_RULES {
+            println!("{id}  {summary}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let root = match opts.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("getcwd: {e}"))?;
+            simlint::find_workspace_root(&cwd)
+                .ok_or("no [workspace] Cargo.toml above the current directory")?
+        }
+    };
+    let baseline_path = opts.baseline.unwrap_or_else(|| root.join("simlint.baseline"));
+
+    if opts.write_baseline {
+        let findings = simlint::lint_workspace(&root).map_err(|e| format!("lint: {e}"))?;
+        std::fs::write(&baseline_path, simlint::baseline::render(&findings))
+            .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+        eprintln!("simlint: wrote {} entries to {}", findings.len(), baseline_path.display());
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let report = simlint::check(&root, &baseline_path).map_err(|e| format!("lint: {e}"))?;
+    for f in &report.fresh {
+        println!("{f}");
+    }
+    for key in &report.stale {
+        eprintln!("simlint: stale baseline entry {key} (matched nothing; delete it)");
+    }
+    eprintln!(
+        "simlint: {} finding(s), {} baseline-suppressed, {} stale baseline entr{}",
+        report.fresh.len(),
+        report.suppressed.len(),
+        report.stale.len(),
+        if report.stale.len() == 1 { "y" } else { "ies" },
+    );
+    Ok(if report.fresh.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("simlint: error: {msg}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}

@@ -1,0 +1,377 @@
+//! The rule set: repo-specific determinism and safety checks.
+//!
+//! Each rule exists because this repository was bitten by (or is structurally
+//! exposed to) the bug class it bans — see `DESIGN.md` §11 for the history.
+//! Rules run on the comment/string-stripped token stream from
+//! [`crate::lexer`], scoped by file class, and are silenced either by an
+//! inline `// simlint: allow(RULE, reason)` waiver or a baseline entry.
+
+use crate::lexer::{split_lines, tokenize, Line, Tok};
+
+/// A single diagnostic: `file:line:rule: message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier (`D001`, …, `W001`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// The `path:line:rule` key used by the baseline file.
+    pub fn baseline_key(&self) -> String {
+        format!("{}:{}:{}", self.file, self.line, self.rule)
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}:{}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// Every enforced rule id, in report order.
+pub const ALL_RULES: &[(&str, &str)] = &[
+    ("D001", "no HashMap/HashSet (iteration-order nondeterminism); use BTreeMap/BTreeSet"),
+    ("D002", "no wall-clock reads (Instant/SystemTime) in simulation crates"),
+    ("D003", "no unseeded randomness (thread_rng/rand::random/from_entropy/OsRng)"),
+    ("A001", "no bare `as` integer casts in time/sequence arithmetic; use checked helpers"),
+    ("F001", "no ==/!= against float literals; use is_exactly_zero or epsilon compares"),
+    ("P001", "no unwrap()/expect()/panic! in library code outside #[cfg(test)]"),
+    ("W001", "malformed waiver: unknown rule or missing reason"),
+    ("W002", "unused waiver: no matching finding on the waived line"),
+];
+
+fn rule_exists(id: &str) -> bool {
+    ALL_RULES.iter().any(|(r, _)| *r == id)
+}
+
+/// How a file participates in the rule set, derived from its
+/// workspace-relative path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// `crates/<name>/…` → `<name>`; `None` for root `src/`, `tests/`, ….
+    pub crate_dir: Option<String>,
+    /// Under a `tests/`, `benches/`, or `examples/` directory.
+    pub is_test_file: bool,
+    /// A binary target: under `src/bin/` or a root `main.rs`.
+    pub is_bin: bool,
+    /// Under a `src/` directory (library or binary source).
+    pub in_src: bool,
+}
+
+impl FileClass {
+    /// Classifies a `/`-separated workspace-relative path.
+    pub fn of(rel: &str) -> FileClass {
+        let parts: Vec<&str> = rel.split('/').collect();
+        let crate_dir =
+            (parts.first() == Some(&"crates") && parts.len() > 2).then(|| parts[1].to_owned());
+        let is_test_file = parts.iter().any(|p| matches!(*p, "tests" | "benches" | "examples"));
+        let in_src = parts.contains(&"src");
+        let is_bin =
+            parts.windows(2).any(|w| w == ["src", "bin"]) || parts.last() == Some(&"main.rs");
+        FileClass { crate_dir, is_test_file, is_bin, in_src }
+    }
+
+    fn crate_in(&self, list: &[&str]) -> bool {
+        self.crate_dir.as_deref().is_some_and(|c| list.contains(&c))
+    }
+}
+
+/// Crates whose state feeds simulation results; wall-clock reads there break
+/// bit-reproducibility (D002) and time/sequence casts there are the PR 2
+/// overflow class (A001).
+const SIM_CORE_CRATES: &[&str] = &["netsim", "transport", "congestion", "core"];
+
+/// Substrings marking a line as time/sequence arithmetic for A001.
+const TIME_SEQ_MARKERS: &[&str] = &["SimTime", "SimDuration", "nanos", "_ns", "seq"];
+
+/// Integer destination types for A001 (`as f64` is the sanctioned widening
+/// conversion for statistics and is left to clippy's cast lints).
+const INT_TYPES: &[&str] =
+    &["u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize"];
+
+/// An inline waiver parsed from a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Waiver {
+    /// The rule being waived, e.g. `P001`.
+    pub rule: String,
+    /// The human-readable justification (required non-empty).
+    pub reason: String,
+}
+
+/// Parses every `simlint: allow(RULE, reason)` occurrence in a comment.
+/// Returns `(waivers, malformed)` where `malformed` holds a message per
+/// ill-formed waiver (unknown rule id or empty reason).
+pub fn parse_waivers(comment: &str) -> (Vec<Waiver>, Vec<String>) {
+    let mut waivers = Vec::new();
+    let mut malformed = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("simlint:") {
+        rest = &rest[at + "simlint:".len()..];
+        let body = rest.trim_start();
+        let Some(args) = body.strip_prefix("allow(") else {
+            malformed.push("expected `allow(RULE, reason)` after `simlint:`".to_owned());
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            malformed.push("unterminated `allow(` waiver".to_owned());
+            break;
+        };
+        let inner = &args[..close];
+        rest = &args[close + 1..];
+        let (rule, reason) = match inner.split_once(',') {
+            Some((r, why)) => (r.trim(), why.trim()),
+            None => (inner.trim(), ""),
+        };
+        if !rule_exists(rule) {
+            malformed.push(format!("unknown rule {rule:?} in waiver"));
+        } else if reason.is_empty() {
+            malformed.push(format!("waiver for {rule} is missing a reason"));
+        } else {
+            waivers.push(Waiver { rule: rule.to_owned(), reason: reason.to_owned() });
+        }
+    }
+    (waivers, malformed)
+}
+
+/// Marks lines inside `#[cfg(test)]` items (and `#[test]` functions): after
+/// such an attribute, the next brace-delimited item body is test code. P001
+/// and A001 do not apply there.
+fn test_region_lines(lines: &[Line]) -> Vec<bool> {
+    let mut out = vec![false; lines.len()];
+    let mut depth: i32 = 0;
+    let mut pending = false;
+    let mut region_floor: Option<i32> = None;
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        if region_floor.is_some() {
+            out[idx] = true;
+        }
+        let compact: String = code.chars().filter(|c| !c.is_whitespace()).collect();
+        if compact.contains("#[cfg(test)]")
+            || compact.contains("#[cfg(all(test")
+            || compact.contains("#[test]")
+        {
+            pending = true;
+            out[idx] = true;
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending && region_floor.is_none() {
+                        region_floor = Some(depth);
+                        pending = false;
+                        out[idx] = true;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if region_floor.is_some_and(|floor| depth < floor) {
+                        region_floor = None;
+                    }
+                }
+                // An item that ends before opening a brace (e.g.
+                // `#[cfg(test)] use …;`) consumes the pending attribute.
+                ';' if pending && region_floor.is_none() => pending = false,
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+fn has_marker(code: &str, markers: &[&str]) -> bool {
+    markers.iter().any(|m| code.contains(m))
+}
+
+/// Runs every applicable rule over one file's source text.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let class = FileClass::of(rel_path);
+    let lines = split_lines(src);
+    let in_test_region = test_region_lines(&lines);
+
+    // Waivers: a waiver on a code-bearing line covers that line; a waiver on
+    // a comment-only line covers the next code-bearing line (stacking).
+    let mut active: Vec<Vec<Waiver>> = vec![Vec::new(); lines.len()];
+    let mut findings = Vec::new();
+    let mut carried: Vec<Waiver> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let (waivers, malformed) = parse_waivers(&line.comment);
+        for msg in malformed {
+            findings.push(Finding {
+                file: rel_path.to_owned(),
+                line: idx + 1,
+                rule: "W001",
+                message: msg,
+            });
+        }
+        let code_empty = line.code.trim().is_empty();
+        if code_empty {
+            carried.extend(waivers);
+        } else {
+            active[idx] = std::mem::take(&mut carried);
+            active[idx].extend(waivers);
+        }
+    }
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = &line.code;
+        if code.trim().is_empty() {
+            continue;
+        }
+        let toks = tokenize(code);
+        let mut raw: Vec<(&'static str, String)> = Vec::new();
+
+        // D001 — everywhere: deterministic collections only.
+        for bad in ["HashMap", "HashSet"] {
+            if toks.iter().any(|t| t.ident() == Some(bad)) {
+                raw.push((
+                    "D001",
+                    format!(
+                        "{bad} iterates in nondeterministic order; use BTree{} instead",
+                        &bad[4..]
+                    ),
+                ));
+            }
+        }
+
+        // D002 — sim-core crates: no wall clock.
+        if class.crate_in(SIM_CORE_CRATES) {
+            for bad in ["Instant", "SystemTime", "UNIX_EPOCH", "OffsetDateTime", "chrono"] {
+                if toks.iter().any(|t| t.ident() == Some(bad)) {
+                    raw.push((
+                        "D002",
+                        format!("wall-clock type/call `{bad}` in a simulation crate; all time must come from SimTime"),
+                    ));
+                }
+            }
+        }
+
+        // D003 — everywhere: no unseeded randomness.
+        for bad in ["thread_rng", "from_entropy", "OsRng", "getrandom"] {
+            if toks.iter().any(|t| t.ident() == Some(bad)) {
+                raw.push((
+                    "D003",
+                    format!("`{bad}` is unseeded; derive all RNG from the run's seed"),
+                ));
+            }
+        }
+        if toks.windows(3).any(|w| {
+            w[0].ident() == Some("rand")
+                && w[1] == Tok::Punct("::".into())
+                && w[2].ident() == Some("random")
+        }) {
+            raw.push((
+                "D003",
+                "`rand::random` is unseeded; derive all RNG from the run's seed".to_owned(),
+            ));
+        }
+
+        // A001 — sim-core src, outside tests: no bare integer `as` casts on
+        // time/sequence lines.
+        if class.crate_in(SIM_CORE_CRATES)
+            && class.in_src
+            && !class.is_test_file
+            && !in_test_region[idx]
+            && has_marker(code, TIME_SEQ_MARKERS)
+        {
+            for w in toks.windows(2) {
+                if w[0].ident() != Some("as") {
+                    continue;
+                }
+                if let Some(ty) = w[1].ident().filter(|ty| INT_TYPES.contains(ty)) {
+                    raw.push((
+                        "A001",
+                        format!("bare `as {ty}` cast in time/sequence arithmetic can truncate or wrap; use a checked/saturating SimTime/SimDuration helper or `{ty}::try_from`"),
+                    ));
+                }
+            }
+        }
+
+        // F001 — everywhere: no exact compares against float literals.
+        for (k, t) in toks.iter().enumerate() {
+            if matches!(t, Tok::Punct(p) if p == "==" || p == "!=") {
+                let prev_float = k > 0 && toks[k - 1].is_float_literal();
+                let next_float = toks.get(k + 1).is_some_and(Tok::is_float_literal);
+                if prev_float || next_float {
+                    raw.push((
+                        "F001",
+                        "exact float comparison; route sentinel checks through is_exactly_zero or compare with a tolerance".to_owned(),
+                    ));
+                }
+            }
+        }
+
+        // P001 — library code only: no panicking shortcuts.
+        let p001_applies =
+            class.in_src && !class.is_bin && !class.is_test_file && !in_test_region[idx];
+        if p001_applies {
+            for w in toks.windows(3) {
+                let dot_call = |name: &str| {
+                    w[0] == Tok::Punct(".".into())
+                        && w[1].ident() == Some(name)
+                        && w[2] == Tok::Punct("(".into())
+                };
+                if dot_call("unwrap") {
+                    raw.push((
+                        "P001",
+                        "unwrap() in library code; propagate the error or waive with the invariant that makes it impossible".to_owned(),
+                    ));
+                }
+                if dot_call("expect") {
+                    raw.push((
+                        "P001",
+                        "expect() in library code; propagate the error or waive with the invariant that makes it impossible".to_owned(),
+                    ));
+                }
+            }
+            for w in toks.windows(2) {
+                if w[1] == Tok::Punct("!".into()) {
+                    if let Some(mac @ ("panic" | "todo" | "unimplemented")) = w[0].ident() {
+                        raw.push((
+                            "P001",
+                            format!("{mac}! in library code; return an error (assert!/unreachable! remain available for stated invariants)"),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Apply waivers; count which were used so W002 can flag dead ones.
+        let mut used = vec![false; active[idx].len()];
+        for (rule, message) in raw {
+            let waived = active[idx].iter().enumerate().find(|(_, wv)| wv.rule == rule);
+            match waived {
+                Some((wi, _)) => used[wi] = true,
+                None => findings.push(Finding {
+                    file: rel_path.to_owned(),
+                    line: lineno,
+                    rule,
+                    message,
+                }),
+            }
+        }
+        for (wi, wv) in active[idx].iter().enumerate() {
+            if !used[wi] {
+                findings.push(Finding {
+                    file: rel_path.to_owned(),
+                    line: lineno,
+                    rule: "W002",
+                    message: format!(
+                        "waiver for {} does not match any finding on this line; remove it",
+                        wv.rule
+                    ),
+                });
+            }
+        }
+    }
+    findings.sort();
+    findings
+}

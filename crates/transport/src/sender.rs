@@ -466,8 +466,10 @@ impl MptcpSender {
             sf.pipe += 1;
         }
         seg.last_tx = now;
-        let payload =
-            Payload::Data { conn: self.cfg.conn_id, subflow: r as u32, seq, data_seq, retransmit };
+        // Subflow counts are tiny (one per path); the saturating fallback
+        // just makes the index→wire-id conversion total.
+        let subflow = u32::try_from(r).unwrap_or(u32::MAX);
+        let payload = Payload::Data { conn: self.cfg.conn_id, subflow, seq, data_seq, retransmit };
         let route = self.subflows[r].route.clone();
         ctx.send(route, self.cfg.mss_bytes, payload);
     }
@@ -1094,6 +1096,9 @@ impl MptcpSender {
     /// `r`'s window across the preceding call.
     fn emit_cwnd_change(&mut self, r: usize, cwnd_before: f64, ctx: &mut Ctx<'_>) {
         let cwnd_pkts = self.cc_states[r].cwnd;
+        // Change detection, not numeric comparison: any bit-level movement of
+        // the window must produce an event, so no epsilon applies.
+        #[allow(clippy::float_cmp)]
         if cwnd_pkts != cwnd_before {
             ctx.emit(TraceEvent::CwndChange {
                 t_ns: ctx.now().as_nanos(),

@@ -4,7 +4,7 @@
 
 use congestion::AlgorithmKind;
 use netsim::prelude::*;
-use transport::{attach_flow, FlowConfig, FlowHandle, PathSpec};
+use transport::{attach_flow, FlowConfig, FlowHandle, FlowSample, PathSpec};
 
 /// Builds a symmetric bidirectional path: one forward link, one reverse link.
 fn duplex(sim: &mut Simulator, bps: u64, one_way: SimDuration, qlimit: usize) -> PathSpec {
@@ -140,7 +140,7 @@ fn long_lived_flow_keeps_sampling() {
     // Average over the second half (past slow start): should use most of the
     // 10 Mb/s link.
     let half = &samples[samples.len() / 2..];
-    let avg = half.iter().map(|s| s.total_throughput_bps()).sum::<f64>() / half.len() as f64;
+    let avg = half.iter().map(FlowSample::total_throughput_bps).sum::<f64>() / half.len() as f64;
     assert!(avg > 5_000_000.0, "avg throughput {avg}");
     assert!(half.iter().all(|s| s.subflows[0].srtt_s > 0.019));
 }

@@ -36,7 +36,7 @@ fn reinjection_rescues_head_of_line_blocking() {
     let (sim_on, on) = hol_scenario(true, 31);
     assert!(on.is_finished(&sim_on), "transfer with reinjection must finish");
     let t_on = on.finish_time(&sim_on).unwrap().as_secs_f64();
-    let t_off = off.finish_time(&sim_off).map(|t| t.as_secs_f64()).unwrap_or(f64::INFINITY);
+    let t_off = off.finish_time(&sim_off).map_or(f64::INFINITY, netsim::SimTime::as_secs_f64);
     assert!(
         t_on < 0.85 * t_off,
         "reinjection should cut completion time: {t_on:.1}s vs {t_off:.1}s"

@@ -55,7 +55,7 @@ fn main() {
 
     println!(
         "transfer finished at t = {:.2} s ({} pkts acked)\n",
-        flow.finish_time(&sim).map(|t| t.as_secs_f64()).unwrap_or(f64::NAN),
+        flow.finish_time(&sim).map_or(f64::NAN, netsim::SimTime::as_secs_f64),
         flow.sender_ref(&sim).data_acked(),
     );
 

@@ -48,8 +48,8 @@ fn checked_impaired_runs_complete_exactly_once_and_deterministically() {
     // The checker watches a fully impaired transfer without firing, and two
     // executions are byte-identical (trace tail included) — the checks are
     // observe-only by construction (&Simulator) and must stay that way.
-    let a = run_repro_cell(&impaired_spec(3));
-    let b = run_repro_cell(&impaired_spec(3));
+    let a = run_repro_cell(&impaired_spec(3)).expect("repro cell failed");
+    let b = run_repro_cell(&impaired_spec(3)).expect("repro cell failed");
     assert!(a.violation.is_none(), "invariants fired on a healthy run: {:?}", a.violation);
     assert!(a.finished, "impaired transfer did not complete");
     assert_eq!(a.acked, 2_000);
@@ -64,7 +64,7 @@ fn seeded_violation_halts_dumps_an_artifact_and_replays_to_the_same_failure() {
     // Deliberately seed a violation mid-transfer: the checker must halt the
     // run there instead of letting it finish.
     spec.fail_at_s = Some(1.25);
-    let outcome = run_repro_cell(&spec);
+    let outcome = run_repro_cell(&spec).expect("repro cell failed");
     let v = outcome.violation.as_ref().expect("seeded violation did not fire");
     assert!(v.at_ns >= 1_250_000_000, "violation before its seeding time: {v:?}");
     assert!(!outcome.finished, "the run must halt at the violation, not complete");
@@ -90,7 +90,7 @@ fn replay_detects_a_spec_that_no_longer_violates() {
     // seeded failure and the run is healthy) must report non-reproduction —
     // the replay entrypoint's honesty check.
     let spec = impaired_spec(5);
-    let mut outcome = run_repro_cell(&spec);
+    let mut outcome = run_repro_cell(&spec).expect("repro cell failed");
     outcome.violation = Some(bench_harness::repro::ViolationRecord {
         at_ns: 1,
         message: "stale violation from an older build".into(),
