@@ -9,14 +9,19 @@
 //!
 //! Pass --smoke/--quick/--full and optionally --jobs N (default: available
 //! parallelism, or the SWEEP_JOBS env var). Every variant is an independent
-//! simulation cell, fanned out by the deterministic sweep runner.
+//! simulation cell; all three sections form ONE fabric grid, so with
+//! --journal PATH (or SWEEP_JOURNAL) a killed sweep resumes across section
+//! boundaries and the recomputed tables are byte-identical. A panicking or
+//! deadline-blown variant (SWEEP_DEADLINE_S) is retried and, on exhaustion,
+//! quarantined: its row is dropped, the rest of the ablation still prints,
+//! and the process exits 1 with a partial-sweep note on stderr.
 //!
 //! With `--trace DIR` (or the `SWEEP_TRACE` env var) each cell writes a
 //! JSONL event trace to `DIR/<section>-<label>.jsonl`, summarizable with
 //! the `trace_dump` binary. Tracing never changes results (pinned by
 //! `tests/sweep_determinism.rs`).
 
-use bench_harness::runner::{run_sweep_jobs, RunSummary, SweepCell};
+use bench_harness::fabric::{run_fabric, CellOutcome, FabricCell, FabricOptions, Fingerprint};
 use bench_harness::{table, Cli, Scale};
 use mptcp_energy::scenarios::{run_two_path_bursty_traced, BurstyOptions, CcChoice};
 use mptcp_energy::{friendliness_ratio, CcModel, DtsConfig, Psi};
@@ -41,82 +46,124 @@ fn run_cfg(
     ((r.energy.joules, r.finish_s.unwrap_or(f64::NAN), r.goodput_bps / 1e6), counters)
 }
 
-/// Runs one labelled `DtsConfig` variant per cell, in parallel. With a trace
-/// directory, each cell streams its events to `<dir>/<section>-<label>.jsonl`.
-fn sweep_cfgs(
-    section: &str,
-    variants: Vec<(String, DtsConfig)>,
-    o: &BurstyOptions,
-    jobs: usize,
+/// One labelled `DtsConfig` variant as a fabric cell. The fingerprint covers
+/// the section, label, and scale-dependent transfer size, so a journal from
+/// one ablation grid refuses to feed another.
+fn cell(
+    section: &'static str,
+    label: String,
+    cfg: DtsConfig,
+    o: BurstyOptions,
     trace: Option<&Path>,
-) -> Vec<RunSummary<(f64, f64, f64)>> {
-    let cells: Vec<SweepCell<_>> = variants
-        .into_iter()
-        .map(|(label, cfg)| {
-            let file_label = format!("{section}-{label}");
-            let trace: Option<PathBuf> = trace.map(Path::to_path_buf);
-            SweepCell::with_counters(label, o.seed, move || {
-                let sink = trace.as_deref().and_then(|d| obs::jsonl_sink_in(d, &file_label));
-                run_cfg(cfg, o, sink)
-            })
-        })
-        .collect();
-    run_sweep_jobs(cells, jobs)
+) -> FabricCell<(f64, f64, f64)> {
+    let file_label = format!("{section}-{label}");
+    let trace: Option<PathBuf> = trace.map(Path::to_path_buf);
+    let fp = Fingerprint::new()
+        .str("ablation")
+        .str(section)
+        .str(&label)
+        .u64(o.transfer_bytes.unwrap_or(0))
+        .u64(o.seed);
+    FabricCell::with_counters(label, o.seed, move || {
+        let sink = trace.as_deref().and_then(|d| obs::jsonl_sink_in(d, &file_label));
+        run_cfg(cfg, &o, sink)
+    })
+    .config(fp)
+}
+
+/// Turns one section's outcomes into table rows, skipping quarantined cells
+/// (their absence is reported through the partial-sweep note). `extra`
+/// appends section-specific columns given the variant's input-order index.
+fn rows_for(
+    outcomes: &[CellOutcome<(f64, f64, f64)>],
+    extra: impl Fn(usize) -> Vec<String>,
+) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    for (i, out) in outcomes.iter().enumerate() {
+        if let CellOutcome::Done { summary, .. } = out {
+            let (j, fct, mbps) = summary.output;
+            let mut row = vec![
+                summary.label.clone(),
+                format!("{j:.1}"),
+                format!("{fct:.1}"),
+                format!("{mbps:.2}"),
+            ];
+            row.extend(extra(i));
+            rows.push(row);
+        }
+    }
+    rows
 }
 
 fn main() {
     let cli = Cli::from_args();
     let o = opts(cli.scale);
-    let jobs = cli.jobs();
     let trace = cli.trace_dir();
     let trace = trace.as_deref();
     if let Some(dir) = trace {
         eprintln!("writing per-cell JSONL traces to {}", dir.display());
     }
 
-    println!("== sigmoid slope sweep (c = 1, exact exp) ==");
-    let variants = [2.0f64, 5.0, 10.0, 20.0]
-        .map(|slope| (format!("{slope}"), DtsConfig { slope, ..DtsConfig::default() }));
-    let mut rows = Vec::new();
-    for r in sweep_cfgs("slope", variants.to_vec(), &o, jobs, trace) {
-        let (j, fct, mbps) = r.output;
-        rows.push(vec![r.label, format!("{j:.1}"), format!("{fct:.1}"), format!("{mbps:.2}")]);
+    let slopes = [2.0f64, 5.0, 10.0, 20.0];
+    let cs = [0.5f64, 1.0, 1.5, 2.0];
+    let eps = [("exact", false), ("fixed-point", true)];
+
+    // One grid across all three sections, so a single journal checkpoints
+    // the whole ablation and a resume never replays a finished section.
+    let mut cells = Vec::new();
+    for slope in slopes {
+        let cfg = DtsConfig { slope, ..DtsConfig::default() };
+        cells.push(cell("slope", format!("{slope}"), cfg, o, trace));
     }
-    print!("{}", table(&["slope", "energy (J)", "fct (s)", "Mb/s"], &rows));
+    for c in cs {
+        let cfg = DtsConfig { c, ..DtsConfig::default() };
+        cells.push(cell("c", format!("{c}"), cfg, o, trace));
+    }
+    for (name, fixed) in eps {
+        let cfg = DtsConfig { fixed_point: fixed, ..DtsConfig::default() };
+        cells.push(cell("eps", name.to_owned(), cfg, o, trace));
+    }
+
+    let report = match run_fabric(cells, &FabricOptions::from_cli(&cli)) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("ablation_dts: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("{}", report.counters.render());
+    let (slope_out, rest) = report.outcomes.split_at(slopes.len());
+    let (c_out, eps_out) = rest.split_at(cs.len());
+
+    println!("== sigmoid slope sweep (c = 1, exact exp) ==");
+    print!(
+        "{}",
+        table(&["slope", "energy (J)", "fct (s)", "Mb/s"], &rows_for(slope_out, |_| Vec::new()))
+    );
 
     println!("\n== Pareto scale c sweep (slope 10) ==");
-    let cs = [0.5f64, 1.0, 1.5, 2.0];
-    let variants = cs.map(|c| (format!("{c}"), DtsConfig { c, ..DtsConfig::default() }));
-    let mut rows = Vec::new();
-    for (r, c) in sweep_cfgs("c", variants.to_vec(), &o, jobs, trace).into_iter().zip(cs) {
-        let (j, fct, mbps) = r.output;
+    let rows = rows_for(c_out, |i| {
         // Fluid friendliness at the design-point ratio: with E[ε] = 1 the
         // aggregate over one shared bottleneck should not exceed one TCP for
         // c ≤ 1 (the paper's fairness argument for c = 1).
         let friend = friendliness_ratio(
-            CcModel::loss_based(Psi::Dts(DtsConfig { c, ..DtsConfig::default() })),
+            CcModel::loss_based(Psi::Dts(DtsConfig { c: cs[i], ..DtsConfig::default() })),
             1000.0,
             0.1,
             2,
         );
-        rows.push(vec![
-            r.label,
-            format!("{j:.1}"),
-            format!("{fct:.1}"),
-            format!("{mbps:.2}"),
-            format!("{friend:.3}"),
-        ]);
-    }
+        vec![format!("{friend:.3}")]
+    });
     print!("{}", table(&["c", "energy (J)", "fct (s)", "Mb/s", "fluid friendliness"], &rows));
 
     println!("\n== exact exp vs Algorithm 1 fixed-point Taylor ==");
-    let variants = [("exact", false), ("fixed-point", true)].map(|(name, fixed)| {
-        (name.to_owned(), DtsConfig { fixed_point: fixed, ..DtsConfig::default() })
-    });
-    let mut rows = Vec::new();
-    for r in sweep_cfgs("eps", variants.to_vec(), &o, jobs, trace) {
-        let (j, fct, mbps) = r.output;
-        rows.push(vec![r.label, format!("{j:.1}"), format!("{fct:.1}"), format!("{mbps:.2}")]);
+    print!(
+        "{}",
+        table(&["epsilon", "energy (J)", "fct (s)", "Mb/s"], &rows_for(eps_out, |_| Vec::new()))
+    );
+
+    if !report.is_complete() {
+        eprint!("{}", report.partial_note());
+        std::process::exit(1);
     }
-    print!("{}", table(&["epsilon", "energy (J)", "fct (s)", "Mb/s"], &rows));
 }

@@ -1,6 +1,33 @@
-//! Regenerates every figure in one run. Pass --smoke/--quick/--full.
+//! Regenerates every figure in one crash-safe run.
+//!
+//! Pass --smoke/--quick/--full and optionally --jobs N. With --journal PATH
+//! (or the SWEEP_JOURNAL env var) each completed figure is checkpointed to
+//! an append-only journal: kill the run at any point, rerun the same
+//! command, and only the unfinished figures execute — the final stdout is
+//! byte-identical to an uninterrupted run (CI's `fabric` job pins this).
+//! A panicking or deadline-blown figure is retried with backoff and, on
+//! exhaustion, quarantined: the surviving figures still print and the
+//! process exits 1 with a partial-sweep note on stderr.
+
+use bench_harness::fabric::{run_fabric, FabricOptions};
+use bench_harness::{figs, Cli};
 
 fn main() {
-    let scale = bench_harness::Scale::from_args();
-    print!("{}", bench_harness::run_all(scale));
+    let cli = Cli::from_args();
+    let opts = FabricOptions::from_cli(&cli);
+    let report = match run_fabric(figs::fig_cells(cli.scale), &opts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("figures_all: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("{}", report.counters.render());
+    for r in report.results() {
+        print!("==== {} ====\n{}\n", r.label, r.output);
+    }
+    if !report.is_complete() {
+        eprint!("{}", report.partial_note());
+        std::process::exit(1);
+    }
 }

@@ -5,7 +5,12 @@
 //! Fig. 6 harness measures (energy ≈ M/τ̄·P, Equation (2)).
 //!
 //! Pass --smoke/--quick/--full (scales N) and optionally --jobs N. Each ψ's
-//! equilibrium solve is an independent cell, fanned out by the sweep runner.
+//! equilibrium solve is an independent cell, fanned out by the crash-safe
+//! sweep fabric: with --journal PATH (or SWEEP_JOURNAL) completed solves
+//! checkpoint to an append-only journal and a killed run resumes where it
+//! left off; a diverging solve can be bounded with SWEEP_DEADLINE_S and is
+//! quarantined instead of sinking the table (exit 1, partial note on
+//! stderr).
 //!
 //! With `--trace DIR` (or `SWEEP_TRACE`) the equilibrium results are also
 //! appended to `DIR/fluid_fig6.jsonl` as `{"ev":"fluid_cell",...}` lines —
@@ -13,7 +18,7 @@
 //! the custom event kind and the file slots into the same trace directory
 //! the packet-level harnesses fill.
 
-use bench_harness::runner::{run_sweep_jobs, SweepCell};
+use bench_harness::fabric::{run_fabric, FabricCell, FabricOptions, Fingerprint};
 use bench_harness::{table, Cli, Scale};
 use mptcp_energy::{CcModel, FluidFlow, FluidLink, FluidNet, FluidPath, Psi};
 
@@ -57,9 +62,12 @@ fn main() {
     let mss_bits = 1500.0 * 8.0;
     let transfer_bits = 16.0 * 1024.0 * 1024.0 * 8.0;
     let psis = [Psi::Lia, Psi::Olia, Psi::Balia, Psi::EcMtcp, Psi::Coupled, Psi::Ewtcp];
-    let cells: Vec<SweepCell<_>> = psis
+    let cells: Vec<FabricCell<_>> = psis
         .into_iter()
-        .map(|psi| SweepCell::new(psi.name(), 0, move || scenario(psi, n_users)))
+        .map(|psi| {
+            FabricCell::new(psi.name(), 0, move || scenario(psi, n_users))
+                .config(Fingerprint::new().str("fluid_fig6").str(psi.name()).u64(n_users as u64))
+        })
         .collect();
     let mut sink = cli.trace_dir().and_then(|dir| {
         if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -75,8 +83,16 @@ fn main() {
             }
         }
     });
+    let report = match run_fabric(cells, &FabricOptions::from_cli(&cli)) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("fluid_fig6: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("{}", report.counters.render());
     let mut rows = Vec::new();
-    for r in run_sweep_jobs(cells, cli.jobs()) {
+    for r in report.results() {
         let (mptcp, tcp) = r.output;
         // Implied 16 MB transfer time and a simple ∝1/τ̄ energy proxy.
         let seconds = transfer_bits / (mptcp * mss_bits);
@@ -89,7 +105,7 @@ fn main() {
             ));
         }
         rows.push(vec![
-            r.label,
+            r.label.clone(),
             format!("{mptcp:.0}"),
             format!("{tcp:.0}"),
             format!("{:.3}", mptcp / tcp),
@@ -105,4 +121,8 @@ fn main() {
         table(&["psi", "mptcp x* (pkt/s)", "tcp x* (pkt/s)", "mptcp/tcp", "16MB time (s)"], &rows)
     );
     println!("\nmptcp/tcp near 1 = TCP-friendly; higher mptcp x* = shorter transfers = less energy (Eq. 2).");
+    if !report.is_complete() {
+        eprint!("{}", report.partial_note());
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,943 @@
+//! The result journal: an append-only JSONL checkpoint of completed cells.
+//!
+//! Every time a cell finishes, the fabric appends **one line** to the
+//! journal and flushes it, so a `SIGKILL` at any instant loses at most the
+//! line being written. Resuming is replaying: parse the journal, match
+//! `done` lines against the freshly planned grid by [`CellId`], decode
+//! their payloads, and run only the cells with no entry. The merged output
+//! is byte-identical to an uninterrupted run because the payload codec
+//! round-trips every value exactly — `f64`s travel as IEEE-754 bit
+//! patterns, the same discipline as [`crate::repro`].
+//!
+//! Line formats (flat one-line JSON, parsed with the obs key-scan helpers):
+//!
+//! ```text
+//! {"fabric":"run","version":1,"grid":"<16 hex>","cells":N}
+//! {"fabric":"done","id":"<16 hex>","label":"...","seed":7,"attempts":1,"payload":[...]}
+//! {"fabric":"quarantined","id":"<16 hex>","label":"...","seed":7,"attempts":3,"cause":"panic","message":"..."}
+//! ```
+//!
+//! A `run` header is appended each time a fabric run opens the journal; the
+//! grid digest must match across every header, so a journal can never mix
+//! cells from two different grids. A torn final line (the line a kill
+//! interrupted) is tolerated and simply re-run; corruption anywhere else is
+//! an error — the journal is evidence, and silently skipping mid-file
+//! damage would hide it.
+
+use super::plan::CellId;
+use crate::repro::{esc, json_escaped_str_field, unesc};
+use obs::{
+    json_str_field, json_u64_field, ConnCounters, CounterSnapshot, GlobalCounters, LinkCounters,
+    SubflowCounters,
+};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+
+/// The journal format version written in `run` headers.
+pub const JOURNAL_VERSION: u64 = 1;
+
+/// One token of an encoded payload: journals are built from unsigned words
+/// (integers, float bit patterns, flags, lengths) and strings — nothing
+/// else, so decoding is total and bit-exact.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalValue {
+    /// An unsigned word (also carries `f64::to_bits` patterns).
+    U64(u64),
+    /// A UTF-8 string.
+    Str(String),
+}
+
+/// Sequential reader over a decoded payload.
+#[derive(Debug)]
+pub struct ValueReader<'a> {
+    vals: &'a [JournalValue],
+    pos: usize,
+}
+
+impl<'a> ValueReader<'a> {
+    /// Wraps a payload slice.
+    pub fn new(vals: &'a [JournalValue]) -> ValueReader<'a> {
+        ValueReader { vals, pos: 0 }
+    }
+
+    /// Takes the next word.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        match self.vals.get(self.pos) {
+            Some(JournalValue::U64(v)) => {
+                self.pos += 1;
+                Ok(*v)
+            }
+            Some(JournalValue::Str(s)) => {
+                Err(format!("payload word {}: expected number, found {s:?}", self.pos))
+            }
+            None => Err(format!("payload truncated at word {}", self.pos)),
+        }
+    }
+
+    /// Takes the next string.
+    pub fn str(&mut self) -> Result<String, String> {
+        match self.vals.get(self.pos) {
+            Some(JournalValue::Str(s)) => {
+                self.pos += 1;
+                Ok(s.clone())
+            }
+            Some(JournalValue::U64(v)) => {
+                Err(format!("payload word {}: expected string, found {v}", self.pos))
+            }
+            None => Err(format!("payload truncated at word {}", self.pos)),
+        }
+    }
+
+    /// True when every value has been consumed — decoders check this so a
+    /// payload with trailing garbage is rejected, not silently accepted.
+    pub fn exhausted(&self) -> bool {
+        self.pos == self.vals.len()
+    }
+}
+
+/// Exact, bit-faithful encode/decode of a cell output through the journal's
+/// value stream. The round-trip law every implementation must obey (and the
+/// resume guarantee rests on): `decode(encode(x)) == x`, bit-for-bit.
+pub trait JournalCodec: Sized {
+    /// Appends this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<JournalValue>);
+    /// Reads one value back.
+    ///
+    /// # Errors
+    ///
+    /// On type/arity mismatch — the journal was written by different code
+    /// or corrupted.
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String>;
+}
+
+impl JournalCodec for u64 {
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        out.push(JournalValue::U64(*self));
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        r.u64()
+    }
+}
+
+impl JournalCodec for u32 {
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        out.push(JournalValue::U64(u64::from(*self)));
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        u32::try_from(r.u64()?).map_err(|e| format!("u32 out of range: {e}"))
+    }
+}
+
+impl JournalCodec for usize {
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        out.push(JournalValue::U64(*self as u64));
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        usize::try_from(r.u64()?).map_err(|e| format!("usize out of range: {e}"))
+    }
+}
+
+impl JournalCodec for bool {
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        out.push(JournalValue::U64(u64::from(*self)));
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        match r.u64()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(format!("bool flag out of range: {other}")),
+        }
+    }
+}
+
+impl JournalCodec for f64 {
+    /// Bit pattern, not decimal text: one lost ulp would break the
+    /// byte-identical resume guarantee.
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        out.push(JournalValue::U64(self.to_bits()));
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        Ok(f64::from_bits(r.u64()?))
+    }
+}
+
+impl JournalCodec for String {
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        out.push(JournalValue::Str(self.clone()));
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        r.str()
+    }
+}
+
+impl<T: JournalCodec> JournalCodec for Option<T> {
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        match self {
+            None => out.push(JournalValue::U64(0)),
+            Some(v) => {
+                out.push(JournalValue::U64(1));
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        match r.u64()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => Err(format!("Option flag out of range: {other}")),
+        }
+    }
+}
+
+impl<T: JournalCodec> JournalCodec for Vec<T> {
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        out.push(JournalValue::U64(self.len() as u64));
+        for v in self {
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        let n = usize::try_from(r.u64()?).map_err(|e| format!("Vec length out of range: {e}"))?;
+        let mut out = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: JournalCodec, B: JournalCodec> JournalCodec for (A, B) {
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: JournalCodec, B: JournalCodec, C: JournalCodec> JournalCodec for (A, B, C) {
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+impl<A: JournalCodec, B: JournalCodec, C: JournalCodec, D: JournalCodec> JournalCodec
+    for (A, B, C, D)
+{
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+        self.3.encode(out);
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?, D::decode(r)?))
+    }
+}
+
+impl JournalCodec for LinkCounters {
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        let LinkCounters {
+            link,
+            tx_pkts,
+            drops_queue,
+            drops_fault,
+            drops_blackout,
+            ecn_marks,
+            queue_high_water,
+            offered,
+            reordered,
+            duplicated,
+            corrupted,
+        } = self;
+        for v in [
+            link,
+            tx_pkts,
+            drops_queue,
+            drops_fault,
+            drops_blackout,
+            ecn_marks,
+            offered,
+            reordered,
+            duplicated,
+            corrupted,
+        ] {
+            v.encode(out);
+        }
+        queue_high_water.encode(out);
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        Ok(LinkCounters {
+            link: r.u64()?,
+            tx_pkts: r.u64()?,
+            drops_queue: r.u64()?,
+            drops_fault: r.u64()?,
+            drops_blackout: r.u64()?,
+            ecn_marks: r.u64()?,
+            offered: r.u64()?,
+            reordered: r.u64()?,
+            duplicated: r.u64()?,
+            corrupted: r.u64()?,
+            queue_high_water: usize::decode(r)?,
+        })
+    }
+}
+
+impl JournalCodec for SubflowCounters {
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        let SubflowCounters {
+            conn,
+            subflow,
+            rtos,
+            fast_rexmits,
+            spurious_rexmits,
+            recoveries,
+            deaths,
+            revivals,
+            probes,
+        } = self;
+        conn.encode(out);
+        subflow.encode(out);
+        for v in [rtos, fast_rexmits, spurious_rexmits, recoveries, deaths, revivals, probes] {
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        Ok(SubflowCounters {
+            conn: r.u64()?,
+            subflow: usize::decode(r)?,
+            rtos: r.u64()?,
+            fast_rexmits: r.u64()?,
+            spurious_rexmits: r.u64()?,
+            recoveries: r.u64()?,
+            deaths: r.u64()?,
+            revivals: r.u64()?,
+            probes: r.u64()?,
+        })
+    }
+}
+
+impl JournalCodec for ConnCounters {
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        let ConnCounters {
+            conn,
+            zero_window_stalls,
+            persist_probes,
+            corrupt_acks,
+            corrupt_discards,
+            rwnd_dropped,
+            ooo_dropped,
+            duplicates,
+        } = self;
+        for v in [
+            conn,
+            zero_window_stalls,
+            persist_probes,
+            corrupt_acks,
+            corrupt_discards,
+            rwnd_dropped,
+            ooo_dropped,
+            duplicates,
+        ] {
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        Ok(ConnCounters {
+            conn: r.u64()?,
+            zero_window_stalls: r.u64()?,
+            persist_probes: r.u64()?,
+            corrupt_acks: r.u64()?,
+            corrupt_discards: r.u64()?,
+            rwnd_dropped: r.u64()?,
+            ooo_dropped: r.u64()?,
+            duplicates: r.u64()?,
+        })
+    }
+}
+
+impl JournalCodec for GlobalCounters {
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        let GlobalCounters { nan_samples, dropped_load_samples } = self;
+        nan_samples.encode(out);
+        dropped_load_samples.encode(out);
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        Ok(GlobalCounters { nan_samples: r.u64()?, dropped_load_samples: r.u64()? })
+    }
+}
+
+impl JournalCodec for CounterSnapshot {
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        let CounterSnapshot { links, subflows, conns, global } = self;
+        links.encode(out);
+        subflows.encode(out);
+        conns.encode(out);
+        global.encode(out);
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        Ok(CounterSnapshot {
+            links: Vec::decode(r)?,
+            subflows: Vec::decode(r)?,
+            conns: Vec::decode(r)?,
+            global: GlobalCounters::decode(r)?,
+        })
+    }
+}
+
+/// Encodes a value to a standalone payload vector.
+pub fn encode_payload<T: JournalCodec>(value: &T) -> Vec<JournalValue> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// Decodes a full payload, rejecting trailing garbage.
+///
+/// # Errors
+///
+/// On any type/arity mismatch or leftover values.
+pub fn decode_payload<T: JournalCodec>(vals: &[JournalValue]) -> Result<T, String> {
+    let mut r = ValueReader::new(vals);
+    let v = T::decode(&mut r)?;
+    if !r.exhausted() {
+        return Err("payload has trailing values".to_owned());
+    }
+    Ok(v)
+}
+
+fn render_payload(vals: &[JournalValue], out: &mut String) {
+    out.push('[');
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match v {
+            JournalValue::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            JournalValue::Str(s) => {
+                let _ = write!(out, "\"{}\"", esc(s));
+            }
+        }
+    }
+    out.push(']');
+}
+
+/// Parses the `"payload":[...]` array out of a journal line.
+fn parse_payload(line: &str) -> Result<Vec<JournalValue>, String> {
+    let pat = "\"payload\":[";
+    let start = line.find(pat).ok_or("done line missing payload array")? + pat.len();
+    let rest = &line[start..];
+    // Scan to the matching close bracket, honouring string escapes.
+    let mut end = None;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in rest.char_indices() {
+        match c {
+            _ if escaped => escaped = false,
+            '\\' if in_str => escaped = true,
+            '"' => in_str = !in_str,
+            ']' if !in_str => {
+                end = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let body = &rest[..end.ok_or("unterminated payload array")?];
+    let mut vals = Vec::new();
+    let mut item = String::new();
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut flush = |item: &mut String| -> Result<(), String> {
+        let t = item.trim();
+        if t.is_empty() {
+            return Ok(());
+        }
+        if let Some(stripped) = t.strip_prefix('"').and_then(|s| s.strip_suffix('"')) {
+            vals.push(JournalValue::Str(unesc(stripped)));
+        } else {
+            vals.push(JournalValue::U64(
+                t.parse::<u64>().map_err(|e| format!("bad payload number {t:?}: {e}"))?,
+            ));
+        }
+        item.clear();
+        Ok(())
+    };
+    for c in body.chars() {
+        match c {
+            _ if escaped => {
+                escaped = false;
+                item.push('\\');
+                item.push(c);
+            }
+            '\\' if in_str => escaped = true,
+            '"' => {
+                in_str = !in_str;
+                item.push('"');
+            }
+            ',' if !in_str => flush(&mut item)?,
+            c => item.push(c),
+        }
+    }
+    flush(&mut item)?;
+    Ok(vals)
+}
+
+/// A replayed `done` line: the cell's identity plus its still-encoded
+/// payload (decoded against the concrete output type by the fabric core).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DoneLine {
+    /// The cell's content-addressed id.
+    pub id: CellId,
+    /// Label recorded at completion (informational).
+    pub label: String,
+    /// The cell's seed.
+    pub seed: u64,
+    /// How many attempts the cell took.
+    pub attempts: u32,
+    /// The encoded `(output, counters)` payload.
+    pub payload: Vec<JournalValue>,
+}
+
+/// A replayed `quarantined` line. Quarantined cells are **re-run** on
+/// resume — the journal remembers the failure for the report, but a fresh
+/// process gets a fresh chance (the crash being resumed from may well have
+/// been the quarantined cell's fault).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantineLine {
+    /// The cell's content-addressed id.
+    pub id: CellId,
+    /// Label recorded at quarantine.
+    pub label: String,
+    /// The cell's seed.
+    pub seed: u64,
+    /// Attempts consumed before quarantine.
+    pub attempts: u32,
+    /// `"panic"` or `"deadline"`.
+    pub cause: String,
+    /// The captured failure message.
+    pub message: String,
+}
+
+/// A parsed journal: every `done` line keyed by cell id, plus history.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JournalReplay {
+    /// Grid digest from the `run` headers (`None` for an empty journal).
+    pub grid: Option<u64>,
+    /// Completed cells keyed by id (deterministic iteration: `BTreeMap`).
+    pub done: BTreeMap<CellId, DoneLine>,
+    /// Quarantine records, in journal order.
+    pub quarantined: Vec<QuarantineLine>,
+    /// A torn final line a kill interrupted, if one was found (tolerated;
+    /// the affected cell simply re-runs).
+    pub torn_tail: Option<String>,
+}
+
+fn parse_grid(line: &str) -> Result<u64, String> {
+    let g =
+        json_str_field(line, "grid").ok_or_else(|| format!("run header missing grid: {line}"))?;
+    u64::from_str_radix(g, 16).map_err(|e| format!("bad grid digest {g:?}: {e}"))
+}
+
+fn parse_id(line: &str) -> Result<CellId, String> {
+    CellId::parse(json_str_field(line, "id").ok_or_else(|| format!("line missing id: {line}"))?)
+}
+
+fn str_field(line: &str, key: &str) -> Result<String, String> {
+    json_escaped_str_field(line, key)
+        .map(unesc)
+        .ok_or_else(|| format!("line missing {key}: {line}"))
+}
+
+fn u64_field(line: &str, key: &str) -> Result<u64, String> {
+    json_u64_field(line, key).ok_or_else(|| format!("line missing {key}: {line}"))
+}
+
+fn parse_line(replay: &mut JournalReplay, line: &str) -> Result<(), String> {
+    match json_str_field(line, "fabric") {
+        Some("run") => {
+            let version = u64_field(line, "version")?;
+            if version != JOURNAL_VERSION {
+                return Err(format!(
+                    "journal version {version} (this build reads {JOURNAL_VERSION})"
+                ));
+            }
+            let grid = parse_grid(line)?;
+            if let Some(prior) = replay.grid {
+                if prior != grid {
+                    return Err(format!(
+                        "journal mixes grids {prior:016x} and {grid:016x}; it was written for a different sweep"
+                    ));
+                }
+            }
+            replay.grid = Some(grid);
+        }
+        Some("done") => {
+            let entry = DoneLine {
+                id: parse_id(line)?,
+                label: str_field(line, "label")?,
+                seed: u64_field(line, "seed")?,
+                attempts: u32::try_from(u64_field(line, "attempts")?)
+                    .map_err(|e| format!("attempts out of range: {e}"))?,
+                payload: parse_payload(line)?,
+            };
+            // Last write wins: a cell journaled twice (two crashed runs that
+            // both completed it) is deterministic either way, because both
+            // payloads encode the same pure function of the cell.
+            replay.done.insert(entry.id, entry);
+        }
+        Some("quarantined") => {
+            replay.quarantined.push(QuarantineLine {
+                id: parse_id(line)?,
+                label: str_field(line, "label")?,
+                seed: u64_field(line, "seed")?,
+                attempts: u32::try_from(u64_field(line, "attempts")?)
+                    .map_err(|e| format!("attempts out of range: {e}"))?,
+                cause: str_field(line, "cause")?,
+                message: str_field(line, "message")?,
+            });
+        }
+        other => return Err(format!("unknown journal line kind {other:?}: {line}")),
+    }
+    Ok(())
+}
+
+/// Parses a journal's full text.
+///
+/// # Errors
+///
+/// On mid-file corruption, version/grid mismatch, or malformed lines. The
+/// **final** line is exempt: a process killed mid-append leaves a torn tail,
+/// which is recorded in [`JournalReplay::torn_tail`] and otherwise ignored.
+pub fn parse_journal(text: &str) -> Result<JournalReplay, String> {
+    let mut replay = JournalReplay::default();
+    let lines: Vec<&str> = text.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Err(e) = parse_line(&mut replay, line) {
+            let is_last = i + 1 == lines.len();
+            if is_last {
+                replay.torn_tail = Some((*line).to_owned());
+            } else {
+                return Err(format!("journal line {}: {e}", i + 1));
+            }
+        }
+    }
+    Ok(replay)
+}
+
+/// Reads and parses the journal at `path`; a missing file is an empty
+/// journal (first run).
+///
+/// # Errors
+///
+/// On unreadable files or mid-file corruption (see [`parse_journal`]).
+pub fn load_journal(path: &Path) -> Result<JournalReplay, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse_journal(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(JournalReplay::default()),
+        Err(e) => Err(format!("cannot read journal {}: {e}", path.display())),
+    }
+}
+
+/// The append side: opens the journal for appending and writes one flushed
+/// line per event. Shared across workers behind a `Mutex` by the fabric
+/// core.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+}
+
+impl JournalWriter {
+    /// Opens (creating if needed) the journal at `path` in append mode and
+    /// writes a `run` header for this grid.
+    ///
+    /// A torn tail left by a kill mid-write (a final line with no trailing
+    /// newline) is truncated away first: the loader tolerates a torn line
+    /// only at the very end of the file, so appending after one would turn
+    /// it into mid-file corruption and poison every later resume. The torn
+    /// line is by definition an incomplete checkpoint — dropping it just
+    /// re-runs that one cell.
+    ///
+    /// # Errors
+    ///
+    /// On filesystem errors.
+    pub fn append_to(path: &Path, grid: u64, cells: usize) -> Result<JournalWriter, String> {
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create journal dir {}: {e}", parent.display()))?;
+        }
+        match std::fs::read(path) {
+            Ok(bytes) if !bytes.is_empty() && !bytes.ends_with(b"\n") => {
+                let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
+                f.set_len(keep as u64)
+                    .map_err(|e| format!("cannot trim torn journal tail: {e}"))?;
+            }
+            Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(format!("cannot read journal {}: {e}", path.display())),
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
+        let mut w = JournalWriter { file };
+        w.line(&format!(
+            "{{\"fabric\":\"run\",\"version\":{JOURNAL_VERSION},\"grid\":\"{grid:016x}\",\"cells\":{cells}}}"
+        ))?;
+        Ok(w)
+    }
+
+    fn line(&mut self, json: &str) -> Result<(), String> {
+        // One write_all + flush per line: after a kill, the journal holds
+        // whole lines plus at most one torn tail.
+        let mut buf = String::with_capacity(json.len() + 1);
+        buf.push_str(json);
+        buf.push('\n');
+        self.file
+            .write_all(buf.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| format!("journal write failed: {e}"))
+    }
+
+    /// Appends a `done` checkpoint for a completed cell.
+    ///
+    /// # Errors
+    ///
+    /// On filesystem errors.
+    pub fn record_done(
+        &mut self,
+        id: CellId,
+        label: &str,
+        seed: u64,
+        attempts: u32,
+        payload: &[JournalValue],
+    ) -> Result<(), String> {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"fabric\":\"done\",\"id\":\"{id}\",\"label\":\"{}\",\"seed\":{seed},\"attempts\":{attempts},\"payload\":",
+            esc(label)
+        );
+        render_payload(payload, &mut out);
+        out.push('}');
+        self.line(&out)
+    }
+
+    /// Appends a `quarantined` record for an exhausted cell.
+    ///
+    /// # Errors
+    ///
+    /// On filesystem errors.
+    pub fn record_quarantine(
+        &mut self,
+        id: CellId,
+        label: &str,
+        seed: u64,
+        attempts: u32,
+        cause: &str,
+        message: &str,
+    ) -> Result<(), String> {
+        self.line(&format!(
+            "{{\"fabric\":\"quarantined\",\"id\":\"{id}\",\"label\":\"{}\",\"seed\":{seed},\
+             \"attempts\":{attempts},\"cause\":\"{cause}\",\"message\":\"{}\"}}",
+            esc(label),
+            esc(message)
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::plan::Fingerprint;
+
+    fn roundtrip<T: JournalCodec + PartialEq + std::fmt::Debug>(v: T) {
+        let enc = encode_payload(&v);
+        let dec: T = decode_payload(&enc).expect("decode");
+        assert_eq!(dec, v);
+    }
+
+    #[test]
+    fn codec_roundtrips_primitives_bit_exactly() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+        roundtrip(42u32);
+        roundtrip(7usize);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(String::from("label \"quoted\"\nnewline"));
+        roundtrip(String::new());
+        for f in [0.0f64, -0.0, 1.5, f64::NAN, f64::INFINITY, f64::MIN_POSITIVE, 0.1] {
+            let enc = encode_payload(&f);
+            let dec: f64 = decode_payload(&enc).expect("decode");
+            assert_eq!(dec.to_bits(), f.to_bits(), "{f} lost bits");
+        }
+        roundtrip(Some(9u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<String>::new());
+        roundtrip((1u64, 2.5f64, String::from("x")));
+        roundtrip((1u64, 2u64, 3u64, 4u64));
+    }
+
+    #[test]
+    fn codec_roundtrips_counter_snapshots() {
+        let snap = CounterSnapshot {
+            links: vec![LinkCounters {
+                link: 3,
+                tx_pkts: 100,
+                drops_fault: 2,
+                queue_high_water: 9,
+                ..Default::default()
+            }],
+            subflows: vec![SubflowCounters { conn: 1, subflow: 1, rtos: 4, ..Default::default() }],
+            conns: vec![ConnCounters { conn: 1, duplicates: 7, ..Default::default() }],
+            global: GlobalCounters { nan_samples: 1, dropped_load_samples: 2 },
+        };
+        roundtrip(snap);
+        roundtrip(CounterSnapshot::default());
+    }
+
+    #[test]
+    fn codec_rejects_mismatch_and_trailing_garbage() {
+        let enc = encode_payload(&(1u64, 2u64));
+        assert!(decode_payload::<u64>(&enc).is_err(), "trailing garbage accepted");
+        assert!(decode_payload::<(u64, u64, u64)>(&enc).is_err(), "truncation accepted");
+        assert!(decode_payload::<String>(&encode_payload(&1u64)).is_err(), "type confusion");
+        assert!(decode_payload::<bool>(&encode_payload(&9u64)).is_err(), "bad bool");
+    }
+
+    fn id(n: u64) -> CellId {
+        CellId::derive("c", n, Fingerprint::new())
+    }
+
+    #[test]
+    fn journal_roundtrips_through_a_file() {
+        let dir = std::env::temp_dir().join(format!("fabric-journal-test-{}", std::process::id()));
+        let path = dir.join("j.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let payload = encode_payload(&(1.5f64, String::from("a\"b"), 7u64));
+        {
+            let mut w = JournalWriter::append_to(&path, 0xabcd, 3).expect("open");
+            w.record_done(id(0), "cell \"zero\"", 0, 1, &payload).expect("done");
+            w.record_quarantine(id(1), "cell-one", 1, 3, "panic", "boom\nline2").expect("q");
+        }
+        // A second run appends another header for the same grid.
+        {
+            let mut w = JournalWriter::append_to(&path, 0xabcd, 3).expect("reopen");
+            w.record_done(id(2), "cell-two", 2, 2, &encode_payload(&0u64)).expect("done");
+        }
+        let replay = load_journal(&path).expect("parse");
+        assert_eq!(replay.grid, Some(0xabcd));
+        assert_eq!(replay.done.len(), 2);
+        assert_eq!(replay.done[&id(0)].label, "cell \"zero\"");
+        assert_eq!(replay.done[&id(0)].payload, payload);
+        let q = &replay.quarantined[0];
+        assert_eq!((q.cause.as_str(), q.attempts), ("panic", 3));
+        assert_eq!(q.message, "boom\nline2");
+        assert!(replay.torn_tail.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated_mid_file_corruption_is_not() {
+        let mut good = String::new();
+        good.push_str(
+            "{\"fabric\":\"run\",\"version\":1,\"grid\":\"00000000000000ff\",\"cells\":2}\n",
+        );
+        good.push_str(&format!(
+            "{{\"fabric\":\"done\",\"id\":\"{}\",\"label\":\"a\",\"seed\":0,\"attempts\":1,\"payload\":[1]}}\n",
+            id(0)
+        ));
+        // Torn tail: the kill landed mid-append.
+        let torn = format!("{good}{{\"fabric\":\"done\",\"id\":\"3333");
+        let replay = parse_journal(&torn).expect("torn tail must parse");
+        assert_eq!(replay.done.len(), 1);
+        assert!(replay.torn_tail.is_some());
+        // The same garbage mid-file is corruption.
+        let corrupt = format!("{good}{{\"fabric\":\"done\",\"id\":\"3333\nmore\n");
+        let err = parse_journal(&corrupt).unwrap_err();
+        assert!(err.contains("journal line"), "{err}");
+    }
+
+    #[test]
+    fn reopening_a_torn_journal_trims_the_tail_before_appending() {
+        // A resume that appends after a torn tail would glue its run header
+        // onto the torn line, turning a tolerated final-line tear into
+        // mid-file corruption for every later resume. append_to must trim
+        // the tear first.
+        let dir = std::env::temp_dir().join(format!("fabric-torn-trim-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("j.jsonl");
+        let mut torn = String::new();
+        torn.push_str(
+            "{\"fabric\":\"run\",\"version\":1,\"grid\":\"00000000000000ff\",\"cells\":2}\n",
+        );
+        torn.push_str(&format!(
+            "{{\"fabric\":\"done\",\"id\":\"{}\",\"label\":\"a\",\"seed\":0,\"attempts\":1,\"payload\":[1]}}\n",
+            id(0)
+        ));
+        torn.push_str("{\"fabric\":\"done\",\"id\":\"3333"); // the kill landed here
+        std::fs::write(&path, &torn).expect("write");
+        {
+            let mut w = JournalWriter::append_to(&path, 0xff, 2).expect("reopen");
+            w.record_done(id(1), "b", 1, 1, &encode_payload(&2u64)).expect("done");
+        }
+        let replay = load_journal(&path).expect("a resumed journal must stay parseable");
+        assert_eq!(replay.done.len(), 2, "trimmed tear must not cost completed cells");
+        assert!(replay.torn_tail.is_none(), "the tear itself is gone");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_refuses_grid_and_version_mismatches() {
+        let a = "{\"fabric\":\"run\",\"version\":1,\"grid\":\"0000000000000001\",\"cells\":1}\n";
+        let b = "{\"fabric\":\"run\",\"version\":1,\"grid\":\"0000000000000002\",\"cells\":1}\ntrailer-guard\n";
+        let err = parse_journal(&format!("{a}{b}")).unwrap_err();
+        assert!(err.contains("mixes grids"), "{err}");
+        let v9 = "{\"fabric\":\"run\",\"version\":9,\"grid\":\"0000000000000001\",\"cells\":1}\ntrailer-guard\n";
+        let err = parse_journal(v9).unwrap_err();
+        assert!(err.contains("version 9"), "{err}");
+        // Missing file = empty journal, not an error.
+        let empty =
+            load_journal(Path::new("/nonexistent/fabric/journal.jsonl")).expect("missing file");
+        assert_eq!(empty, JournalReplay::default());
+    }
+
+    #[test]
+    fn payload_strings_survive_commas_brackets_and_escapes() {
+        let payload = encode_payload(&vec![
+            String::from("a,b"),
+            String::from("c]d"),
+            String::from("e\"f\\g"),
+        ]);
+        let mut line = String::from(
+            "{\"fabric\":\"done\",\"id\":\"0000000000000001\",\"label\":\"x\",\"seed\":0,\"attempts\":1,\"payload\":",
+        );
+        render_payload(&payload, &mut line);
+        line.push('}');
+        let parsed = parse_payload(&line).expect("parse");
+        assert_eq!(parsed, payload);
+        let decoded: Vec<String> = decode_payload(&parsed).expect("decode");
+        assert_eq!(decoded, vec!["a,b", "c]d", "e\"f\\g"]);
+    }
+}

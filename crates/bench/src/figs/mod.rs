@@ -14,34 +14,53 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 
+use crate::fabric::{FabricCell, Fingerprint};
 use crate::Scale;
 
 /// A named figure harness entry point.
 type FigRunner = (&'static str, fn(Scale) -> String);
 
+/// Every figure harness, in report order.
+const FIGS: &[FigRunner] = &[
+    ("Fig 1", fig01::run),
+    ("Fig 2", fig02::run),
+    ("Fig 3", fig03::run),
+    ("Fig 4", fig04::run),
+    ("Fig 6", fig06::run),
+    ("Fig 7", fig07::run),
+    ("Fig 8", fig08::run),
+    ("Fig 9", fig09::run),
+    ("Fig 10", fig10::run),
+    ("Fig 12-14", fig12_14::run),
+    ("Fig 15", fig15::run),
+    ("Fig 16", fig16::run),
+    ("Fig 17", fig17::run),
+];
+
 /// Runs every figure harness at the given scale, returning the concatenated
 /// report (the `figures` bench target uses `Scale::Smoke`).
 pub fn run_all(scale: Scale) -> String {
-    let parts: Vec<FigRunner> = vec![
-        ("Fig 1", fig01::run),
-        ("Fig 2", fig02::run),
-        ("Fig 3", fig03::run),
-        ("Fig 4", fig04::run),
-        ("Fig 6", fig06::run),
-        ("Fig 7", fig07::run),
-        ("Fig 8", fig08::run),
-        ("Fig 9", fig09::run),
-        ("Fig 10", fig10::run),
-        ("Fig 12-14", fig12_14::run),
-        ("Fig 15", fig15::run),
-        ("Fig 16", fig16::run),
-        ("Fig 17", fig17::run),
-    ];
     let mut out = String::new();
-    for (name, f) in parts {
+    for &(name, f) in FIGS {
         out.push_str(&format!("==== {name} ====\n"));
         out.push_str(&f(scale));
         out.push('\n');
     }
     out
+}
+
+/// The same harnesses as independent fabric cells (label = figure name,
+/// output = the rendered section), for the crash-safe `figures_all` sweep:
+/// each completed figure is journaled, a killed run resumes without
+/// regenerating finished figures, and a panicking figure is quarantined
+/// instead of sinking the whole report. The scale is part of each cell's
+/// config fingerprint, so a journal written at one scale refuses to resume
+/// a sweep at another.
+pub fn fig_cells(scale: Scale) -> Vec<FabricCell<String>> {
+    FIGS.iter()
+        .map(|&(name, f)| {
+            FabricCell::new(name, 0, move || f(scale))
+                .config(Fingerprint::new().str("figs").str(scale.name()).str(name))
+        })
+        .collect()
 }

@@ -11,6 +11,7 @@
 //! * [`Scale::Full`] — closest to the paper's parameters that a laptop-class
 //!   machine handles (see EXPERIMENTS.md for the documented scaling).
 
+pub mod fabric;
 pub mod figs;
 pub mod repro;
 pub mod runner;
@@ -34,6 +35,16 @@ impl Scale {
     pub fn from_args() -> Scale {
         Cli::from_args().scale
     }
+
+    /// A stable lowercase name, used in fabric config fingerprints (a
+    /// journal written at one scale must not resume a sweep at another).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
 }
 
 /// Parsed command-line options shared by the figure binaries: an experiment
@@ -49,24 +60,29 @@ pub struct Cli {
     /// `--trace DIR` if given: the directory where per-cell JSONL traces are
     /// written (one file per cell, see [`obs::jsonl_sink_in`]).
     pub trace: Option<std::path::PathBuf>,
+    /// `--journal PATH` if given: the crash-safe sweep journal
+    /// ([`fabric::run_fabric`] checkpoints each completed cell there and
+    /// resumes from it after a kill).
+    pub journal: Option<std::path::PathBuf>,
 }
 
 impl Cli {
-    /// Parses `--smoke`/`--quick`/`--full`, `--jobs N` (or `--jobs=N`), and
-    /// `--trace DIR` (or `--trace=DIR`) from the process arguments. Exits
-    /// with a usage message on anything else.
+    /// Parses `--smoke`/`--quick`/`--full`, `--jobs N` (or `--jobs=N`),
+    /// `--trace DIR` (or `--trace=DIR`), and `--journal PATH` (or
+    /// `--journal=PATH`) from the process arguments. Exits with a usage
+    /// message on anything else.
     pub fn from_args() -> Cli {
         Cli::parse(std::env::args().skip(1)).unwrap_or_else(|bad| {
             eprintln!(
                 "unknown argument `{bad}` \
-                 (expected --smoke/--quick/--full/--jobs N/--trace DIR)"
+                 (expected --smoke/--quick/--full/--jobs N/--trace DIR/--journal PATH)"
             );
             std::process::exit(2);
         })
     }
 
     fn parse(args: impl Iterator<Item = String>) -> Result<Cli, String> {
-        let mut cli = Cli { scale: Scale::Quick, jobs: None, trace: None };
+        let mut cli = Cli { scale: Scale::Quick, jobs: None, trace: None, journal: None };
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -81,11 +97,17 @@ impl Cli {
                     let v = args.next().ok_or_else(|| "--trace (missing dir)".to_owned())?;
                     cli.trace = Some(v.into());
                 }
+                "--journal" => {
+                    let v = args.next().ok_or_else(|| "--journal (missing path)".to_owned())?;
+                    cli.journal = Some(v.into());
+                }
                 other => {
                     if let Some(v) = other.strip_prefix("--jobs=") {
                         cli.jobs = Some(v.parse::<usize>().map_err(|_| format!("--jobs={v}"))?);
                     } else if let Some(v) = other.strip_prefix("--trace=") {
                         cli.trace = Some(v.into());
+                    } else if let Some(v) = other.strip_prefix("--journal=") {
+                        cli.journal = Some(v.into());
                     } else {
                         return Err(a);
                     }
@@ -108,6 +130,13 @@ impl Cli {
     /// `SWEEP_TRACE` environment variable, else `None` (tracing disabled).
     pub fn trace_dir(&self) -> Option<std::path::PathBuf> {
         self.trace.clone().or_else(|| std::env::var_os("SWEEP_TRACE").map(Into::into))
+    }
+
+    /// The sweep journal path: `--journal` if given, else the
+    /// `SWEEP_JOURNAL` environment variable, else `None` (checkpointing
+    /// disabled; the sweep runs ephemerally).
+    pub fn journal_path(&self) -> Option<std::path::PathBuf> {
+        self.journal.clone().or_else(|| std::env::var_os("SWEEP_JOURNAL").map(Into::into))
     }
 }
 
@@ -194,7 +223,7 @@ mod tests {
     }
 
     fn cli(scale: Scale, jobs: Option<usize>) -> Cli {
-        Cli { scale, jobs, trace: None }
+        Cli { scale, jobs, trace: None, journal: None }
     }
 
     #[test]
@@ -205,7 +234,8 @@ mod tests {
         assert_eq!(parse(&["--jobs=2"]), Ok(cli(Scale::Quick, Some(2))));
         assert!(parse(&["--jobs"]).is_err());
         assert!(parse(&["--jobs", "zero"]).is_err());
-        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err(), "a zero worker count is a usage error");
+        assert!(parse(&["--jobs=0"]).is_err(), "the = form must reject zero too");
         assert!(parse(&["--bogus"]).is_err());
     }
 
@@ -220,5 +250,17 @@ mod tests {
         // The --trace flag wins over the SWEEP_TRACE env fallback.
         assert_eq!(c.trace_dir(), Some(std::path::PathBuf::from("t")));
         assert_eq!(parse(&[]).unwrap().trace, None);
+    }
+
+    #[test]
+    fn cli_parses_journal_path() {
+        let c = parse(&["--journal", "out/j.jsonl"]).unwrap();
+        assert_eq!(c.journal, Some(std::path::PathBuf::from("out/j.jsonl")));
+        // The --journal flag wins over the SWEEP_JOURNAL env fallback.
+        assert_eq!(c.journal_path(), Some(std::path::PathBuf::from("out/j.jsonl")));
+        let c = parse(&["--journal=j", "--smoke"]).unwrap();
+        assert_eq!(c.journal, Some(std::path::PathBuf::from("j")));
+        assert!(parse(&["--journal"]).is_err());
+        assert_eq!(parse(&[]).unwrap().journal, None);
     }
 }

@@ -163,7 +163,8 @@ pub fn artifact_dir() -> Option<PathBuf> {
     std::env::var_os("SWEEP_ARTIFACTS").map(Into::into)
 }
 
-fn esc(s: &str) -> String {
+/// JSON string escaping shared with the fabric journal (`crate::fabric`).
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -178,7 +179,8 @@ fn esc(s: &str) -> String {
     out
 }
 
-fn unesc(s: &str) -> String {
+/// Inverse of [`esc`]; shared with the fabric journal.
+pub(crate) fn unesc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -205,7 +207,7 @@ fn unesc(s: &str) -> String {
 /// Like [`json_str_field`] but honours backslash escapes, so violation
 /// messages containing quotes survive the round trip. Returns the *raw*
 /// (still-escaped) span; pass it through [`unesc`].
-fn json_escaped_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+pub(crate) fn json_escaped_str_field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
     let pat = format!("\"{key}\":\"");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];

@@ -39,6 +39,7 @@
 //! ```
 
 use obs::CounterSnapshot;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -103,23 +104,70 @@ fn parse_jobs(v: Option<&str>) -> Option<usize> {
     v.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
 }
 
+/// Resolves the fallback worker count from an optional `SWEEP_JOBS`-style
+/// value and the machine's available parallelism. The fallback order is:
+/// usable env value > `available`; an env value that is set but unusable
+/// also yields the warning to print — silently ignoring a typo'd
+/// `SWEEP_JOBS` could mask a mis-pinned reproducibility run. Pure function
+/// of its inputs so the order and warn path are unit-testable.
+fn resolve_jobs(env: Option<&str>, available: usize) -> (usize, Option<String>) {
+    match env {
+        None => (available, None),
+        Some(v) => match parse_jobs(Some(v)) {
+            Some(n) => (n, None),
+            None => (
+                available,
+                Some(format!(
+                    "warning: ignoring SWEEP_JOBS={v:?}: expected a positive integer; \
+                     using available parallelism"
+                )),
+            ),
+        },
+    }
+}
+
 /// The worker count used when none is given explicitly: the `SWEEP_JOBS`
 /// environment variable if set to a positive integer, otherwise the
 /// machine's available parallelism. A `SWEEP_JOBS` value that is set but not
 /// a positive integer is reported on stderr (the same input as `--jobs` is a
-/// hard usage error, and silently falling back could mask a typo'd
-/// reproducibility run) before using the default.
+/// hard usage error) before using the default.
 pub fn default_jobs() -> usize {
-    let available = || std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    match std::env::var("SWEEP_JOBS") {
-        Ok(v) => parse_jobs(Some(&v)).unwrap_or_else(|| {
-            eprintln!(
-                "warning: ignoring SWEEP_JOBS={v:?}: expected a positive integer; \
-                 using available parallelism"
-            );
-            available()
-        }),
-        Err(_) => available(),
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let env = std::env::var("SWEEP_JOBS").ok();
+    let (jobs, warning) = resolve_jobs(env.as_deref(), available);
+    if let Some(w) = warning {
+        eprintln!("{w}");
+    }
+    jobs
+}
+
+/// Extracts a human-readable message from a panic payload. `&str` and
+/// `String` payloads (every `panic!`/`assert!` in practice) pass through;
+/// anything else (`panic_any` with a custom type) is named as such rather
+/// than dropped, so the cell that failed is never anonymous.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs one cell under `catch_unwind`; a panic comes back as a message that
+/// names the cell (label and seed), so the re-raised payload identifies the
+/// failing cell even when the original payload was not a string
+/// (`panic_any(42)` and friends).
+fn run_cell<T>(cell: SweepCell<'_, T>) -> Result<RunSummary<T>, String> {
+    let label = cell.label;
+    let seed = cell.seed;
+    match catch_unwind(AssertUnwindSafe(cell.run)) {
+        Ok((output, counters)) => Ok(RunSummary { label, seed, output, counters }),
+        Err(payload) => Err(format!(
+            "sweep cell {label:?} (seed {seed}) panicked: {}",
+            panic_message(payload.as_ref())
+        )),
     }
 }
 
@@ -131,85 +179,84 @@ pub fn run_sweep<T: Send>(cells: Vec<SweepCell<'_, T>>) -> Vec<RunSummary<T>> {
 /// Runs the cells across exactly `jobs` workers (clamped to at least 1) and
 /// returns one summary per cell, **in input order**.
 ///
-/// A panic inside a cell propagates to the caller once the pool has joined:
-/// the first panicking cell's payload is re-raised verbatim, so test
-/// assertion messages survive the parallel path and assertions may live
-/// inside cell closures. Cells already claimed by other workers still run to
-/// completion first; unclaimed cells behind the panicking worker are still
-/// drained by the surviving workers.
+/// Every cell runs under `catch_unwind`, so one panicking cell never stops
+/// the others: the whole grid is drained first, then the panic of the
+/// **lowest input index** is re-raised with the cell's label and seed
+/// attached — `sweep cell "…" (seed N) panicked: <message>` — so the
+/// failing cell is identifiable even when the original payload was not a
+/// string, and the choice of re-raised panic does not depend on thread
+/// scheduling. Callers that want failures contained instead of re-raised
+/// use [`crate::fabric::run_fabric`].
 pub fn run_sweep_jobs<T: Send>(cells: Vec<SweepCell<'_, T>>, jobs: usize) -> Vec<RunSummary<T>> {
     let n = cells.len();
     let jobs = jobs.max(1).min(n.max(1));
-    if jobs == 1 {
+    let collected: Vec<(usize, Result<RunSummary<T>, String>)> = if jobs == 1 {
         // The serial path is the reference implementation the parallel path
         // must be byte-identical to.
-        return cells
-            .into_iter()
-            .map(|c| {
-                let (output, counters) = (c.run)();
-                RunSummary { label: c.label, seed: c.seed, output, counters }
-            })
-            .collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    let tasks: Vec<Mutex<Option<SweepCell<'_, T>>>> =
-        cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
-    let mut results: Vec<(usize, RunSummary<T>)> = std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..jobs)
-            .map(|_| {
-                scope.spawn(|| {
-                    // Each worker returns the (index, summary) pairs it ran;
-                    // results travel back through join() instead of shared
-                    // slot mutexes, so there is no lock to poison on the
-                    // result path.
-                    let mut mine = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            return mine;
+        cells.into_iter().map(run_cell).enumerate().collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let tasks: Vec<Mutex<Option<SweepCell<'_, T>>>> =
+            cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..jobs)
+                .map(|_| {
+                    scope.spawn(|| {
+                        // Each worker returns the (index, result) pairs it
+                        // ran; results travel back through join() instead of
+                        // shared slot mutexes, so there is no lock to poison
+                        // on the result path.
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                return mine;
+                            }
+                            // Cell panics are caught inside run_cell, so a
+                            // worker cannot die holding this lock; the
+                            // poison recovery is belt-and-braces for a
+                            // hypothetical claim-path panic, which cannot
+                            // corrupt the Option<SweepCell> it protects.
+                            let claimed = tasks[i]
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .take();
+                            let Some(cell) = claimed else {
+                                unreachable!("cursor handed out cell {i} twice")
+                            };
+                            mine.push((i, run_cell(cell)));
                         }
-                        // A poisoned task lock means another worker panicked
-                        // *inside the claim*, which cannot corrupt the
-                        // Option<SweepCell> it protects — recover and keep
-                        // draining the queue so the panic payload is re-raised
-                        // only after surviving cells finish.
-                        let claimed = tasks[i]
-                            .lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .take();
-                        let Some(cell) = claimed else {
-                            unreachable!("cursor handed out cell {i} twice")
-                        };
-                        let (output, counters) = (cell.run)();
-                        mine.push((
-                            i,
-                            RunSummary { label: cell.label, seed: cell.seed, output, counters },
-                        ));
-                    }
+                    })
                 })
-            })
-            .collect();
-        // Join explicitly instead of letting the scope auto-join: auto-join
-        // discards panic payloads (the caller would only see "a scoped thread
-        // panicked"), while an explicit join hands the payload back so the
-        // first cell panic can be re-raised verbatim. A panicking worker stops
-        // claiming cells, but the surviving workers drain the rest of the
-        // queue before their joins return.
-        let mut done = Vec::with_capacity(n);
-        let mut first_panic = None;
-        for worker in workers {
-            match worker.join() {
-                Ok(mine) => done.extend(mine),
-                Err(payload) => {
-                    first_panic.get_or_insert(payload);
+                .collect();
+            // Join explicitly: a worker-level panic (impossible for cell
+            // code, which is caught) would otherwise be reduced by the
+            // scope's auto-join to "a scoped thread panicked".
+            let mut done = Vec::with_capacity(n);
+            for worker in workers {
+                match worker.join() {
+                    Ok(mine) => done.extend(mine),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            done
+        })
+    };
+    let mut results = Vec::with_capacity(n);
+    let mut first_panic: Option<(usize, String)> = None;
+    for (i, res) in collected {
+        match res {
+            Ok(summary) => results.push((i, summary)),
+            Err(message) => {
+                if first_panic.as_ref().is_none_or(|(j, _)| i < *j) {
+                    first_panic = Some((i, message));
                 }
             }
         }
-        if let Some(payload) = first_panic {
-            std::panic::resume_unwind(payload);
-        }
-        done
-    });
+    }
+    if let Some((_, message)) = first_panic {
+        std::panic::resume_unwind(Box::new(message));
+    }
     results.sort_by_key(|(i, _)| *i);
     assert_eq!(results.len(), n, "worker pool joined with missing results");
     results.into_iter().map(|(_, summary)| summary).collect()
@@ -284,6 +331,24 @@ mod tests {
     }
 
     #[test]
+    fn resolve_jobs_fallback_order_and_warn_path() {
+        // No env: the machine's available parallelism, silently.
+        assert_eq!(resolve_jobs(None, 8), (8, None));
+        // Usable env wins over available parallelism, silently.
+        assert_eq!(resolve_jobs(Some("4"), 8), (4, None));
+        assert_eq!(resolve_jobs(Some(" 2 "), 8), (2, None));
+        // Set-but-unusable env falls back AND warns — a typo'd SWEEP_JOBS
+        // must not silently change a pinned reproducibility run.
+        for bad in ["0", "-3", "lots", ""] {
+            let (jobs, warning) = resolve_jobs(Some(bad), 8);
+            assert_eq!(jobs, 8, "SWEEP_JOBS={bad:?} must fall back");
+            let w = warning.unwrap_or_else(|| panic!("SWEEP_JOBS={bad:?} must warn"));
+            assert!(w.contains("SWEEP_JOBS"), "{w}");
+            assert!(w.contains(bad), "{w}");
+        }
+    }
+
+    #[test]
     fn with_counters_cells_surface_their_snapshot() {
         let cells: Vec<SweepCell<u64>> = (0..4)
             .map(|s| {
@@ -314,5 +379,72 @@ mod tests {
             })
             .collect();
         let _ = run_sweep_jobs(cells, 2);
+    }
+
+    fn trap_panic(cells: Vec<SweepCell<'static, u64>>, jobs: usize) -> String {
+        let payload = catch_unwind(AssertUnwindSafe(|| run_sweep_jobs(cells, jobs)))
+            .expect_err("sweep must re-raise the cell panic");
+        panic_message(payload.as_ref())
+    }
+
+    #[test]
+    fn panics_carry_cell_identity_even_for_nonstring_payloads() {
+        for jobs in [1, 3] {
+            let cells: Vec<SweepCell<u64>> = (0..4)
+                .map(|s| {
+                    SweepCell::new(format!("c{s}"), s, move || {
+                        if s == 2 {
+                            // A payload resume_unwind alone would anonymize.
+                            std::panic::panic_any(42u32);
+                        }
+                        s
+                    })
+                })
+                .collect();
+            let msg = trap_panic(cells, jobs);
+            assert!(msg.contains("\"c2\""), "jobs={jobs}: {msg}");
+            assert!(msg.contains("seed 2"), "jobs={jobs}: {msg}");
+            assert!(msg.contains("non-string panic payload"), "jobs={jobs}: {msg}");
+        }
+    }
+
+    #[test]
+    fn lowest_index_panic_wins_regardless_of_scheduling() {
+        let cells: Vec<SweepCell<u64>> = (0..8)
+            .map(|s| {
+                SweepCell::new(format!("c{s}"), s, move || {
+                    // Cell 5 fails instantly; cell 1 fails late. The re-raise
+                    // must still pick input index 1, not completion order.
+                    if s == 1 {
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                    }
+                    assert!(s != 1 && s != 5, "boom {s}");
+                    s
+                })
+            })
+            .collect();
+        let msg = trap_panic(cells, 4);
+        assert!(msg.contains("\"c1\""), "{msg}");
+        assert!(msg.contains("boom 1"), "{msg}");
+    }
+
+    #[test]
+    fn one_panic_does_not_stop_other_cells() {
+        let count = std::sync::Arc::new(AtomicU64::new(0));
+        let cells: Vec<SweepCell<u64>> = (0..20)
+            .map(|s| {
+                let count = std::sync::Arc::clone(&count);
+                SweepCell::new(format!("c{s}"), s, move || {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    assert!(s != 0, "early cell explodes");
+                    s
+                })
+            })
+            .collect();
+        let msg = trap_panic(cells, 2);
+        assert!(msg.contains("\"c0\""), "{msg}");
+        // The explosion at index 0 must not have prevented the rest of the
+        // grid from draining.
+        assert_eq!(count.load(Ordering::Relaxed), 20);
     }
 }

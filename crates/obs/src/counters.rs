@@ -109,6 +109,45 @@ pub struct GlobalCounters {
     pub dropped_load_samples: u64,
 }
 
+/// Sweep-fabric accounting for one `bench_harness::fabric` run: how much
+/// work the journal saved, how hard the retry layer worked, and what was
+/// quarantined. Assembled by the fabric after the pool joins — like every
+/// other counter here, the hot path pays nothing for it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FabricCounters {
+    /// Cells in the planned grid.
+    pub planned: u64,
+    /// Cells satisfied by replaying the journal (not executed).
+    pub replayed: u64,
+    /// Cells executed this run (including ones later quarantined).
+    pub executed: u64,
+    /// Extra attempts beyond each cell's first (the retry bill).
+    pub retries: u64,
+    /// Attempts that ended in a caught panic.
+    pub panics: u64,
+    /// Attempts abandoned at their wall-clock deadline.
+    pub deadline_kills: u64,
+    /// Cells quarantined after retry exhaustion.
+    pub quarantined: u64,
+}
+
+impl FabricCounters {
+    /// Renders the one-line digest the fabric prints on stderr.
+    pub fn render(&self) -> String {
+        format!(
+            "fabric: planned={} replayed={} executed={} retries={} panics={} \
+             deadline_kills={} quarantined={}",
+            self.planned,
+            self.replayed,
+            self.executed,
+            self.retries,
+            self.panics,
+            self.deadline_kills,
+            self.quarantined
+        )
+    }
+}
+
 /// A full counter snapshot for one run: the FlowSample-style view the sweep
 /// runner attaches to each `RunSummary`.
 #[derive(Clone, Debug, Default, PartialEq)]

@@ -31,7 +31,9 @@ pub mod event;
 pub mod sink;
 pub mod summary;
 
-pub use counters::{ConnCounters, CounterSnapshot, GlobalCounters, LinkCounters, SubflowCounters};
+pub use counters::{
+    ConnCounters, CounterSnapshot, FabricCounters, GlobalCounters, LinkCounters, SubflowCounters,
+};
 pub use event::{DiscardCause, DropCause, FaultKind, ImpairKind, RecoveryCause, TraceEvent};
 pub use sink::{
     jsonl_sink_in, sanitize_label, trace_path, FilterSink, JsonlSink, NullSink, RingSink, TeeSink,

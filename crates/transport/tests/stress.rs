@@ -7,8 +7,15 @@
 //! fanned across the sweep runner (`bench_harness::runner`), one whole
 //! `Simulator` per cell: the full 24-cell grid with its 600 s horizon is
 //! `#[ignore]`d into the CI `--ignored` job, while a smaller smoke grid
-//! keeps the invariants in the default tier-1 run.
+//! keeps the invariants in the default tier-1 run. The full grid runs under
+//! the crash-safe fabric (`bench_harness::fabric`) with a per-cell wall
+//! deadline, so one wedged case is quarantined and reported instead of
+//! hanging the whole CI job; retries stay off because the cells are
+//! deterministic.
 
+use bench_harness::fabric::{
+    run_fabric_ephemeral, FabricCell, FabricOptions, Fingerprint, RetryPolicy,
+};
 use bench_harness::runner::{run_sweep, SweepCell};
 use congestion::AlgorithmKind;
 use netsim::prelude::*;
@@ -104,12 +111,16 @@ fn assert_grid(cases: Vec<StressCase>) {
         })
         .collect();
     for (r, c) in run_sweep(cells).iter().zip(&cases) {
-        let out = &r.output;
-        assert!(out.finished, "{} deadlocked ({c:?}): {out:?}", c.kind);
-        assert_eq!(out.acked, STRESS_PKTS, "{c:?}");
-        assert_eq!(out.delivered, STRESS_PKTS, "{}: wrong delivery count ({c:?})", c.kind);
-        assert!(out.min_rwnd >= 1, "rwnd went negative ({c:?})");
+        assert_case(&r.output, c);
     }
+}
+
+/// Checks one completed cell against the exactly-once contract.
+fn assert_case(out: &StressOutcome, c: &StressCase) {
+    assert!(out.finished, "{} deadlocked ({c:?}): {out:?}", c.kind);
+    assert_eq!(out.acked, STRESS_PKTS, "{c:?}");
+    assert_eq!(out.delivered, STRESS_PKTS, "{}: wrong delivery count ({c:?})", c.kind);
+    assert!(out.min_rwnd >= 1, "rwnd went negative ({c:?})");
 }
 
 #[test]
@@ -120,7 +131,37 @@ fn exactly_once_delivery_smoke_grid() {
 #[test]
 #[ignore = "full 600 s stress grid — run via `cargo test -- --ignored` (CI ignored job)"]
 fn exactly_once_in_order_delivery_under_chaos() {
-    assert_grid(draw_cases(24, 0xC4A0));
+    // Same contract as the smoke grid, but under the crash-safe fabric: a
+    // panicking or wedged case is deadline-killed and quarantined, the
+    // remaining 23 still run to completion, and the quarantine records name
+    // the losers. Each simulated cell is ~seconds of wall time; 300 s of
+    // budget only triggers on a genuine livelock.
+    let cases = draw_cases(24, 0xC4A0);
+    let cells: Vec<FabricCell<StressOutcome>> = cases
+        .iter()
+        .map(|&c| {
+            FabricCell::new(format!("{}-seed{}", c.kind, c.seed), c.seed, move || stress_run(c))
+                .config(
+                    Fingerprint::new()
+                        .str("stress")
+                        .str(&format!("{}", c.kind))
+                        .u64(c.seed)
+                        .u64(c.mbps1)
+                        .u64(c.mbps2),
+                )
+        })
+        .collect();
+    let opts = FabricOptions {
+        deadline: Some(std::time::Duration::from_secs(300)),
+        retry: RetryPolicy::none(),
+        ..FabricOptions::default()
+    };
+    let report = run_fabric_ephemeral(cells, &opts).expect("fabric sweep failed");
+    eprintln!("{}", report.counters.render());
+    assert!(report.is_complete(), "{}", report.partial_note());
+    for (r, c) in report.results().zip(&cases) {
+        assert_case(&r.output, c);
+    }
 }
 
 #[test]

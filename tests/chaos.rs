@@ -7,13 +7,23 @@
 //! (`bench_harness::runner`) — each soak owns its whole `Simulator`, so
 //! parallel execution cannot perturb outcomes, and the reproducibility test
 //! asserts exactly that by comparing a serial sweep against a parallel one.
+//! The big ignored soak additionally runs under the crash-safe fabric
+//! (`bench_harness::fabric`): a panicking or wedged seed is deadline-killed
+//! and quarantined with a self-contained repro artifact (replayable via the
+//! `replay` binary) instead of aborting the other 39 cells — retries are
+//! disabled because every cell is deterministic, so a second attempt could
+//! only reproduce the first.
 //!
 //! When the `SWEEP_TRACE` env var names a directory, every soak cell streams
 //! its JSONL event trace to `<dir>/soak-<seed>.jsonl`; passing cells delete
 //! their file afterwards, so on a failure only the offending traces remain
 //! (CI uploads them as artifacts — see `.github/workflows/ci.yml`).
 
-use bench_harness::runner::{run_sweep, run_sweep_jobs, SweepCell};
+use bench_harness::fabric::{
+    run_fabric_ephemeral, FabricCell, FabricOptions, Fingerprint, RetryPolicy,
+};
+use bench_harness::repro::ReproSpec;
+use bench_harness::runner::{run_sweep_jobs, SweepCell};
 use congestion::AlgorithmKind;
 use mptcp_energy::CcChoice;
 use netsim::{FaultAction, FaultScript, LossModel, ReorderModel, SimDuration, SimTime, Simulator};
@@ -222,14 +232,66 @@ fn adv_cells(seeds: impl IntoIterator<Item = u64>) -> Vec<SweepCell<'static, Soa
         .collect()
 }
 
+/// Rebuilds the exact fault timeline a soak cell will see, as a
+/// self-contained repro spec: `dual_nic` is the first deterministic thing
+/// `soak_with` does with its fresh `Simulator`, so a scratch sim assigns
+/// identical link ids and the script RNG replays identically.
+fn spec_for(seed: u64, adversarial: bool) -> ReproSpec {
+    let mut sim = Simulator::new(seed);
+    let tp = TwoPath::dual_nic(&mut sim, 20_000_000, SimDuration::from_millis(10));
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC4A05);
+    let script =
+        if adversarial { adversarial_script(&tp, &mut rng) } else { random_script(&tp, &mut rng) };
+    ReproSpec {
+        seed,
+        transfer_pkts: TRANSFER_PKTS,
+        cc: if seed.is_multiple_of(2) { "lia".into() } else { "dts".into() },
+        dead_after_backoffs: Some(4),
+        horizon_s: 120.0,
+        fail_at_s: None,
+        script,
+    }
+}
+
+/// The soak grid as crash-contained fabric cells: each carries a repro spec
+/// so a quarantined seed leaves a replayable artifact behind.
+fn fabric_soak_cells(
+    seeds: std::ops::Range<u64>,
+    adversarial: bool,
+) -> Vec<FabricCell<SoakOutcome>> {
+    seeds
+        .map(|seed| {
+            let label =
+                if adversarial { format!("soak-adv-{seed}") } else { format!("soak-{seed}") };
+            FabricCell::new(label, seed, move || soak_with(seed, adversarial))
+                .config(Fingerprint::new().str("chaos-soak").bool(adversarial).u64(seed))
+                .repro(spec_for(seed, adversarial))
+        })
+        .collect()
+}
+
 #[test]
 #[ignore = "20-seed soak — run via `cargo test -- --ignored` (CI soak job)"]
 fn chaos_soak_completes_under_randomized_faults() {
     let dir = trace_dir();
     let mut failures = Vec::new();
-    let mut cells = soak_cells(0..SEEDS);
-    cells.extend(adv_cells(0..SEEDS));
-    for r in run_sweep(cells) {
+    let mut cells = fabric_soak_cells(0..SEEDS, false);
+    cells.extend(fabric_soak_cells(0..SEEDS, true));
+    // Crash containment, not masking: retries are off (the cells are
+    // deterministic — a retry can only repeat the failure), the deadline is
+    // far above any healthy soak, and quarantined seeds surface as failures
+    // below with their repro artifact paths.
+    let opts = FabricOptions {
+        deadline: Some(std::time::Duration::from_secs(600)),
+        retry: RetryPolicy::none(),
+        ..FabricOptions::default()
+    };
+    let report = run_fabric_ephemeral(cells, &opts).expect("fabric sweep failed");
+    eprintln!("{}", report.counters.render());
+    for q in report.quarantined() {
+        failures.push(format!("{q}"));
+    }
+    for r in report.results() {
         let (seed, out) = (r.seed, &r.output);
         let adversarial = r.label.starts_with("soak-adv-");
         let mut problems = Vec::new();

@@ -1,0 +1,226 @@
+//! End-to-end crash-safety contract of the sweep fabric
+//! (`bench_harness::fabric`): a journaled sweep that is interrupted and
+//! resumed must produce **byte-identical** results to an uninterrupted run,
+//! replaying finished cells from the journal instead of re-executing them;
+//! panicking and hanging cells must be retried, quarantined with repro
+//! stubs, and must never disturb their neighbours' outputs; and a
+//! quarantined cell must be re-attempted (not skipped) on the next resume,
+//! so a fixed environment heals the sweep.
+//!
+//! The interruption here is simulated by truncating the journal file —
+//! exactly the on-disk state a SIGKILL leaves behind (whole checkpoint
+//! lines plus at most one torn tail line, which the loader tolerates).
+//! CI's `fabric` job drills the same contract with a real `timeout -s KILL`
+//! against the `fabric_smoke` binary.
+
+use bench_harness::fabric::{
+    run_fabric, run_fabric_ephemeral, FabricCell, FabricOptions, FailCause, Fingerprint,
+    RetryPolicy,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fabric-resume-{}-{name}", std::process::id()))
+}
+
+/// A 12-cell grid of pure functions of the seed. The f64 member exercises
+/// bit-exact float journaling (payloads round-trip through `to_bits`);
+/// `runs` counts real executions so replays are observable.
+fn grid(runs: &Arc<AtomicU64>) -> Vec<FabricCell<(u64, f64)>> {
+    (0..12u64)
+        .map(|s| {
+            let runs = Arc::clone(runs);
+            FabricCell::new(format!("cell-{s:02}"), s, move || {
+                runs.fetch_add(1, Ordering::SeqCst);
+                (s.wrapping_mul(0x9e37_79b9).wrapping_add(7), s as f64 / 3.0 + 0.125)
+            })
+            .config(Fingerprint::new().str("resume-grid").u64(s))
+        })
+        .collect()
+}
+
+/// Renders a report's results as one stable line per cell — the
+/// byte-identity currency of these tests.
+fn render(report: &bench_harness::fabric::FabricReport<(u64, f64)>) -> String {
+    report
+        .results()
+        .map(|r| format!("{:?} {} {:?}\n", r.label, r.seed, (r.output.0, r.output.1.to_bits())))
+        .collect()
+}
+
+#[test]
+fn interrupted_then_resumed_sweep_is_byte_identical() {
+    let dir = tmp("identical");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Reference: one uninterrupted journaled run.
+    let full = dir.join("full.jsonl");
+    let opts = FabricOptions {
+        jobs: 3,
+        journal: Some(full.clone()),
+        artifacts: None,
+        ..FabricOptions::default()
+    };
+    let runs = Arc::new(AtomicU64::new(0));
+    let reference = run_fabric(grid(&runs), &opts).unwrap();
+    assert!(reference.is_complete());
+    assert_eq!(runs.load(Ordering::SeqCst), 12);
+    let want = render(&reference);
+
+    // Simulate a SIGKILL: keep the run header plus the first 5 checkpoint
+    // lines, then a torn half of the 6th — the state a kill mid-write
+    // leaves on disk.
+    let text = std::fs::read_to_string(&full).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 13, "run header + 12 done lines");
+    let mut cut = lines[..6].join("\n");
+    cut.push('\n');
+    cut.push_str(&lines[6][..lines[6].len() / 2]); // torn tail, no newline
+    let interrupted = dir.join("interrupted.jsonl");
+    std::fs::write(&interrupted, &cut).unwrap();
+
+    // Resume from the truncated journal: only the 7 missing cells execute,
+    // the 5 checkpointed ones replay, and the merged output is identical.
+    let runs2 = Arc::new(AtomicU64::new(0));
+    let opts2 = FabricOptions { journal: Some(interrupted), ..opts };
+    let resumed = run_fabric(grid(&runs2), &opts2).unwrap();
+    assert!(resumed.is_complete());
+    assert_eq!(resumed.counters.replayed, 5, "{}", resumed.counters.render());
+    assert_eq!(resumed.counters.executed, 7, "{}", resumed.counters.render());
+    assert_eq!(runs2.load(Ordering::SeqCst), 7, "replayed cells must not re-execute");
+    assert_eq!(render(&resumed), want, "resumed output diverged from the uninterrupted run");
+
+    // A second resume on the now-complete journal executes nothing at all.
+    let runs3 = Arc::new(AtomicU64::new(0));
+    let replay_only = run_fabric(grid(&runs3), &opts2).unwrap();
+    assert_eq!(runs3.load(Ordering::SeqCst), 0);
+    assert_eq!(replay_only.counters.replayed, 12);
+    assert_eq!(render(&replay_only), want);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn quarantined_cell_is_retried_on_resume_and_heals() {
+    let dir = tmp("heal");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("journal.jsonl");
+
+    // "flaky" panics until the environment is fixed (the flag flips).
+    let fixed = Arc::new(AtomicBool::new(false));
+    let cells = |fixed: &Arc<AtomicBool>| -> Vec<FabricCell<u64>> {
+        let mut v: Vec<FabricCell<u64>> = (0..3u64)
+            .map(|s| {
+                FabricCell::new(format!("ok-{s}"), s, move || s + 100)
+                    .config(Fingerprint::new().str("heal").u64(s))
+            })
+            .collect();
+        let fixed = Arc::clone(fixed);
+        v.push(
+            FabricCell::new("flaky", 9, move || {
+                assert!(fixed.load(Ordering::SeqCst), "environment still broken");
+                999
+            })
+            .config(Fingerprint::new().str("heal").str("flaky")),
+        );
+        v
+    };
+    let opts = FabricOptions {
+        jobs: 2,
+        journal: Some(journal),
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+        },
+        artifacts: Some(dir.join("artifacts")),
+        ..FabricOptions::default()
+    };
+
+    // First run: flaky exhausts its attempts and is quarantined with an
+    // artifact; the three healthy cells are checkpointed.
+    let first = run_fabric(cells(&fixed), &opts).unwrap();
+    assert!(!first.is_complete());
+    let q = first.quarantined().next().unwrap();
+    assert_eq!(q.label, "flaky");
+    assert_eq!(q.attempts, 2);
+    assert_eq!(q.cause, FailCause::Panic);
+    assert!(q.message.contains("environment still broken"), "{}", q.message);
+    let artifact = q.artifact.as_ref().expect("quarantine must leave an artifact stub");
+    assert!(artifact.exists(), "{}", artifact.display());
+    assert!(first.partial_note().contains("flaky"), "{}", first.partial_note());
+    assert_eq!(first.counters.quarantined, 1);
+
+    // Fix the environment and resume on the same journal: the healthy cells
+    // replay, the quarantined one is re-attempted — and now succeeds.
+    fixed.store(true, Ordering::SeqCst);
+    let second = run_fabric(cells(&fixed), &opts).unwrap();
+    assert!(second.is_complete(), "{}", second.partial_note());
+    assert_eq!(second.counters.replayed, 3, "{}", second.counters.render());
+    assert_eq!(second.counters.executed, 1, "{}", second.counters.render());
+    let healed = second.results().find(|r| r.label == "flaky").unwrap();
+    assert_eq!(healed.output, 999);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_kills_hung_cell_and_preserves_neighbours() {
+    let dir = tmp("deadline");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cells: Vec<FabricCell<u64>> = (0..4u64)
+        .map(|s| {
+            FabricCell::new(format!("quick-{s}"), s, move || s * 11)
+                .config(Fingerprint::new().str("deadline").u64(s))
+        })
+        .collect();
+    cells.push(
+        FabricCell::new("hung", 4, || {
+            std::thread::sleep(Duration::from_secs(120));
+            0
+        })
+        .config(Fingerprint::new().str("deadline").str("hung")),
+    );
+    let opts = FabricOptions {
+        jobs: 3,
+        journal: None,
+        deadline: Some(Duration::from_millis(200)),
+        retry: RetryPolicy {
+            max_attempts: 2,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+        },
+        artifacts: Some(dir.clone()),
+    };
+    let report = run_fabric_ephemeral(cells, &opts).unwrap();
+    assert!(!report.is_complete());
+    let quick: Vec<(String, u64)> = report.results().map(|r| (r.label.clone(), r.output)).collect();
+    assert_eq!(
+        quick,
+        vec![
+            ("quick-0".into(), 0),
+            ("quick-1".into(), 11),
+            ("quick-2".into(), 22),
+            ("quick-3".into(), 33)
+        ],
+        "healthy cells must be unaffected by the hung neighbour"
+    );
+    let q = report.quarantined().next().unwrap();
+    assert_eq!(q.label, "hung");
+    assert_eq!(q.cause, FailCause::Deadline);
+    assert_eq!(q.attempts, 2);
+    assert_eq!(report.counters.deadline_kills, 2, "{}", report.counters.render());
+    assert_eq!(report.counters.retries, 1);
+    assert!(report.partial_note().contains("hung"), "{}", report.partial_note());
+    // No repro spec attached → an identity-only quarantine stub is written.
+    let stub = q.artifact.as_ref().expect("deadline quarantine must leave a stub");
+    let text = std::fs::read_to_string(stub).unwrap();
+    assert!(text.contains("\"hung\""), "{text}");
+    assert!(text.contains("deadline"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
