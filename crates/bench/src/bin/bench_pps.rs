@@ -1,0 +1,319 @@
+//! `bench_pps` — the tracked packets-per-second metric.
+//!
+//! Runs a small set of hot-path scenarios (raw event loop, single-path bulk
+//! transfer, two-path MPTCP, faulted two-path MPTCP) on BOTH engines — the
+//! default fast engine (timer wheel, pooled packets, batched delivery) and
+//! [`EngineConfig::reference`], which is the pre-overhaul event loop — and
+//! reports, for each, the sustained link-level packet transmissions per
+//! wall-clock second plus the default/reference speedup. The speedup is a
+//! same-process, same-binary A/B, so it is largely machine-independent and
+//! is what the regression gate tracks.
+//!
+//! Results are written as machine-readable JSON (`BENCH_pps.json`) so every
+//! later PR can be judged against the checked-in trajectory.
+//!
+//! Wall-clock note: this binary *measures* wall time (that is its whole
+//! purpose); the simulations it drives remain strictly deterministic.
+//!
+//! Usage:
+//!   bench_pps [--out FILE] [--quick] [--check BASELINE] [--pre-pr FILE]
+//!            [--matrix]
+//!
+//! `--check` compares the freshly measured speedups against a checked-in
+//! baseline file and exits nonzero if any scenario's speedup fell more than
+//! 20% below the baseline's. `--pre-pr` merges a pre-overhaul binary's JSON
+//! output into the report (`pre_pr_pps` / `speedup_vs_pre_pr` per scenario).
+//! `--matrix` times every engine-knob combination instead (diagnostics).
+
+use congestion::AlgorithmKind;
+use netsim::prelude::*;
+use std::time::Instant;
+use transport::{attach_flow, FlowConfig, PathSpec};
+
+/// Minimum wall-clock time to accumulate per measurement, seconds.
+const MEASURE_SECS: f64 = 0.7;
+const QUICK_SECS: f64 = 0.15;
+/// `--check` tolerance: fail if speedup < (1 - this) × baseline speedup.
+const CHECK_TOLERANCE: f64 = 0.20;
+
+struct Scenario {
+    name: &'static str,
+    run: fn(EngineConfig) -> u64,
+}
+
+/// Sum of fully transmitted packets across every link: the "packets" in pps.
+fn packets_forwarded(sim: &Simulator) -> u64 {
+    (0..sim.world().link_count()).map(|l| sim.world().link(l).stats().tx_pkts).sum()
+}
+
+fn run_event_loop(engine: EngineConfig) -> u64 {
+    let mut sim = Simulator::with_engine(1, engine);
+    let l = sim
+        .add_link(LinkConfig::new(1_000_000_000, SimDuration::from_micros(10)).queue_limit(20_000));
+    let sink = sim.add_agent(Box::new(workload::Sink::new()));
+    let route = Route::new(vec![l], sink);
+    for _ in 0..10_000 {
+        sim.world_mut().send_packet(sink, route.clone(), 1500, Payload::Raw);
+    }
+    sim.run_to_completion();
+    packets_forwarded(&sim)
+}
+
+fn run_bulk_transfer(engine: EngineConfig) -> u64 {
+    let mut sim = Simulator::with_engine(1, engine);
+    let fwd = sim.add_link(LinkConfig::new(100_000_000, SimDuration::from_millis(1)));
+    let rev = sim.add_link(LinkConfig::new(100_000_000, SimDuration::from_millis(1)));
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(0).transfer_bytes(1_000_000),
+        AlgorithmKind::Reno.build(1),
+        &[PathSpec::new(vec![fwd], vec![rev])],
+        SimDuration::ZERO,
+    );
+    sim.run_until(SimTime::from_secs_f64(10.0));
+    assert!(flow.is_finished(&sim));
+    packets_forwarded(&sim)
+}
+
+fn two_path_sim(engine: EngineConfig) -> (Simulator, PathSpec, PathSpec) {
+    let mut sim = Simulator::with_engine(1, engine);
+    let mk = |sim: &mut Simulator| {
+        let f = sim.add_link(LinkConfig::new(50_000_000, SimDuration::from_millis(2)));
+        let r = sim.add_link(LinkConfig::new(50_000_000, SimDuration::from_millis(2)));
+        PathSpec::new(vec![f], vec![r])
+    };
+    let p1 = mk(&mut sim);
+    let p2 = mk(&mut sim);
+    (sim, p1, p2)
+}
+
+fn run_mptcp_two_paths(engine: EngineConfig) -> u64 {
+    let (mut sim, p1, p2) = two_path_sim(engine);
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(0).transfer_bytes(1_000_000),
+        AlgorithmKind::Lia.build(2),
+        &[p1, p2],
+        SimDuration::ZERO,
+    );
+    sim.run_until(SimTime::from_secs_f64(10.0));
+    assert!(flow.is_finished(&sim));
+    packets_forwarded(&sim)
+}
+
+fn run_mptcp_faulted(engine: EngineConfig) -> u64 {
+    let (mut sim, p1, p2) = two_path_sim(engine);
+    FaultScript::new()
+        .at(
+            SimTime::from_secs_f64(0.0),
+            FaultAction::SetLoss { link: p1.fwd[0], model: LossModel::iid(0.01) },
+        )
+        .blackout(p2.fwd[0], SimTime::from_secs_f64(0.1), SimTime::from_secs_f64(0.4))
+        .install(&mut sim);
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(0).transfer_bytes(1_000_000).dead_after_backoffs(Some(2)),
+        AlgorithmKind::Lia.build(2),
+        &[p1, p2],
+        SimDuration::ZERO,
+    );
+    sim.run_until(SimTime::from_secs_f64(20.0));
+    assert!(flow.is_finished(&sim));
+    packets_forwarded(&sim)
+}
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario { name: "event-loop", run: run_event_loop },
+    Scenario { name: "bulk-transfer", run: run_bulk_transfer },
+    Scenario { name: "mptcp-two-paths", run: run_mptcp_two_paths },
+    Scenario { name: "mptcp-two-paths-faulted", run: run_mptcp_faulted },
+];
+
+/// Repeats `run` until at least `min_secs` of wall time has accumulated
+/// (after one unmeasured warm-up run) and returns packets per second.
+fn measure(run: fn(EngineConfig) -> u64, engine: EngineConfig, min_secs: f64) -> f64 {
+    let _ = run(engine); // warm-up
+    let mut pkts = 0u64;
+    let start = Instant::now();
+    loop {
+        pkts += run(engine);
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_secs {
+            return pkts as f64 / elapsed;
+        }
+    }
+}
+
+struct Row {
+    name: &'static str,
+    pps: f64,
+    reference_pps: f64,
+    /// The pre-overhaul *binary*'s pps for this scenario (`--pre-pr FILE`):
+    /// unlike `reference_pps` (the old engine compiled with this PR's
+    /// transport and LTO work), this captures the full before/after.
+    pre_pr_pps: Option<f64>,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.pps / self.reference_pps
+    }
+}
+
+/// Pulls `"key": <number>` out of a single JSON scenario line. The baseline
+/// is this binary's own single-line-per-scenario output, so a real JSON
+/// parser would be dead weight (the workspace has no serde and must not grow
+/// one).
+fn json_number(line: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn json_name(line: &str) -> Option<&str> {
+    let at = line.find("\"name\": \"")? + "\"name\": \"".len();
+    let rest = &line[at..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Compares measured speedups against the baseline file; returns the list of
+/// regressions (scenario, measured, required).
+fn check_against(baseline: &str, rows: &[Row]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for line in baseline.lines() {
+        let (Some(name), Some(base)) = (json_name(line), json_number(line, "speedup")) else {
+            continue;
+        };
+        let Some(row) = rows.iter().find(|r| r.name == name) else {
+            failures.push(format!("{name}: in baseline but not measured"));
+            continue;
+        };
+        let floor = base * (1.0 - CHECK_TOLERANCE);
+        if row.speedup() < floor {
+            failures.push(format!(
+                "{name}: speedup {:.2}x fell below {floor:.2}x (baseline {base:.2}x - 20%)",
+                row.speedup()
+            ));
+        }
+    }
+    failures
+}
+
+fn render(rows: &[Row]) -> String {
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let pre = r.pre_pr_pps.map_or(String::new(), |p| {
+                format!(", \"pre_pr_pps\": {p:.1}, \"speedup_vs_pre_pr\": {:.3}", r.pps / p)
+            });
+            format!(
+                "    {{\"name\": \"{}\", \"pps\": {:.1}, \"reference_pps\": {:.1}, \
+                 \"speedup\": {:.3}{pre}}}",
+                r.name,
+                r.pps,
+                r.reference_pps,
+                r.speedup()
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"schema\": 2,\n  \"note\": \"reference = the reference engine \
+         (binary heap, boxed packets, unbatched delivery) compiled into this \
+         binary; pre_pr = the pre-overhaul binary measured interleaved on the \
+         same machine\",\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out: Option<String> = None;
+    let mut check: Option<String> = None;
+    let mut pre_pr: Option<String> = None;
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--out" && i + 1 < args.len() {
+            out = Some(args[i + 1].clone());
+            i += 1;
+        } else if args[i] == "--check" && i + 1 < args.len() {
+            check = Some(args[i + 1].clone());
+            i += 1;
+        } else if args[i] == "--pre-pr" && i + 1 < args.len() {
+            pre_pr = Some(args[i + 1].clone());
+            i += 1;
+        }
+        i += 1;
+    }
+    // Per-scenario pps of the pre-overhaul binary, from its own JSON output.
+    let pre_pr_of = |name: &str| -> Option<f64> {
+        let text = std::fs::read_to_string(pre_pr.as_ref()?).ok()?;
+        text.lines().find(|l| json_name(l) == Some(name)).and_then(|l| json_number(l, "pps"))
+    };
+    let secs = if quick { QUICK_SECS } else { MEASURE_SECS };
+    // Diagnostic mode: time every engine-knob combination per scenario, to
+    // attribute a speedup (or regression) to the queue, the pool, or the
+    // batching individually. Not part of the JSON contract.
+    if args.iter().any(|a| a == "--matrix") {
+        for sc in SCENARIOS {
+            eprintln!("{}:", sc.name);
+            for queue in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+                for pool_packets in [true, false] {
+                    for batch_acks in [true, false] {
+                        let engine = EngineConfig { queue, pool_packets, batch_acks };
+                        let pps = measure(sc.run, engine, secs);
+                        eprintln!(
+                            "  {queue:<12?} pool={pool_packets:<5} \
+                             batch={batch_acks:<5} {pps:>12.0} pps"
+                        );
+                    }
+                }
+            }
+        }
+        return;
+    }
+    let mut rows = Vec::new();
+    for sc in SCENARIOS {
+        // Interleave: default, reference, default, reference — so slow drifts
+        // in machine load hit both engines roughly equally.
+        let mut pps = 0.0;
+        let mut reference_pps = 0.0;
+        for _ in 0..2 {
+            pps += measure(sc.run, EngineConfig::default(), secs / 2.0);
+            reference_pps += measure(sc.run, EngineConfig::reference(), secs / 2.0);
+        }
+        let row = Row {
+            name: sc.name,
+            pps: pps / 2.0,
+            reference_pps: reference_pps / 2.0,
+            pre_pr_pps: pre_pr_of(sc.name),
+        };
+        eprintln!(
+            "{:28} {:>12.0} pps  (reference {:>12.0}, speedup {:.2}x)",
+            row.name,
+            row.pps,
+            row.reference_pps,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+    let json = render(&rows);
+    match out {
+        Some(path) => std::fs::write(&path, &json).expect("write BENCH_pps.json"),
+        None => print!("{json}"),
+    }
+    if let Some(path) = check {
+        let baseline = std::fs::read_to_string(&path).expect("read --check baseline");
+        let failures = check_against(&baseline, &rows);
+        if !failures.is_empty() {
+            eprintln!("pps regression vs {path}:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("pps check vs {path}: ok");
+    }
+}

@@ -12,7 +12,7 @@ use congestion::{AlgorithmKind, MultipathCongestionControl};
 use energy_model::{
     energy_of_flow, EnergyReport, HostLoadSeries, PhoneModel, PowerModel, WiredCpuModel,
 };
-use netsim::{LossModel, ReorderModel, SimDuration, SimTime, Simulator};
+use netsim::{EngineConfig, LossModel, ReorderModel, SimDuration, SimTime, Simulator};
 use obs::{CounterSnapshot, TraceSink};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -123,6 +123,10 @@ pub struct BurstyOptions {
     pub cross: ParetoOnOffConfig,
     /// Finite transfer size; `None` = long-lived.
     pub transfer_bytes: Option<u64>,
+    /// Event-loop engine to run on. Results are byte-identical across
+    /// engines (pinned by `tests/sweep_determinism.rs`); non-default values
+    /// exist for that pin and for A/B benchmarking.
+    pub engine: EngineConfig,
 }
 
 impl Default for BurstyOptions {
@@ -134,6 +138,7 @@ impl Default for BurstyOptions {
             one_way: SimDuration::from_millis(10),
             cross: ParetoOnOffConfig::paper_fig5b(),
             transfer_bytes: None,
+            engine: EngineConfig::default(),
         }
     }
 }
@@ -160,7 +165,7 @@ pub fn run_two_path_bursty_traced(
     opts: &BurstyOptions,
     sink: Option<Box<dyn TraceSink>>,
 ) -> (FlowResult, CounterSnapshot) {
-    let mut sim = Simulator::new(opts.seed);
+    let mut sim = Simulator::with_engine(opts.seed, opts.engine);
     if let Some(sink) = sink {
         sim.set_trace_sink(sink);
     }

@@ -3,9 +3,11 @@
 //! A [`Link`] is a unidirectional store-and-forward pipe. Packets that arrive
 //! while the link is transmitting join a FIFO queue bounded by
 //! [`LinkConfig::queue_limit_pkts`]; arrivals beyond the bound are dropped
-//! (DropTail). If an ECN threshold is configured, packets that enqueue behind
-//! `K` or more packets are marked Congestion-Experienced, which is the DCTCP
-//! marking discipline.
+//! (DropTail). If an ECN threshold `K` is configured, an arriving packet is
+//! marked Congestion-Experienced when the instantaneous occupancy it finds —
+//! the packet in service plus the queued packets — is strictly greater than
+//! `K`, which is DCTCP's marking discipline ("mark if queue occupancy > K
+//! upon arrival", Alizadeh et al.).
 
 use crate::faults::Impairment;
 use crate::packet::Packet;
@@ -21,8 +23,9 @@ pub struct LinkConfig {
     pub propagation: SimDuration,
     /// DropTail queue bound, in packets (excluding the packet in service).
     pub queue_limit_pkts: usize,
-    /// ECN marking threshold `K` in packets: a packet is CE-marked when it
-    /// enqueues behind `K` or more packets. `None` disables marking.
+    /// ECN marking threshold `K` in packets: an arriving packet is CE-marked
+    /// when the occupancy it finds (in-service + queued packets) is strictly
+    /// greater than `K`. `None` disables marking.
     pub ecn_threshold_pkts: Option<usize>,
 }
 
@@ -97,6 +100,11 @@ pub struct Link {
     impairment: Impairment,
     queue: VecDeque<Packet>,
     in_flight: Option<Packet>,
+    /// Memo of the last two `(size, serialization delay)` pairs, so the
+    /// u128 multiply/divide in [`LinkConfig::serialization`] leaves the
+    /// per-packet path (traffic is dominated by one data size and one ACK
+    /// size). Invalidated by [`Link::set_bandwidth`].
+    ser_cache: [Option<(u32, SimDuration)>; 2],
     /// Integral of queue length over time (packet-seconds), for mean-queue
     /// telemetry used by energy-proportional pricing.
     qlen_integral: f64,
@@ -124,6 +132,7 @@ impl Link {
             impairment: Impairment::default(),
             queue: VecDeque::new(),
             in_flight: None,
+            ser_cache: [None; 2],
             qlen_integral: 0.0,
             last_q_change: SimTime::ZERO,
             stats: LinkStats::default(),
@@ -145,6 +154,27 @@ impl Link {
     pub fn set_bandwidth(&mut self, bps: u64) {
         assert!(bps > 0, "bandwidth must be positive");
         self.cfg.bandwidth_bps = bps;
+        self.ser_cache = [None; 2];
+    }
+
+    /// [`LinkConfig::serialization`] through the link's two-entry memo.
+    fn serialization_cached(&mut self, bytes: u32) -> SimDuration {
+        if let Some((b, d)) = self.ser_cache[0] {
+            if b == bytes {
+                return d;
+            }
+        }
+        if let Some((b, d)) = self.ser_cache[1] {
+            if b == bytes {
+                // Promote so the other hot size stays resident too.
+                self.ser_cache.swap(0, 1);
+                return d;
+            }
+        }
+        let d = self.cfg.serialization(bytes);
+        self.ser_cache[1] = self.ser_cache[0];
+        self.ser_cache[0] = Some((bytes, d));
+        d
     }
 
     /// Changes the propagation delay at runtime (mobility / path change
@@ -271,12 +301,15 @@ impl Link {
     pub fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> Enqueue {
         if self.in_flight.is_none() {
             debug_assert!(self.queue.is_empty());
-            let ser = self.cfg.serialization(pkt.size_bytes);
+            let ser = self.serialization_cached(pkt.size_bytes);
             self.in_flight = Some(pkt);
             Enqueue::StartTx(ser)
         } else if self.queue.len() < self.cfg.queue_limit_pkts {
             if let Some(k) = self.cfg.ecn_threshold_pkts {
-                if self.queue.len() + 1 >= k {
+                // DCTCP: mark when arrival occupancy — the in-service packet
+                // plus the queued ones — strictly exceeds K. (This used to be
+                // `>=`, marking one packet early at the boundary.)
+                if self.queue.len() + 1 > k {
                     pkt.ecn_ce = true;
                     self.stats.ecn_marks += 1;
                 }
@@ -307,7 +340,7 @@ impl Link {
             self.note_q_change(now);
             self.queue.pop_front()
         } {
-            let ser = self.cfg.serialization(next_pkt.size_bytes);
+            let ser = self.serialization_cached(next_pkt.size_bytes);
             self.in_flight = Some(next_pkt);
             Some(ser)
         } else {
@@ -409,9 +442,76 @@ mod tests {
         let cfg = LinkConfig::new(8_000_000, SimDuration::ZERO).queue_limit(10).ecn_threshold(2);
         let mut l = Link::new(cfg);
         let _ = l.enqueue(pkt(100), SimTime::ZERO); // in service
-        let _ = l.enqueue(pkt(100), SimTime::ZERO); // queue pos 1 (below K)
-        let _ = l.enqueue(pkt(100), SimTime::ZERO); // queue pos 2 -> marked
+        let _ = l.enqueue(pkt(100), SimTime::ZERO); // finds occupancy 1 <= K
+        let _ = l.enqueue(pkt(100), SimTime::ZERO); // finds occupancy 2 <= K
+        let _ = l.enqueue(pkt(100), SimTime::ZERO); // finds occupancy 3 >  K -> marked
         assert_eq!(l.stats().ecn_marks, 1);
+    }
+
+    /// Pins the DCTCP marking boundary: with threshold K, an arrival that
+    /// finds occupancy (in-service + queued) of exactly K−1 or K is *not*
+    /// marked; K+1 is. Regression for the `>=` off-by-one that marked the
+    /// occupancy-K arrival.
+    #[test]
+    fn ecn_boundary_at_exactly_k() {
+        let k = 3;
+        for (occupancy_found, expect_mark) in [(k - 1, false), (k, false), (k + 1, true)] {
+            let cfg =
+                LinkConfig::new(8_000_000, SimDuration::ZERO).queue_limit(10).ecn_threshold(k);
+            let mut l = Link::new(cfg);
+            // Build up `occupancy_found` resident packets: one in service,
+            // the rest queued.
+            for _ in 0..occupancy_found {
+                let _ = l.enqueue(pkt(100), SimTime::ZERO);
+            }
+            assert_eq!(l.queue_len() + usize::from(l.is_busy()), occupancy_found);
+            let marks_before = l.stats().ecn_marks;
+            let _ = l.enqueue(pkt(100), SimTime::ZERO);
+            assert_eq!(
+                l.stats().ecn_marks - marks_before,
+                u64::from(expect_mark),
+                "arrival finding occupancy {occupancy_found} with K={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn serialization_cache_tracks_bandwidth_changes() {
+        let mut l = Link::new(LinkConfig::new(8_000_000, SimDuration::ZERO));
+        // Warm the cache via the in-service path.
+        assert_eq!(
+            l.enqueue(pkt(1000), SimTime::ZERO),
+            Enqueue::StartTx(SimDuration::from_millis(1))
+        );
+        let _ = l.tx_done(SimTime::from_secs_f64(0.001));
+        // Same size again: served from cache, same answer.
+        assert_eq!(
+            l.enqueue(pkt(1000), SimTime::ZERO),
+            Enqueue::StartTx(SimDuration::from_millis(1))
+        );
+        let _ = l.tx_done(SimTime::from_secs_f64(0.002));
+        // Rate change invalidates the memo.
+        l.set_bandwidth(16_000_000);
+        assert_eq!(
+            l.enqueue(pkt(1000), SimTime::ZERO),
+            Enqueue::StartTx(SimDuration::from_micros(500))
+        );
+        let _ = l.tx_done(SimTime::from_secs_f64(0.003));
+        // A third distinct size evicts the oldest entry but keeps answers exact.
+        assert_eq!(
+            l.enqueue(pkt(500), SimTime::ZERO),
+            Enqueue::StartTx(SimDuration::from_micros(250))
+        );
+        let _ = l.tx_done(SimTime::from_secs_f64(0.004));
+        assert_eq!(
+            l.enqueue(pkt(40), SimTime::ZERO),
+            Enqueue::StartTx(SimDuration::from_micros(20))
+        );
+        let _ = l.tx_done(SimTime::from_secs_f64(0.005));
+        assert_eq!(
+            l.enqueue(pkt(1000), SimTime::ZERO),
+            Enqueue::StartTx(SimDuration::from_micros(500))
+        );
     }
 
     #[test]

@@ -28,10 +28,11 @@
 //! assert_eq!(sim.agent::<Counter>(sink).received, 1);
 //! ```
 
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventKind, EventQueue, QueueKind};
 use crate::faults::FaultAction;
 use crate::link::{Enqueue, Link, LinkConfig};
 use crate::packet::{AgentId, LinkId, Packet, Payload, Route};
+use crate::pool::PacketPool;
 use crate::time::{SimDuration, SimTime};
 use obs::{DropCause, FaultKind, ImpairKind, LinkCounters, TraceEvent, TraceSink};
 use rand::rngs::SmallRng;
@@ -82,6 +83,64 @@ pub trait Watched {
     fn diagnostics(&self) -> String;
 }
 
+/// Engine selection: which event-queue backend and packet storage a
+/// simulator runs on. All configurations are *byte-identical in behavior* —
+/// they differ only in speed — which is pinned across the chaos seeds by
+/// `tests/sweep_determinism.rs` and `tests/chaos.rs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Event queue backend (timer wheel by default).
+    pub queue: QueueKind,
+    /// Store in-flight packets in the slab pool (default) instead of boxing
+    /// them per event.
+    pub pool_packets: bool,
+    /// Coalesce consecutive same-time deliveries to one agent into a single
+    /// dispatch (default). Ignored — forced off — under the
+    /// `check-invariants` feature so invariant checks keep running after
+    /// every individual event.
+    pub batch_acks: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { queue: QueueKind::TimerWheel, pool_packets: true, batch_acks: true }
+    }
+}
+
+impl EngineConfig {
+    /// The reference engine: binary heap, boxed packets, no delivery
+    /// batching. This is the pre-overhaul event loop, kept as the oracle the
+    /// fast path is pinned against.
+    pub fn reference() -> Self {
+        EngineConfig { queue: QueueKind::BinaryHeap, pool_packets: false, batch_acks: false }
+    }
+}
+
+/// Handle to a cancellable timer slot (see [`World::timer_slot`]).
+///
+/// Unlike fire-and-forget [`Ctx::schedule_in`] timers, a slot timer can be
+/// re-armed and cancelled in O(1) without flooding the event queue: re-arming
+/// to a *later* deadline (the common RTO-restart pattern) performs **zero**
+/// queue operations — the already-queued wake event checks the slot's live
+/// deadline when it fires and re-sleeps if the deadline moved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerHandle(u32);
+
+/// Backing state for one cancellable timer (see [`TimerHandle`]).
+#[derive(Debug)]
+struct TimerSlot {
+    agent: AgentId,
+    token: u64,
+    /// Current deadline; meaningful only while `armed`.
+    deadline: SimTime,
+    armed: bool,
+    /// Whether a wake event for this slot is in the queue, and when. Stale
+    /// wakes (generation mismatch) are discarded on pop.
+    has_event: bool,
+    event_at: SimTime,
+    wake_gen: u32,
+}
+
 /// The installed trace sink, if any. A newtype so [`World`] can keep its
 /// `Debug` derive (sinks themselves need not be `Debug`).
 struct TraceSlot(Option<Box<dyn TraceSink>>);
@@ -104,6 +163,10 @@ pub struct World {
     rng: SmallRng,
     next_pkt_id: u64,
     trace: TraceSlot,
+    pool: PacketPool,
+    timers: Vec<TimerSlot>,
+    armed_count: u64,
+    batch: bool,
     /// Total packets dropped by DropTail across all links.
     pub dropped_pkts: u64,
     /// Total packets lost to random-loss impairments across all links.
@@ -114,14 +177,18 @@ pub struct World {
 }
 
 impl World {
-    fn new(seed: u64) -> Self {
+    fn new(seed: u64, engine: EngineConfig) -> Self {
         World {
             now: SimTime::ZERO,
             links: Vec::new(),
-            queue: EventQueue::new(),
+            queue: EventQueue::new(engine.queue),
             rng: SmallRng::seed_from_u64(seed),
             next_pkt_id: 0,
             trace: TraceSlot(None),
+            pool: PacketPool::new(engine.pool_packets),
+            timers: Vec::new(),
+            armed_count: 0,
+            batch: engine.batch_acks && !cfg!(feature = "check-invariants"),
             dropped_pkts: 0,
             random_losses: 0,
             blackout_drops: 0,
@@ -234,6 +301,65 @@ impl World {
         self.queue.push(self.now + delay, EventKind::Timer { agent, token });
     }
 
+    /// Allocates a cancellable timer slot owned by `agent`. The handle stays
+    /// valid for the life of the simulation; arm it with
+    /// [`World::arm_timer`].
+    pub fn timer_slot(&mut self, agent: AgentId) -> TimerHandle {
+        let id = self.timers.len();
+        self.timers.push(TimerSlot {
+            agent,
+            token: 0,
+            deadline: SimTime::ZERO,
+            armed: false,
+            has_event: false,
+            event_at: SimTime::ZERO,
+            wake_gen: 0,
+        });
+        // simlint: allow(P001, documented panic: four billion live timer slots is out of scope by construction)
+        TimerHandle(u32::try_from(id).expect("timer slot id overflow"))
+    }
+
+    /// (Re-)arms a slot timer to fire `token` at its owner after `delay`,
+    /// replacing any previous arm. Re-arming to a later-or-equal deadline
+    /// while a wake event is already pending costs zero queue operations:
+    /// the pending wake consults the slot and re-sleeps.
+    pub fn arm_timer(&mut self, h: TimerHandle, delay: SimDuration, token: u64) {
+        let at = self.now + delay;
+        let s = &mut self.timers[h.0 as usize];
+        s.token = token;
+        s.deadline = at;
+        if !s.armed {
+            s.armed = true;
+            self.armed_count += 1;
+        }
+        if s.has_event && s.event_at <= at {
+            return;
+        }
+        // No wake pending, or it is too late: queue one for the new deadline
+        // and invalidate any later wake via the generation counter.
+        s.wake_gen = s.wake_gen.wrapping_add(1);
+        s.has_event = true;
+        s.event_at = at;
+        let wake_gen = s.wake_gen;
+        self.queue.push(at, EventKind::TimerWake { slot: h.0, wake_gen });
+    }
+
+    /// Cancels a slot timer. O(1): the slot is disarmed; any queued wake
+    /// event becomes a no-op tombstone that drains with the clock.
+    pub fn cancel_timer(&mut self, h: TimerHandle) {
+        let s = &mut self.timers[h.0 as usize];
+        if s.armed {
+            s.armed = false;
+            self.armed_count -= 1;
+        }
+    }
+
+    /// Number of currently armed slot timers (diagnostics; lets tests pin
+    /// that re-arming does not accumulate live timers).
+    pub fn armed_timers(&self) -> u64 {
+        self.armed_count
+    }
+
     /// Injects a packet from `src` along `route` at the current time.
     /// Returns the assigned packet id.
     pub fn send_packet(
@@ -258,6 +384,7 @@ impl World {
         };
         if pkt.route.links.is_empty() {
             let agent = pkt.route.dst;
+            let pkt = self.pool.stash(pkt);
             self.queue.push(self.now, EventKind::Deliver { agent, pkt });
         } else {
             let link = pkt.route.links[0];
@@ -470,10 +597,35 @@ impl World {
     fn schedule_arrival(&mut self, at: SimTime, pkt: Packet) {
         if pkt.at_last_hop() {
             let agent = pkt.route.dst;
+            let pkt = self.pool.stash(pkt);
             self.queue.push(at, EventKind::Deliver { agent, pkt });
         } else {
             let next = pkt.route.links[pkt.hop];
+            let pkt = self.pool.stash(pkt);
             self.queue.push(at, EventKind::LinkEnqueue { link: next, pkt });
+        }
+    }
+
+    /// Delivery batching: pops and returns the globally next event **only
+    /// if** it is another delivery to `agent` at exactly the current time.
+    /// Since such an event would be dispatched immediately after the current
+    /// one anyway (the queue is drained in total `(time, seq)` order and
+    /// nothing can be scheduled between two same-time events mid-dispatch),
+    /// fusing it into the ongoing dispatch preserves semantics exactly while
+    /// skipping an agent take/restore round-trip per coalesced packet.
+    fn take_coalesced_delivery(&mut self, agent: AgentId) -> Option<Packet> {
+        if !self.batch {
+            return None;
+        }
+        let now = self.now;
+        let ev = self.queue.pop_if(|e| {
+            e.at == now && matches!(e.kind, EventKind::Deliver { agent: a, .. } if a == agent)
+        })?;
+        if let EventKind::Deliver { pkt, .. } = ev.kind {
+            Some(self.pool.unstash(pkt))
+        } else {
+            debug_assert!(false, "pop_if predicate admitted a non-delivery");
+            None
         }
     }
 }
@@ -509,6 +661,22 @@ impl Ctx<'_> {
     /// Schedules `token` to fire back at this agent after `delay`.
     pub fn schedule_in(&mut self, delay: SimDuration, token: u64) {
         self.world.schedule_in(self.self_id, delay, token);
+    }
+
+    /// Allocates a cancellable timer slot owned by this agent (see
+    /// [`World::timer_slot`]).
+    pub fn timer_slot(&mut self) -> TimerHandle {
+        self.world.timer_slot(self.self_id)
+    }
+
+    /// (Re-)arms a slot timer (see [`World::arm_timer`]).
+    pub fn arm_timer(&mut self, h: TimerHandle, delay: SimDuration, token: u64) {
+        self.world.arm_timer(h, delay, token);
+    }
+
+    /// Cancels a slot timer (see [`World::cancel_timer`]).
+    pub fn cancel_timer(&mut self, h: TimerHandle) {
+        self.world.cancel_timer(h);
     }
 
     /// Read-only access to a link (e.g. to observe queue occupancy).
@@ -611,10 +779,19 @@ impl std::fmt::Debug for Simulator {
 }
 
 impl Simulator {
-    /// Creates an empty simulator with the given RNG seed.
+    /// Creates an empty simulator with the given RNG seed and the default
+    /// (fast) engine.
     pub fn new(seed: u64) -> Self {
+        Simulator::with_engine(seed, EngineConfig::default())
+    }
+
+    /// Creates an empty simulator on an explicit [`EngineConfig`]. Every
+    /// engine produces byte-identical runs; non-default configurations exist
+    /// for the identity pins and for benchmarking the fast path against the
+    /// reference.
+    pub fn with_engine(seed: u64, engine: EngineConfig) -> Self {
         Simulator {
-            world: World::new(seed),
+            world: World::new(seed, engine),
             agents: Vec::new(),
             watchdog: None,
             #[cfg(feature = "check-invariants")]
@@ -871,10 +1048,40 @@ impl Simulator {
         self.world.now = ev.at;
         match ev.kind {
             EventKind::Deliver { agent, pkt } => {
-                self.dispatch(agent, |a, ctx| a.on_packet(pkt, ctx));
+                let pkt = self.world.pool.unstash(pkt);
+                self.dispatch(agent, |a, ctx| {
+                    a.on_packet(pkt, ctx);
+                    // Fuse immediately-following same-time deliveries to the
+                    // same agent into this dispatch (ACK batching); see
+                    // World::take_coalesced_delivery for why this preserves
+                    // event order exactly.
+                    while let Some(next) = ctx.world.take_coalesced_delivery(agent) {
+                        a.on_packet(next, ctx);
+                    }
+                });
             }
             EventKind::Timer { agent, token } => {
                 self.dispatch(agent, |a, ctx| a.on_timer(token, ctx));
+            }
+            EventKind::TimerWake { slot, wake_gen } => {
+                let s = &mut self.world.timers[slot as usize];
+                if s.wake_gen == wake_gen {
+                    s.has_event = false;
+                    if s.armed && s.deadline <= self.world.now {
+                        s.armed = false;
+                        self.world.armed_count -= 1;
+                        let (agent, token) = (s.agent, s.token);
+                        self.dispatch(agent, |a, ctx| a.on_timer(token, ctx));
+                    } else if s.armed {
+                        // Deadline moved later since this wake was queued
+                        // (deferred re-arm): sleep again until the live one.
+                        s.wake_gen = s.wake_gen.wrapping_add(1);
+                        s.has_event = true;
+                        s.event_at = s.deadline;
+                        let (at, wake_gen) = (s.deadline, s.wake_gen);
+                        self.world.queue.push(at, EventKind::TimerWake { slot, wake_gen });
+                    }
+                }
             }
             EventKind::LinkTxDone { link } => {
                 let (pkt, next) = self.world.links[link].tx_done(self.world.now);
@@ -884,6 +1091,7 @@ impl Simulator {
                 self.world.forward_after_tx(link, pkt);
             }
             EventKind::LinkEnqueue { link, pkt } => {
+                let pkt = self.world.pool.unstash(pkt);
                 self.world.offer_to_link(link, pkt);
             }
         }
@@ -922,6 +1130,13 @@ impl Simulator {
     /// Number of pending events (diagnostics).
     pub fn pending_events(&self) -> usize {
         self.world.queue.len()
+    }
+
+    /// Number of currently armed slot timers (see [`World::armed_timers`]).
+    /// O(1); lets tests pin that re-arming is state mutation, not event
+    /// traffic.
+    pub fn armed_timers(&self) -> u64 {
+        self.world.armed_timers()
     }
 }
 
@@ -1249,6 +1464,116 @@ mod tests {
         fn assert_send<T: Send>() {}
         assert_send::<Simulator>();
         assert_send::<World>();
+    }
+
+    /// An agent that re-arms a single cancellable timer on every packet, the
+    /// way a transport re-arms its RTO on every ACK.
+    struct Rearmer {
+        handle: Option<TimerHandle>,
+        rearms: u64,
+        fired: Vec<u64>,
+    }
+
+    impl Agent for Rearmer {
+        fn on_packet(&mut self, _pkt: Packet, ctx: &mut Ctx<'_>) {
+            let h = *self.handle.get_or_insert_with(|| ctx.timer_slot());
+            self.rearms += 1;
+            ctx.arm_timer(h, SimDuration::from_millis(300), self.rearms);
+        }
+        fn on_timer(&mut self, token: u64, _ctx: &mut Ctx<'_>) {
+            self.fired.push(token);
+        }
+    }
+
+    #[test]
+    fn rearmed_1000_times_leaves_o1_live_timer_state() {
+        let mut sim = Simulator::new(1);
+        let l = sim.add_link(
+            LinkConfig::new(1_000_000_000, SimDuration::from_micros(5)).queue_limit(1200),
+        );
+        let a = sim.add_agent(Box::new(Rearmer { handle: None, rearms: 0, fired: Vec::new() }));
+        let route = Route::new(vec![l], a);
+        for _ in 0..1000 {
+            sim.world_mut().send_packet(a, route.clone(), 1500, Payload::Raw);
+        }
+        // Deliver all packets; each re-arms the RTO-style timer.
+        sim.run_until(SimTime::from_secs_f64(0.1));
+        assert_eq!(sim.agent::<Rearmer>(a).rearms, 1000);
+        assert_eq!(sim.world().armed_timers(), 1, "exactly one live timer after 1000 re-arms");
+        // The deferred-wake scheme leaves O(1) events, not one per re-arm.
+        assert!(
+            sim.pending_events() <= 2,
+            "{} timer events accumulated in the queue",
+            sim.pending_events()
+        );
+        // And the timer still fires exactly once, at the *last* armed
+        // deadline, with the last token.
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(sim.agent::<Rearmer>(a).fired, vec![1000]);
+        assert_eq!(sim.world().armed_timers(), 0);
+        assert_eq!(sim.pending_events(), 0);
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        struct Canceller {
+            handle: Option<TimerHandle>,
+            fired: u64,
+        }
+        impl Agent for Canceller {
+            fn on_packet(&mut self, _pkt: Packet, ctx: &mut Ctx<'_>) {
+                match self.handle {
+                    None => {
+                        let h = ctx.timer_slot();
+                        self.handle = Some(h);
+                        ctx.arm_timer(h, SimDuration::from_millis(10), 7);
+                    }
+                    Some(h) => ctx.cancel_timer(h),
+                }
+            }
+            fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx<'_>) {
+                self.fired += 1;
+            }
+        }
+        let mut sim = Simulator::new(1);
+        let a = sim.add_agent(Box::new(Canceller { handle: None, fired: 0 }));
+        let route = Route::direct(a);
+        sim.world_mut().send_packet(a, route.clone(), 100, Payload::Raw); // arm
+        sim.world_mut().send_packet(a, route.clone(), 100, Payload::Raw); // cancel
+        sim.run_until(SimTime::from_secs_f64(1.0));
+        assert_eq!(sim.agent::<Canceller>(a).fired, 0);
+        assert_eq!(sim.world().armed_timers(), 0);
+        // Re-arming after a cancel works.
+        sim.agent_mut::<Canceller>(a).handle = None;
+        sim.world_mut().send_packet(a, route, 100, Payload::Raw);
+        sim.run_to_completion();
+        assert_eq!(sim.agent::<Canceller>(a).fired, 1);
+    }
+
+    /// The engine matrix produces identical results at the simulator level:
+    /// wheel vs heap, pooled vs boxed, batched vs unbatched.
+    #[test]
+    fn engine_configs_agree_on_delivery_schedule() {
+        fn run(engine: EngineConfig) -> Vec<(SimTime, u64)> {
+            let mut sim = Simulator::with_engine(99, engine);
+            let l = sim.add_link(LinkConfig::new(5_000_000, SimDuration::from_micros(100)));
+            let sink = sim.add_agent(Box::new(Sink::new()));
+            let route = Route::new(vec![l], sink);
+            for _ in 0..50 {
+                sim.world_mut().send_packet(sink, route.clone(), 1500, Payload::Raw);
+            }
+            sim.run_until(SimTime::from_secs_f64(1.0));
+            sim.agent::<Sink>(sink).received.clone()
+        }
+        let reference = run(EngineConfig::reference());
+        for queue in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+            for pool_packets in [false, true] {
+                for batch_acks in [false, true] {
+                    let cfg = EngineConfig { queue, pool_packets, batch_acks };
+                    assert_eq!(run(cfg), reference, "engine {cfg:?} diverged");
+                }
+            }
+        }
     }
 
     #[test]

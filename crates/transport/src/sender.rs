@@ -18,9 +18,9 @@ use crate::config::{FlowConfig, Scheduler};
 use crate::rtt::RttEstimator;
 use crate::sample::{FlowSample, SubflowSample};
 use congestion::{MultipathCongestionControl, SubflowCc};
-use netsim::{Agent, Ctx, Packet, Payload, Route, SimTime, Watched};
+use netsim::{Agent, Ctx, Packet, Payload, Route, SimTime, TimerHandle, Watched};
 use obs::{DiscardCause, RecoveryCause, SubflowCounters, TraceEvent};
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 use std::sync::Arc;
 
 /// Timer token: start the connection.
@@ -60,6 +60,103 @@ struct Seg {
     last_tx: SimTime,
 }
 
+/// Scoreboard keyed by subflow sequence number.
+///
+/// Subflow sequences are dense: every insert happens at `snd_nxt` (one past
+/// the current tail) and `slide` removes only from the front, so a ring
+/// buffer plus a base offset replaces a `BTreeMap` — per-ACK lookup, append,
+/// and cumulative slide are O(1) instead of O(log w) in the window size.
+#[derive(Debug, Default)]
+struct SegBoard {
+    /// Sequence number of `ring[0]` (meaningless while empty).
+    base: u64,
+    ring: VecDeque<Seg>,
+}
+
+impl SegBoard {
+    fn idx(&self, seq: u64) -> Option<usize> {
+        let off = usize::try_from(seq.checked_sub(self.base)?).ok()?;
+        (off < self.ring.len()).then_some(off)
+    }
+
+    /// Clamps `[from, to)` to occupied ring indices.
+    fn bounds(&self, from: u64, to: u64) -> (usize, usize) {
+        let len = self.ring.len();
+        let lo = usize::try_from(from.saturating_sub(self.base)).unwrap_or(len).min(len);
+        let hi = usize::try_from(to.saturating_sub(self.base)).unwrap_or(len).min(len);
+        (lo, hi.max(lo))
+    }
+
+    fn get(&self, seq: u64) -> Option<&Seg> {
+        let i = self.idx(seq)?;
+        self.ring.get(i)
+    }
+
+    fn get_mut(&mut self, seq: u64) -> Option<&mut Seg> {
+        let i = self.idx(seq)?;
+        self.ring.get_mut(i)
+    }
+
+    /// Appends at the tail; `seq` must be exactly one past the current tail
+    /// (callers insert at `snd_nxt` only).
+    fn insert(&mut self, seq: u64, seg: Seg) {
+        if self.ring.is_empty() {
+            self.base = seq;
+        }
+        debug_assert_eq!(u64::try_from(self.ring.len()).ok().map(|n| self.base + n), Some(seq));
+        self.ring.push_back(seg);
+    }
+
+    fn first(&self) -> Option<(u64, &Seg)> {
+        self.ring.front().map(|s| (self.base, s))
+    }
+
+    /// Only the `check-invariants` scoreboard audit needs this.
+    #[cfg_attr(not(feature = "check-invariants"), allow(dead_code))]
+    fn last_seq(&self) -> Option<u64> {
+        let n = u64::try_from(self.ring.len()).ok()?;
+        n.checked_sub(1).map(|last| self.base + last)
+    }
+
+    fn pop_first(&mut self) {
+        if self.ring.pop_front().is_some() {
+            self.base += 1;
+        }
+    }
+
+    fn range(&self, from: u64, to: u64) -> impl Iterator<Item = (u64, &Seg)> {
+        let (lo, hi) = self.bounds(from, to);
+        let base = self.base;
+        self.ring
+            .range(lo..hi)
+            .enumerate()
+            .map(move |(i, s)| (base + u64::try_from(lo + i).unwrap_or(u64::MAX), s))
+    }
+
+    fn range_mut(&mut self, from: u64, to: u64) -> impl Iterator<Item = (u64, &mut Seg)> {
+        let (lo, hi) = self.bounds(from, to);
+        let base = self.base;
+        self.ring
+            .range_mut(lo..hi)
+            .enumerate()
+            .map(move |(i, s)| (base + u64::try_from(lo + i).unwrap_or(u64::MAX), s))
+    }
+
+    fn values(&self) -> impl Iterator<Item = &Seg> {
+        self.ring.iter()
+    }
+
+    fn values_mut(&mut self) -> impl Iterator<Item = &mut Seg> {
+        self.ring.iter_mut()
+    }
+
+    /// Only the `check-invariants` scoreboard audit needs this.
+    #[cfg_attr(not(feature = "check-invariants"), allow(dead_code))]
+    fn len(&self) -> usize {
+        self.ring.len()
+    }
+}
+
 /// Per-subflow sender state.
 #[derive(Debug)]
 pub struct SubflowState {
@@ -78,12 +175,17 @@ pub struct SubflowState {
     pipe: u64,
     rtt: RttEstimator,
     rto_gen: u64,
+    /// Cancellable timer slot carrying this subflow's RTO (lazily allocated
+    /// on first arm). Re-arming on every cumulative ACK is O(1) with no
+    /// event-queue traffic; `rto_gen` stays as a second line of staleness
+    /// defense in the token itself.
+    rto_timer: Option<TimerHandle>,
     backoff: u32,
     /// Declared dead after `FlowConfig::dead_after_backoffs` consecutive RTO
     /// backoffs; only revival probes are sent until the path answers again.
     dead: bool,
     /// Scoreboard: subflow sequence → segment state.
-    segs: BTreeMap<u64, Seg>,
+    segs: SegBoard,
     /// Counters.
     pub tx_pkts: u64,
     /// Fast (scoreboard) + RTO retransmissions.
@@ -127,9 +229,10 @@ impl SubflowState {
             pipe: 0,
             rtt: RttEstimator::new(cfg.min_rto),
             rto_gen: 0,
+            rto_timer: None,
             backoff: 0,
             dead: false,
-            segs: BTreeMap::new(),
+            segs: SegBoard::default(),
             tx_pkts: 0,
             rexmits: 0,
             fast_rexmits: 0,
@@ -160,7 +263,7 @@ impl SubflowState {
     /// `true` when the segment was *already* delivered and had been
     /// retransmitted — i.e. this ACK proves a retransmission spurious.
     fn mark_delivered(&mut self, seq: u64) -> bool {
-        if let Some(seg) = self.segs.get_mut(&seq) {
+        if let Some(seg) = self.segs.get_mut(seq) {
             if !seg.delivered {
                 seg.delivered = true;
                 if seg.in_pipe {
@@ -189,7 +292,7 @@ impl SubflowState {
             self.loss_scan = hi;
             return 0;
         }
-        for (_, seg) in self.segs.range_mut(from..hi) {
+        for (_, seg) in self.segs.range_mut(from, hi) {
             if !seg.delivered && seg.in_pipe && seg.rexmits == 0 {
                 seg.in_pipe = false;
                 newly_lost += 1;
@@ -202,7 +305,7 @@ impl SubflowState {
 
     /// Removes scoreboard entries below the cumulative ACK.
     fn slide(&mut self, cum_ack: u64) {
-        while let Some((&seq, seg)) = self.segs.first_key_value() {
+        while let Some((seq, seg)) = self.segs.first() {
             if seq >= cum_ack {
                 break;
             }
@@ -221,8 +324,8 @@ impl SubflowState {
         let hi = self.sack_high.saturating_sub(DUP_THRESH).min(self.recover);
         let from = self.rexmit_cursor.max(self.snd_una);
         if from < hi {
-            if let Some((&seq, _)) =
-                self.segs.range(from..hi).find(|(_, seg)| !seg.delivered && !seg.in_pipe)
+            if let Some((seq, _)) =
+                self.segs.range(from, hi).find(|(_, seg)| !seg.delivered && !seg.in_pipe)
             {
                 self.rexmit_cursor = seq + 1;
                 return Some(seq);
@@ -234,7 +337,7 @@ impl SubflowState {
         // Lost-retransmission probe: an undelivered, already-retransmitted
         // segment that has been quiet for over 1.5 smoothed RTTs.
         let stale = self.rtt.srtt().unwrap_or(0.2) * 1.5;
-        if let Some((&seq, _)) = self.segs.range(self.snd_una..hi).find(|(_, seg)| {
+        if let Some((seq, _)) = self.segs.range(self.snd_una, hi).find(|(_, seg)| {
             !seg.delivered
                 && seg.rexmits > 0
                 && now.saturating_since(seg.last_tx).as_secs_f64() > stale
@@ -276,6 +379,8 @@ pub struct MptcpSender {
     persist_backoff: u32,
     /// Persist-timer generation (stale-fire rejection, like `rto_gen`).
     persist_gen: u64,
+    /// Cancellable timer slot for the persist timer (lazily allocated).
+    persist_timer: Option<TimerHandle>,
     /// The in-flight window probe, if one was materialized:
     /// `(subflow, subflow seq)`.
     probe: Option<(usize, u64)>,
@@ -324,6 +429,7 @@ impl MptcpSender {
             zero_window: false,
             persist_backoff: 0,
             persist_gen: 0,
+            persist_timer: None,
             probe: None,
             zero_window_stalls: 0,
             persist_probes: 0,
@@ -447,13 +553,22 @@ impl MptcpSender {
         let sf = &mut self.subflows[r];
         sf.rto_gen += 1;
         let delay = sf.rtt.rto_backed_off(sf.backoff);
-        ctx.schedule_in(delay, rto_token(r, sf.rto_gen));
+        let h = *sf.rto_timer.get_or_insert_with(|| ctx.timer_slot());
+        ctx.arm_timer(h, delay, rto_token(r, sf.rto_gen));
+    }
+
+    /// Disarms subflow `r`'s RTO (nothing outstanding to cover).
+    fn disarm_rto(&mut self, r: usize, ctx: &mut Ctx<'_>) {
+        self.subflows[r].rto_gen += 1;
+        if let Some(h) = self.subflows[r].rto_timer {
+            ctx.cancel_timer(h);
+        }
     }
 
     fn transmit(&mut self, r: usize, seq: u64, retransmit: bool, ctx: &mut Ctx<'_>) {
         let now = ctx.now();
         let sf = &mut self.subflows[r];
-        let Some(seg) = sf.segs.get_mut(&seq) else { return };
+        let Some(seg) = sf.segs.get_mut(seq) else { return };
         let data_seq = seg.data_seq;
         if retransmit {
             seg.rexmits += 1;
@@ -528,7 +643,8 @@ impl MptcpSender {
         self.persist_gen += 1;
         let r = self.probe_subflow();
         let delay = self.subflows[r].rtt.rto_backed_off(self.persist_backoff);
-        ctx.schedule_in(delay, TK_PERSIST_BIT | (self.persist_gen & 0xffff_ffff));
+        let h = *self.persist_timer.get_or_insert_with(|| ctx.timer_slot());
+        ctx.arm_timer(h, delay, TK_PERSIST_BIT | (self.persist_gen & 0xffff_ffff));
     }
 
     /// Leaves the zero-window stall: disarm the persist timer, restore RTO
@@ -537,7 +653,10 @@ impl MptcpSender {
     fn exit_zero_window(&mut self, ctx: &mut Ctx<'_>) {
         self.zero_window = false;
         self.persist_backoff = 0;
-        self.persist_gen += 1; // disarm: pending persist fires are stale
+        self.persist_gen += 1; // any already-dispatched persist fire is stale
+        if let Some(h) = self.persist_timer {
+            ctx.cancel_timer(h);
+        }
         self.probe = None;
         ctx.emit(TraceEvent::ZeroWindowResume {
             t_ns: ctx.now().as_nanos(),
@@ -727,7 +846,7 @@ impl MptcpSender {
             sf.has_outstanding()
                 && sf
                     .segs
-                    .get(&sf.snd_una)
+                    .get(sf.snd_una)
                     .is_some_and(|seg| seg.data_seq == target && !seg.delivered)
         }) else {
             return;
@@ -838,14 +957,30 @@ impl MptcpSender {
             sf.deaths += 1;
         }
         self.cc_states[r].active = false;
-        let mut stranded: Vec<u64> = self.subflows[r]
+        // Data already reinjected onto (and still carried by) another live
+        // subflow is NOT stranded — a flapping subflow (die → revive → die)
+        // must not enqueue the same data_seq a second time while the first
+        // reinjection is still in flight elsewhere.
+        let mut held_live: BTreeSet<u64> = BTreeSet::new();
+        for (i, sf) in self.subflows.iter().enumerate() {
+            if i == r || sf.dead {
+                continue;
+            }
+            held_live.extend(
+                sf.segs
+                    .values()
+                    .filter(|seg| !seg.delivered && seg.data_seq >= data_acked)
+                    .map(|seg| seg.data_seq),
+            );
+        }
+        let stranded: BTreeSet<u64> = self.subflows[r]
             .segs
             .values()
-            .filter(|seg| !seg.delivered && seg.data_seq >= data_acked)
+            .filter(|seg| {
+                !seg.delivered && seg.data_seq >= data_acked && !held_live.contains(&seg.data_seq)
+            })
             .map(|seg| seg.data_seq)
             .collect();
-        stranded.sort_unstable();
-        stranded.dedup();
         for d in stranded {
             if !self.reinject_queue.contains(&d) {
                 self.reinject_queue.push_back(d);
@@ -984,8 +1119,9 @@ impl MptcpSender {
             if self.subflows[r].has_outstanding() {
                 self.arm_rto(r, ctx);
             } else {
-                // Nothing outstanding: disarm by bumping the generation.
-                self.subflows[r].rto_gen += 1;
+                // Nothing outstanding: cancel the timer slot (and bump the
+                // generation so any already-dispatched fire is stale).
+                self.disarm_rto(r, ctx);
             }
         }
 
@@ -1039,7 +1175,7 @@ impl MptcpSender {
             sf.timeouts += 1;
             sf.backoff = (sf.backoff + 1).min(16);
             // RTO: every outstanding segment is presumed lost; pipe resets.
-            for (_, seg) in sf.segs.range_mut(..) {
+            for seg in sf.segs.values_mut() {
                 seg.in_pipe = false;
             }
             sf.pipe = 0;
@@ -1178,7 +1314,7 @@ impl MptcpSender {
                         "conn {conn} sf{r}: delivered segment still in pipe: {s:?}"
                     ));
                 }
-                if let Some((&first, _)) = sf.segs.first_key_value() {
+                if let Some((first, _)) = sf.segs.first() {
                     if first < sf.snd_una {
                         return Err(format!(
                             "conn {conn} sf{r}: scoreboard entry {first} below snd_una {}",
@@ -1186,7 +1322,7 @@ impl MptcpSender {
                         ));
                     }
                 }
-                if let Some((&last, _)) = sf.segs.last_key_value() {
+                if let Some(last) = sf.segs.last_seq() {
                     if last >= sf.snd_nxt {
                         return Err(format!(
                             "conn {conn} sf{r}: scoreboard entry {last} at/past snd_nxt {}",
@@ -1307,5 +1443,91 @@ impl Agent for MptcpSender {
             self.record_sample(ctx.now());
             ctx.schedule_in(self.cfg.sample_every, TK_SAMPLE);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congestion::AlgorithmKind;
+
+    fn seg(data_seq: u64) -> Seg {
+        Seg {
+            data_seq,
+            delivered: false,
+            in_pipe: false,
+            rexmits: 0,
+            spurious_counted: false,
+            last_tx: SimTime::ZERO,
+        }
+    }
+
+    fn two_path_sender() -> MptcpSender {
+        let mut s = MptcpSender::new(FlowConfig::new(0), AlgorithmKind::Lia.build(2));
+        s.add_path(Route::direct(1));
+        s.add_path(Route::direct(1));
+        s
+    }
+
+    /// A flapping subflow (die → revive → die) must not enqueue a data
+    /// sequence for reinjection a second time while the first reinjection is
+    /// still held, undelivered, by another live subflow.
+    #[test]
+    fn mark_dead_skips_data_already_reinjected_elsewhere() {
+        let mut s = two_path_sender();
+        // Subflow 1 carries data 5 and 6, both undelivered.
+        s.subflows[1].segs.insert(0, seg(5));
+        s.subflows[1].segs.insert(1, seg(6));
+        s.subflows[1].snd_nxt = 2;
+
+        s.mark_dead(1);
+        assert_eq!(s.reinject_queue, [5, 6], "first death strands both sequences");
+
+        // The failover drain moved 5 and 6 onto live subflow 0 (still in
+        // flight there), and subflow 1 then revived with its scoreboard
+        // intact — the classic flap.
+        s.reinject_queue.clear();
+        s.subflows[0].segs.insert(0, seg(5));
+        s.subflows[0].segs.insert(1, seg(6));
+        s.subflows[0].snd_nxt = 2;
+        s.revive(1);
+
+        s.mark_dead(1);
+        assert!(
+            s.reinject_queue.is_empty(),
+            "second death must not re-strand data held live elsewhere: {:?}",
+            s.reinject_queue
+        );
+    }
+
+    /// Data the live copy already delivered (or that only the dead subflow
+    /// holds) still strands normally on a re-death.
+    #[test]
+    fn mark_dead_still_strands_unprotected_data() {
+        let mut s = two_path_sender();
+        s.subflows[1].segs.insert(0, seg(5));
+        s.subflows[1].segs.insert(1, seg(6));
+        s.subflows[1].snd_nxt = 2;
+        // Subflow 0 holds a copy of 5, but it was already delivered — it no
+        // longer protects 5 from re-stranding. Nothing covers 6.
+        s.subflows[0].segs.insert(0, seg(5));
+        s.subflows[0].snd_nxt = 1;
+        s.subflows[0].segs.get_mut(0).unwrap().delivered = true;
+
+        s.mark_dead(1);
+        assert_eq!(s.reinject_queue, [5, 6]);
+    }
+
+    /// Sequences below the connection-level cumulative ACK never strand.
+    #[test]
+    fn mark_dead_ignores_already_acked_data() {
+        let mut s = two_path_sender();
+        s.subflows[1].segs.insert(0, seg(5));
+        s.subflows[1].segs.insert(1, seg(6));
+        s.subflows[1].snd_nxt = 2;
+        s.data_acked = 6;
+
+        s.mark_dead(1);
+        assert_eq!(s.reinject_queue, [6], "only data at/above the data ACK strands");
     }
 }

@@ -1,0 +1,88 @@
+//! Failover under a *flapping* subflow (die → revive → die) and the O(1)
+//! timer discipline of the sender's RTO path.
+//!
+//! The flap regression: `mark_dead` used to strand every undelivered
+//! sequence the dying subflow held, even ones a previous death had already
+//! reinjected onto (and that were still in flight on) a live subflow. A
+//! path that flapped twice could thus enqueue the same `data_seq` twice and
+//! send redundant duplicates. The fix skips sequences held undelivered by
+//! other live subflows; these tests pin the end-to-end behavior.
+
+use congestion::AlgorithmKind;
+use netsim::prelude::*;
+use transport::{attach_flow, FlowConfig, PathSpec};
+
+/// One forward link, one reverse link.
+fn duplex(sim: &mut Simulator, bps: u64, one_way: SimDuration, qlimit: usize) -> PathSpec {
+    let fwd = sim.add_link(LinkConfig::new(bps, one_way).queue_limit(qlimit));
+    let rev = sim.add_link(LinkConfig::new(bps, one_way).queue_limit(qlimit));
+    PathSpec::new(vec![fwd], vec![rev])
+}
+
+/// Path 2 flaps: two separate blackouts, each long enough to declare the
+/// subflow dead, with a revival window between them. The transfer must
+/// still complete exactly-once, with two deaths and two revivals recorded.
+#[test]
+fn flapping_subflow_completes_exactly_once() {
+    let mut sim = Simulator::new(77);
+    let p1 = duplex(&mut sim, 10_000_000, SimDuration::from_millis(10), 100);
+    let p2 = duplex(&mut sim, 10_000_000, SimDuration::from_millis(10), 100);
+    let mut script = FaultScript::new();
+    for (down, up) in [(3.0, 8.0), (12.0, 17.0)] {
+        script = script
+            .blackout(p2.fwd[0], SimTime::from_secs_f64(down), SimTime::from_secs_f64(up))
+            .blackout(p2.rev[0], SimTime::from_secs_f64(down), SimTime::from_secs_f64(up));
+    }
+    script.install(&mut sim);
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(0).transfer_pkts(30_000).dead_after_backoffs(Some(2)),
+        AlgorithmKind::Lia.build(2),
+        &[p1, p2],
+        SimDuration::ZERO,
+    );
+    sim.run_until(SimTime::from_secs_f64(90.0));
+    assert!(flow.is_finished(&sim), "transfer must survive a flapping path");
+
+    let sender = flow.sender_ref(&sim);
+    let counters = sender.subflow_counters();
+    assert_eq!(counters[1].deaths, 2, "both blackouts must kill the path");
+    assert_eq!(counters[1].revivals, 2, "both recoveries must revive it");
+    // Exactly-once delivery at the connection level despite the flap.
+    assert_eq!(flow.receiver_ref(&sim).data_delivered(), sender.data_acked());
+}
+
+/// Mid-transfer, the sender's RTO re-arms on (nearly) every cumulative ACK.
+/// With slot timers that is pure state mutation: the number of live timer
+/// events stays O(subflows), never O(ACKs processed).
+#[test]
+fn rto_rearming_keeps_live_timer_state_constant() {
+    let mut sim = Simulator::new(11);
+    let p1 = duplex(&mut sim, 10_000_000, SimDuration::from_millis(10), 100);
+    let p2 = duplex(&mut sim, 10_000_000, SimDuration::from_millis(10), 100);
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(0).transfer_pkts(100_000),
+        AlgorithmKind::Lia.build(2),
+        &[p1, p2],
+        SimDuration::ZERO,
+    );
+    // Sample mid-transfer, well past slow start: thousands of ACKs (and
+    // RTO re-arms) have happened by each checkpoint.
+    for t in [2.0, 4.0, 6.0] {
+        sim.run_until(SimTime::from_secs_f64(t));
+        assert!(!flow.is_finished(&sim), "transfer sized to outlast the checkpoints");
+        assert!(
+            sim.armed_timers() <= 4,
+            "armed slot timers must stay O(subflows), got {} at t={t}",
+            sim.armed_timers()
+        );
+        assert!(
+            sim.pending_events() <= 64,
+            "pending events must stay O(pipe), got {} at t={t}",
+            sim.pending_events()
+        );
+    }
+    sim.run_until(SimTime::from_secs_f64(120.0));
+    assert!(flow.is_finished(&sim));
+}

@@ -26,7 +26,10 @@ use bench_harness::repro::ReproSpec;
 use bench_harness::runner::{run_sweep_jobs, SweepCell};
 use congestion::AlgorithmKind;
 use mptcp_energy::CcChoice;
-use netsim::{FaultAction, FaultScript, LossModel, ReorderModel, SimDuration, SimTime, Simulator};
+use netsim::{
+    EngineConfig, FaultAction, FaultScript, LossModel, QueueKind, ReorderModel, SimDuration,
+    SimTime, Simulator,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use topology::TwoPath;
@@ -141,8 +144,12 @@ struct SoakOutcome {
 }
 
 fn soak_with(seed: u64, adversarial: bool) -> SoakOutcome {
+    soak_on_engine(seed, adversarial, EngineConfig::default())
+}
+
+fn soak_on_engine(seed: u64, adversarial: bool, engine: EngineConfig) -> SoakOutcome {
     let label = if adversarial { format!("soak-adv-{seed}") } else { format!("soak-{seed}") };
-    let mut sim = Simulator::new(seed);
+    let mut sim = Simulator::with_engine(seed, engine);
     if let Some(dir) = trace_dir() {
         if let Some(sink) = obs::jsonl_sink_in(&dir, &label) {
             sim.set_trace_sink(sink);
@@ -340,6 +347,33 @@ fn chaos_runs_are_reproducible_per_seed() {
     assert_eq!(serial, parallel, "serial vs parallel soak outcomes diverged");
     for r in &serial {
         assert!(r.output.finished, "{}: transfer incomplete: {:?}", r.label, r.output);
+    }
+}
+
+#[test]
+fn chaos_outcomes_identical_across_engines() {
+    // The event-loop overhaul's contract under fire: with faults, blackouts,
+    // reordering, duplication, and corruption all active, every engine
+    // combination still produces the same `SoakOutcome` bit-for-bit. Seeds
+    // pick one LIA (even) and one DTS (odd) cell, plain and adversarial.
+    for seed in [4u64, 9] {
+        for adversarial in [false, true] {
+            let reference = soak_on_engine(seed, adversarial, EngineConfig::reference());
+            assert!(reference.finished, "seed {seed}: reference run incomplete");
+            for queue in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+                for pool_packets in [true, false] {
+                    for batch_acks in [true, false] {
+                        let engine = EngineConfig { queue, pool_packets, batch_acks };
+                        assert_eq!(
+                            soak_on_engine(seed, adversarial, engine),
+                            reference,
+                            "seed {seed} (adversarial={adversarial}): engine {engine:?} \
+                             diverged from reference"
+                        );
+                    }
+                }
+            }
+        }
     }
 }
 

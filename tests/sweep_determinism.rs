@@ -12,6 +12,7 @@ use congestion::AlgorithmKind;
 use mptcp_energy::scenarios::{
     run_two_path_bursty, run_two_path_bursty_traced, BurstyOptions, CcChoice, FlowResult,
 };
+use netsim::{EngineConfig, QueueKind};
 use obs::TraceEvent;
 use std::sync::{Arc, Mutex};
 
@@ -90,5 +91,47 @@ fn tracing_on_and_off_are_byte_identical() {
             "{}: counter snapshot is empty",
             cc.label()
         );
+    }
+}
+
+/// The third leg of the determinism contract, added with the event-loop
+/// overhaul: the engine configuration (timer wheel vs binary heap, pooled vs
+/// boxed packets, batched vs per-event delivery) changes only *speed*. Every
+/// engine combination must produce a `FlowResult`, trace stream, and counter
+/// snapshot byte-identical to the reference engine's, across seeds and
+/// algorithms.
+#[test]
+fn all_engines_are_byte_identical_to_the_reference() {
+    for seed in [5u64, 23] {
+        for cc in [CcChoice::Base(AlgorithmKind::Lia), CcChoice::dts()] {
+            let run = |engine: EngineConfig| {
+                let opts = BurstyOptions {
+                    seed,
+                    transfer_bytes: Some(2_000_000),
+                    duration_s: 60.0,
+                    engine,
+                    ..BurstyOptions::default()
+                };
+                let events: Arc<Mutex<Vec<TraceEvent>>> = Arc::new(Mutex::new(Vec::new()));
+                let (result, counters) =
+                    run_two_path_bursty_traced(&cc, &opts, Some(Box::new(events.clone())));
+                let trace = std::mem::take(&mut *events.lock().unwrap());
+                (format!("{result:?}"), format!("{counters:?}"), format!("{trace:?}"))
+            };
+            let reference = run(EngineConfig::reference());
+            for queue in [QueueKind::TimerWheel, QueueKind::BinaryHeap] {
+                for pool_packets in [true, false] {
+                    for batch_acks in [true, false] {
+                        let engine = EngineConfig { queue, pool_packets, batch_acks };
+                        assert_eq!(
+                            run(engine),
+                            reference,
+                            "{}/seed {seed}: engine {engine:?} diverged from reference",
+                            cc.label()
+                        );
+                    }
+                }
+            }
+        }
     }
 }
