@@ -1,0 +1,255 @@
+//! Datacenter-scale energy study on the hybrid fluid/packet engine
+//! (FatTree, permutation traffic, per-CC-model J/Gbit and throughput
+//! tables).
+//!
+//! This is the scale demonstration the pure packet stack cannot reach: at
+//! `--full` the fabric is FatTree(k = 32) — 8192 hosts, 49 152 links — with
+//! 100 000 long-lived two-subflow flows integrated as Equation-(3) fluids
+//! plus a packet-level population of short transfers riding the same links
+//! (fluid traffic installed as background load, stragglers handed off to
+//! the fluid regime mid-run). One cell per congestion-control model.
+//!
+//! Runs through the crash-safe sweep fabric: `--journal PATH` checkpoints
+//! each completed cell and resumes after a kill; `--smoke/--quick/--full`
+//! select the scale tier. Same seed + same tier → byte-identical stdout
+//! (all state derives from the simulator clock and seeded RNG; outputs are
+//! journaled bit-exactly).
+
+use bench_harness::fabric::journal::{JournalValue, ValueReader};
+use bench_harness::fabric::{run_fabric, FabricCell, FabricOptions, Fingerprint, JournalCodec};
+use bench_harness::{Cli, Scale};
+use congestion::AlgorithmKind;
+use energy_model::WiredCpuModel;
+use mptcp_energy::hybrid::{fluid_model_of, HybridConfig, HybridEngine};
+use mptcp_energy::scenarios::CcChoice;
+use netsim::{SimDuration, Simulator};
+use obs::HybridCounters;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use topology::{FatTree, LinkParams};
+use transport::FlowConfig;
+use workload::permutation_pairs;
+
+/// One scale tier of the study.
+#[derive(Clone, Copy, Debug)]
+struct Tier {
+    /// FatTree arity (hosts = k³/4).
+    k: usize,
+    /// Long-lived fluid flows (two subflows each).
+    long_flows: usize,
+    /// Short packet-level transfers sharing the fabric.
+    short_flows: usize,
+    /// Coupling epochs to run.
+    epochs: usize,
+    /// Epoch length, seconds.
+    epoch_s: f64,
+    /// Fluid RK4 step, seconds.
+    fluid_dt: f64,
+}
+
+fn tier(scale: Scale) -> Tier {
+    match scale {
+        Scale::Smoke => {
+            Tier { k: 4, long_flows: 64, short_flows: 12, epochs: 4, epoch_s: 0.1, fluid_dt: 1e-3 }
+        }
+        Scale::Quick => Tier {
+            k: 8,
+            long_flows: 2_048,
+            short_flows: 64,
+            epochs: 6,
+            epoch_s: 0.2,
+            fluid_dt: 5e-4,
+        },
+        Scale::Full => Tier {
+            k: 32,
+            long_flows: 100_000,
+            short_flows: 512,
+            epochs: 8,
+            epoch_s: 0.25,
+            fluid_dt: 2e-4,
+        },
+    }
+}
+
+/// Per-cell output journaled bit-exactly.
+#[derive(Clone, Debug, PartialEq)]
+struct CellOut {
+    energy_j: f64,
+    delivered_bits: f64,
+    joules_per_gbit: f64,
+    goodput_bps: f64,
+    hybrid: HybridCounters,
+}
+
+impl JournalCodec for CellOut {
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        self.energy_j.encode(out);
+        self.delivered_bits.encode(out);
+        self.joules_per_gbit.encode(out);
+        self.goodput_bps.encode(out);
+        self.hybrid.encode(out);
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        Ok(CellOut {
+            energy_j: f64::decode(r)?,
+            delivered_bits: f64::decode(r)?,
+            joules_per_gbit: f64::decode(r)?,
+            goodput_bps: f64::decode(r)?,
+            hybrid: HybridCounters::decode(r)?,
+        })
+    }
+}
+
+/// The inter-pod path RTT of the FatTree under study (6 links × (100 µs
+/// propagation + 100 Mb/s serialization of a 1500 B segment) each way,
+/// ACKs back) — the calibration RTT for the fluid price curves.
+fn calib_rtt_s(host_bps: u64) -> f64 {
+    let ser_data = 1500.0 * 8.0 / host_bps as f64;
+    let ser_ack = 40.0 * 8.0 / host_bps as f64;
+    6.0 * (2.0 * 100e-6 + ser_data + ser_ack)
+}
+
+fn run_cell(seed: u64, t: Tier, cc: &CcChoice) -> CellOut {
+    const HOST_BPS: u64 = 100_000_000;
+    let mut sim = Simulator::new(seed);
+    let params = LinkParams::new(HOST_BPS, SimDuration::from_micros(100)).queue(32);
+    let ft = FatTree::build(&mut sim, t.k, params);
+    let hosts = ft.hosts();
+
+    let cfg = HybridConfig {
+        epoch_s: t.epoch_s,
+        fluid_dt: t.fluid_dt,
+        // Short flows that have not finished after two epochs cross into
+        // the fluid regime — the handoff path is exercised at scale.
+        handoff_age_s: 2.0 * t.epoch_s,
+        calib_rtt_s: calib_rtt_s(HOST_BPS),
+        ..HybridConfig::default()
+    };
+    let Some(model) = fluid_model_of(cc) else {
+        // The cell list below only contains algorithms with a §IV fluid
+        // form, so this is unreachable by construction.
+        return CellOut {
+            energy_j: 0.0,
+            delivered_bits: 0.0,
+            joules_per_gbit: f64::INFINITY,
+            goodput_bps: 0.0,
+            hybrid: HybridCounters::default(),
+        };
+    };
+    let mut eng = HybridEngine::new(sim, hosts, WiredCpuModel::energy_proportional_server(), cfg);
+
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD0C5);
+    // Long-lived fluid population: rounds of permutation traffic until the
+    // target count is reached; every flow starts at a fair-share rate of
+    // its host uplink.
+    let cap_pps = HOST_BPS as f64 / (8.0 * 1500.0);
+    let per_host = t.long_flows.div_ceil(hosts).max(1);
+    let x0 = (cap_pps / (2.0 * per_host as f64)).max(1.0);
+    let mut placed = 0;
+    while placed < t.long_flows {
+        let pairs = permutation_pairs(hosts, &mut rng);
+        for &(src, dst) in pairs.iter().take(t.long_flows - placed) {
+            let paths = ft.sample_paths(src, dst, 2, &mut rng);
+            eng.add_fluid_flow(model, &paths, x0, src);
+            placed += 1;
+        }
+    }
+    // Short packet transfers: staggered starts across the first epoch,
+    // 48 KB – 384 KB each.
+    let pairs = permutation_pairs(hosts, &mut rng);
+    for j in 0..t.short_flows {
+        let (src, dst) = pairs[j % pairs.len()];
+        let paths = ft.sample_paths(src, dst, 2, &mut rng);
+        let pkts = rng.gen_range(32..256u64);
+        let fc = FlowConfig::new(j as u64)
+            .transfer_pkts(pkts)
+            .min_rto(SimDuration::from_millis(10))
+            .rcv_buf_pkts(512);
+        let jitter = SimDuration::from_millis((j as u64 * 7) % (t.epoch_s * 1e3) as u64);
+        eng.add_packet_flow_from(fc, cc, &paths, jitter, src);
+    }
+
+    eng.run_epochs(t.epochs);
+    CellOut {
+        energy_j: eng.energy_joules(),
+        delivered_bits: eng.delivered_bits(),
+        joules_per_gbit: eng.joules_per_gbit(),
+        goodput_bps: eng.delivered_bits() / (t.epochs as f64 * t.epoch_s),
+        hybrid: eng.counters(),
+    }
+}
+
+fn models() -> Vec<(&'static str, CcChoice)> {
+    vec![
+        ("olia", CcChoice::Base(AlgorithmKind::Olia)),
+        ("lia", CcChoice::Base(AlgorithmKind::Lia)),
+        ("ewtcp", CcChoice::Base(AlgorithmKind::Ewtcp)),
+        ("balia", CcChoice::Base(AlgorithmKind::Balia)),
+        ("dts", CcChoice::dts()),
+        ("dts-phi", CcChoice::dts_phi()),
+    ]
+}
+
+fn main() {
+    let cli = Cli::from_args();
+    let t = tier(cli.scale);
+    let cells: Vec<FabricCell<CellOut>> = models()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, cc))| {
+            let seed = 0x5CA1E + i as u64;
+            FabricCell::new(label, seed, move || run_cell(seed, t, &cc)).config(
+                Fingerprint::new()
+                    .str("hybrid_scale")
+                    .str(cli.scale.name())
+                    .u64(t.k as u64)
+                    .u64(t.long_flows as u64)
+                    .u64(t.short_flows as u64)
+                    .u64(t.epochs as u64),
+            )
+        })
+        .collect();
+
+    let report = match run_fabric(cells, &FabricOptions::from_cli(&cli)) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("hybrid_scale: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!("{}", report.counters.render());
+
+    println!(
+        "# hybrid_scale {} — FatTree(k={}), {} fluid + {} packet flows, {} epochs x {}s",
+        Scale::name(cli.scale),
+        t.k,
+        t.long_flows,
+        t.short_flows,
+        t.epochs,
+        t.epoch_s
+    );
+    println!(
+        "{:<8} {:>12} {:>14} {:>12} {:>14} {:>9} {:>9}",
+        "model", "J/Gbit", "goodput Gbps", "energy kJ", "deliv. Gbit", "handoffs", "cap_hits"
+    );
+    for r in report.results() {
+        let o = &r.output;
+        println!(
+            "{:<8} {:>12.3} {:>14.4} {:>12.3} {:>14.3} {:>9} {:>9}",
+            r.label,
+            o.joules_per_gbit,
+            o.goodput_bps / 1e9,
+            o.energy_j / 1e3,
+            o.delivered_bits / 1e9,
+            o.hybrid.handoffs,
+            o.hybrid.price_cap_hits
+        );
+    }
+    for r in report.results() {
+        eprintln!("{}: {}", r.label, r.output.hybrid.render());
+    }
+    if !report.is_complete() {
+        eprint!("{}", report.partial_note());
+        std::process::exit(1);
+    }
+}

@@ -27,8 +27,8 @@
 use super::plan::CellId;
 use crate::repro::{esc, json_escaped_str_field, unesc};
 use obs::{
-    json_str_field, json_u64_field, ConnCounters, CounterSnapshot, GlobalCounters, LinkCounters,
-    SubflowCounters,
+    json_str_field, json_u64_field, ConnCounters, CounterSnapshot, GlobalCounters, HybridCounters,
+    LinkCounters, SubflowCounters,
 };
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -322,6 +322,42 @@ impl JournalCodec for SubflowCounters {
             deaths: r.u64()?,
             revivals: r.u64()?,
             probes: r.u64()?,
+        })
+    }
+}
+
+impl JournalCodec for HybridCounters {
+    fn encode(&self, out: &mut Vec<JournalValue>) {
+        let HybridCounters {
+            epochs,
+            fluid_flows,
+            packet_flows,
+            handoffs,
+            fluid_steps,
+            price_cap_hits,
+            background_links,
+        } = self;
+        for v in [
+            epochs,
+            fluid_flows,
+            packet_flows,
+            handoffs,
+            fluid_steps,
+            price_cap_hits,
+            background_links,
+        ] {
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut ValueReader<'_>) -> Result<Self, String> {
+        Ok(HybridCounters {
+            epochs: r.u64()?,
+            fluid_flows: r.u64()?,
+            packet_flows: r.u64()?,
+            handoffs: r.u64()?,
+            fluid_steps: r.u64()?,
+            price_cap_hits: r.u64()?,
+            background_links: r.u64()?,
         })
     }
 }
@@ -815,6 +851,20 @@ mod tests {
         };
         roundtrip(snap);
         roundtrip(CounterSnapshot::default());
+    }
+
+    #[test]
+    fn codec_roundtrips_hybrid_counters() {
+        roundtrip(HybridCounters {
+            epochs: 12,
+            fluid_flows: 100_000,
+            packet_flows: 512,
+            handoffs: 37,
+            fluid_steps: 15_000,
+            price_cap_hits: 4,
+            background_links: 49_152,
+        });
+        roundtrip(HybridCounters::default());
     }
 
     #[test]

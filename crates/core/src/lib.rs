@@ -41,6 +41,7 @@ pub mod conditions;
 pub mod dts;
 pub mod dts_phi;
 pub mod fluid;
+pub mod hybrid;
 pub mod model;
 pub mod path_select;
 pub mod report;
@@ -50,7 +51,11 @@ pub mod stats;
 pub use conditions::{check_condition1, friendliness_ratio, pareto_efficiency};
 pub use dts::{epsilon_exact, epsilon_fixed_point, Dts, DtsConfig};
 pub use dts_phi::{DtsPhi, DtsPhiConfig};
-pub use fluid::{disjoint_paths_net, FluidFlow, FluidLink, FluidNet, FluidPath};
+pub use fluid::{
+    disjoint_paths_net, EquilibriumInfo, EquilibriumReport, FluidFlow, FluidLink, FluidNet,
+    FluidPath, FluidSolver,
+};
+pub use hybrid::{classify, fluid_model_of, HybridConfig, HybridEngine, Regime};
 pub use model::{CcModel, FlowView, Phi, Psi};
 pub use path_select::{run_wireless_with_policy, select_paths, PathPolicy};
 pub use scenarios::CcChoice;

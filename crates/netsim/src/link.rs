@@ -103,8 +103,13 @@ pub struct Link {
     /// Memo of the last two `(size, serialization delay)` pairs, so the
     /// u128 multiply/divide in [`LinkConfig::serialization`] leaves the
     /// per-packet path (traffic is dominated by one data size and one ACK
-    /// size). Invalidated by [`Link::set_bandwidth`].
+    /// size). Invalidated by [`Link::set_bandwidth`] and
+    /// [`Link::set_background_bps`].
     ser_cache: [Option<(u32, SimDuration)>; 2],
+    /// Bits/second of capacity claimed by an external background load (the
+    /// hybrid engine's fluid regime). Packets serialize at the residual
+    /// rate; see [`Link::set_background_bps`].
+    background_bps: u64,
     /// Integral of queue length over time (packet-seconds), for mean-queue
     /// telemetry used by energy-proportional pricing.
     qlen_integral: f64,
@@ -133,6 +138,7 @@ impl Link {
             queue: VecDeque::new(),
             in_flight: None,
             ser_cache: [None; 2],
+            background_bps: 0,
             qlen_integral: 0.0,
             last_q_change: SimTime::ZERO,
             stats: LinkStats::default(),
@@ -157,7 +163,37 @@ impl Link {
         self.ser_cache = [None; 2];
     }
 
-    /// [`LinkConfig::serialization`] through the link's two-entry memo.
+    /// Declares that an external (flow-level) background load occupies `bps`
+    /// of this link, so packet-level traffic serializes at the residual rate
+    /// `bandwidth − bps`. The residual is floored at 1% of the nominal rate
+    /// (never zero): the fluid regime may claim at most 99% of a shared
+    /// link, which keeps the packet engine live and serialization delays
+    /// finite. The nominal configuration is untouched and
+    /// [`Link::utilization`] keeps measuring against nominal capacity.
+    ///
+    /// The packet currently in service keeps its old serialization schedule;
+    /// subsequent packets use the residual rate.
+    pub fn set_background_bps(&mut self, bps: u64) {
+        if bps != self.background_bps {
+            self.background_bps = bps;
+            self.ser_cache = [None; 2];
+        }
+    }
+
+    /// The background load installed by [`Link::set_background_bps`].
+    pub fn background_bps(&self) -> u64 {
+        self.background_bps
+    }
+
+    /// The residual rate packet traffic serializes at: nominal bandwidth
+    /// minus background load, floored at 1% of nominal.
+    pub fn effective_bandwidth_bps(&self) -> u64 {
+        let floor = (self.cfg.bandwidth_bps / 100).max(1);
+        self.cfg.bandwidth_bps.saturating_sub(self.background_bps).max(floor)
+    }
+
+    /// [`LinkConfig::serialization`] through the link's two-entry memo, at
+    /// the residual (background-adjusted) rate.
     fn serialization_cached(&mut self, bytes: u32) -> SimDuration {
         if let Some((b, d)) = self.ser_cache[0] {
             if b == bytes {
@@ -171,7 +207,12 @@ impl Link {
                 return d;
             }
         }
-        let d = self.cfg.serialization(bytes);
+        let d = if self.background_bps == 0 {
+            self.cfg.serialization(bytes)
+        } else {
+            LinkConfig { bandwidth_bps: self.effective_bandwidth_bps(), ..self.cfg.clone() }
+                .serialization(bytes)
+        };
         self.ser_cache[1] = self.ser_cache[0];
         self.ser_cache[0] = Some((bytes, d));
         d
@@ -512,6 +553,56 @@ mod tests {
             l.enqueue(pkt(1000), SimTime::ZERO),
             Enqueue::StartTx(SimDuration::from_micros(500))
         );
+    }
+
+    #[test]
+    fn background_load_slows_serialization_and_invalidates_cache() {
+        let mut l = Link::new(LinkConfig::new(8_000_000, SimDuration::ZERO));
+        // Warm the cache at the nominal rate: 1000 B at 8 Mb/s = 1 ms.
+        assert_eq!(
+            l.enqueue(pkt(1000), SimTime::ZERO),
+            Enqueue::StartTx(SimDuration::from_millis(1))
+        );
+        let _ = l.tx_done(SimTime::from_secs_f64(0.001));
+        // Half the link is now fluid background: residual 4 Mb/s → 2 ms.
+        l.set_background_bps(4_000_000);
+        assert_eq!(l.effective_bandwidth_bps(), 4_000_000);
+        assert_eq!(
+            l.enqueue(pkt(1000), SimTime::ZERO),
+            Enqueue::StartTx(SimDuration::from_millis(2))
+        );
+        let _ = l.tx_done(SimTime::from_secs_f64(0.003));
+        // Clearing the background restores the nominal rate exactly.
+        l.set_background_bps(0);
+        assert_eq!(
+            l.enqueue(pkt(1000), SimTime::ZERO),
+            Enqueue::StartTx(SimDuration::from_millis(1))
+        );
+    }
+
+    #[test]
+    fn background_load_is_floored_at_one_percent_residual() {
+        let mut l = Link::new(LinkConfig::new(8_000_000, SimDuration::ZERO));
+        // Requesting the whole link (or more) leaves a 1% residual.
+        l.set_background_bps(8_000_000);
+        assert_eq!(l.effective_bandwidth_bps(), 80_000);
+        l.set_background_bps(u64::MAX);
+        assert_eq!(l.effective_bandwidth_bps(), 80_000);
+        // The residual never hits zero even on a 1 bit/s link.
+        let mut tiny = Link::new(LinkConfig::new(1, SimDuration::ZERO));
+        tiny.set_background_bps(u64::MAX);
+        assert_eq!(tiny.effective_bandwidth_bps(), 1);
+    }
+
+    #[test]
+    fn utilization_measures_against_nominal_capacity_under_background() {
+        let mut l = Link::new(LinkConfig::new(8_000_000, SimDuration::ZERO));
+        l.set_background_bps(4_000_000);
+        let _ = l.enqueue(pkt(1000), SimTime::ZERO);
+        let _ = l.tx_done(SimTime::from_secs_f64(0.002));
+        // 8000 bits over 2 ms against the *nominal* 8 Mb/s: 50%.
+        let u = l.utilization(SimTime::from_secs_f64(0.002));
+        assert!((u - 0.5).abs() < 1e-9, "utilization {u}");
     }
 
     #[test]

@@ -148,6 +148,47 @@ impl FabricCounters {
     }
 }
 
+/// Accounting for one hybrid fluid/packet engine run: how flows were split
+/// between the regimes, how often state crossed the boundary, and how hard
+/// the fluid integrator worked. Assembled per epoch by the engine — the
+/// integration hot path pays nothing for it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HybridCounters {
+    /// Coupling epochs advanced.
+    pub epochs: u64,
+    /// Flows currently integrated in the fluid regime.
+    pub fluid_flows: u64,
+    /// Flows attached to the packet engine over the run.
+    pub packet_flows: u64,
+    /// Packet flows that outlived the age threshold and were handed off to
+    /// the fluid regime.
+    pub handoffs: u64,
+    /// RK4 steps integrated across all epochs.
+    pub fluid_steps: u64,
+    /// Times a fluid link price hit the loss-probability cap.
+    pub price_cap_hits: u64,
+    /// Packet links carrying a nonzero fluid background load after the last
+    /// epoch.
+    pub background_links: u64,
+}
+
+impl HybridCounters {
+    /// Renders the one-line digest the hybrid harness prints on stderr.
+    pub fn render(&self) -> String {
+        format!(
+            "hybrid: epochs={} fluid_flows={} packet_flows={} handoffs={} fluid_steps={} \
+             price_cap_hits={} background_links={}",
+            self.epochs,
+            self.fluid_flows,
+            self.packet_flows,
+            self.handoffs,
+            self.fluid_steps,
+            self.price_cap_hits,
+            self.background_links
+        )
+    }
+}
+
 /// A full counter snapshot for one run: the FlowSample-style view the sweep
 /// runner attaches to each `RunSummary`.
 #[derive(Clone, Debug, Default, PartialEq)]

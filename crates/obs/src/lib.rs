@@ -32,7 +32,8 @@ pub mod sink;
 pub mod summary;
 
 pub use counters::{
-    ConnCounters, CounterSnapshot, FabricCounters, GlobalCounters, LinkCounters, SubflowCounters,
+    ConnCounters, CounterSnapshot, FabricCounters, GlobalCounters, HybridCounters, LinkCounters,
+    SubflowCounters,
 };
 pub use event::{DiscardCause, DropCause, FaultKind, ImpairKind, RecoveryCause, TraceEvent};
 pub use sink::{

@@ -67,6 +67,19 @@ impl FlowHandle {
         self.sender_ref(sim).samples()
     }
 
+    /// Freezes the connection for handoff to the fluid regime; see
+    /// [`MptcpSender::halt`].
+    pub fn halt(&self, sim: &mut Simulator) {
+        let now = sim.now();
+        sim.agent_mut::<MptcpSender>(self.sender).halt(now);
+    }
+
+    /// Per-path measured state for the fluid handoff; see
+    /// [`MptcpSender::handoff_state`].
+    pub fn handoff_state(&self, sim: &Simulator) -> Vec<crate::sample::PathHandoff> {
+        self.sender_ref(sim).handoff_state(sim.now())
+    }
+
     /// Connection-level robustness counters (zero-window stalls, persist
     /// probes, corrupt/window/reassembly discards) assembled from both
     /// endpoints, for the observability registry.

@@ -51,5 +51,5 @@ pub use config::{AppRead, FlowConfig, Scheduler, DEFAULT_ACK_BYTES, DEFAULT_MSS_
 pub use flow::{attach_flow, FlowHandle, PathSpec};
 pub use receiver::MptcpReceiver;
 pub use rtt::RttEstimator;
-pub use sample::{FlowSample, SubflowSample};
+pub use sample::{FlowSample, PathHandoff, SubflowSample};
 pub use sender::MptcpSender;

@@ -17,6 +17,19 @@ pub struct SubflowSample {
     pub active: bool,
 }
 
+/// One path's measured state at the moment a packet-level connection is
+/// frozen by [`crate::MptcpSender::halt`], used by the hybrid engine to seed
+/// the fluid regime's initial conditions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathHandoff {
+    /// Lifetime-average delivery rate on this path, packets/second.
+    pub rate_pps: f64,
+    /// Smoothed RTT at handoff, seconds (0 before any RTT sample).
+    pub srtt_s: f64,
+    /// Minimum RTT observed, seconds (0 before any RTT sample).
+    pub base_rtt_s: f64,
+}
+
 /// A snapshot of a connection's per-subflow load at an instant.
 ///
 /// The sender records one of these every [`crate::FlowConfig::sample_every`];

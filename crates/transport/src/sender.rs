@@ -16,7 +16,7 @@
 
 use crate::config::{FlowConfig, Scheduler};
 use crate::rtt::RttEstimator;
-use crate::sample::{FlowSample, SubflowSample};
+use crate::sample::{FlowSample, PathHandoff, SubflowSample};
 use congestion::{MultipathCongestionControl, SubflowCc};
 use netsim::{Agent, Ctx, Packet, Payload, Route, SimTime, TimerHandle, Watched};
 use obs::{DiscardCause, RecoveryCause, SubflowCounters, TraceEvent};
@@ -547,6 +547,47 @@ impl MptcpSender {
         } else {
             self.data_acked as f64 * f64::from(self.cfg.mss_bytes) * 8.0 / secs
         }
+    }
+
+    /// Freezes the connection for handoff to the flow-level (fluid) regime:
+    /// truncates the transfer at the data already handed to the network and
+    /// marks it finished as of `now`, so every send, retransmit, persist and
+    /// sampling path sees a completed flow and goes quiet. Timers already
+    /// armed fire once and no-op on the finished guard, so the residual
+    /// event-queue cost is bounded. Data still in flight is abandoned — the
+    /// fluid regime models the flow from here on. Idempotent; a no-op on an
+    /// already-finished flow.
+    pub fn halt(&mut self, now: SimTime) {
+        if self.finished_at.is_some() {
+            return;
+        }
+        self.cfg.total_pkts = Some(self.data_next);
+        self.finished_at = Some(now);
+        self.record_sample(now);
+    }
+
+    /// Per-path measured state for the fluid handoff: lifetime-average
+    /// delivery rate plus the smoothed and minimum RTT estimates. Rates use
+    /// the window `[started_at, finished_at]` (or `now` while live), so call
+    /// after [`MptcpSender::halt`] for a frozen measurement.
+    pub fn handoff_state(&self, now: SimTime) -> Vec<PathHandoff> {
+        let Some(start) = self.started_at else {
+            return vec![
+                PathHandoff { rate_pps: 0.0, srtt_s: 0.0, base_rtt_s: 0.0 };
+                self.subflows.len()
+            ];
+        };
+        let end = self.finished_at.unwrap_or(now);
+        let secs = end.saturating_since(start).as_secs_f64();
+        self.subflows
+            .iter()
+            .zip(&self.cc_states)
+            .map(|(sf, st)| PathHandoff {
+                rate_pps: if secs > 0.0 { sf.acked_pkts as f64 / secs } else { 0.0 },
+                srtt_s: if st.srtt > 0.0 { st.srtt } else { 0.0 },
+                base_rtt_s: if st.base_rtt.is_finite() { st.base_rtt } else { 0.0 },
+            })
+            .collect()
     }
 
     fn arm_rto(&mut self, r: usize, ctx: &mut Ctx<'_>) {

@@ -184,3 +184,51 @@ fn per_algorithm_smoke_over_two_paths() {
         );
     }
 }
+
+#[test]
+fn halt_freezes_a_long_lived_flow_for_fluid_handoff() {
+    // A long-lived (unbounded) flow is halted mid-run: it must stop sending,
+    // report finished as of the halt instant, and expose per-path measured
+    // rate/RTT for the fluid regime to inherit.
+    let mut sim = Simulator::new(5);
+    let p1 = duplex(&mut sim, 5_000_000, SimDuration::from_millis(10), 100);
+    let p2 = duplex(&mut sim, 5_000_000, SimDuration::from_millis(10), 100);
+    let flow = attach_flow(
+        &mut sim,
+        FlowConfig::new(0),
+        AlgorithmKind::Olia.build(2),
+        &[p1, p2],
+        SimDuration::ZERO,
+    );
+    sim.run_until(SimTime::from_secs_f64(5.0));
+    assert!(!flow.is_finished(&sim), "unbounded flow must not finish on its own");
+    flow.halt(&mut sim);
+    assert!(flow.is_finished(&sim));
+    assert_eq!(flow.finish_time(&sim), Some(SimTime::from_secs_f64(5.0)));
+    let sent_at_halt = flow.sender_ref(&sim).data_sent();
+    let handoff = flow.handoff_state(&sim);
+    assert_eq!(handoff.len(), 2);
+    // Both paths carried real traffic with sane RTT estimates (one-way 10 ms
+    // → RTT at least 20 ms, below a second with empty-ish queues).
+    for (r, h) in handoff.iter().enumerate() {
+        assert!(h.rate_pps > 50.0, "path {r} rate {} too low", h.rate_pps);
+        assert!(h.srtt_s > 0.02 && h.srtt_s < 1.0, "path {r} srtt {}", h.srtt_s);
+        assert!(
+            h.base_rtt_s > 0.0 && h.base_rtt_s <= h.srtt_s + 1e-9,
+            "path {r} base {}",
+            h.base_rtt_s
+        );
+    }
+    // The aggregate handoff rate reconstructs the measured goodput.
+    let total_pps: f64 = handoff.iter().map(|h| h.rate_pps).sum();
+    let goodput_pps = flow.goodput_bps(&sim) / (1500.0 * 8.0);
+    assert!((total_pps - goodput_pps).abs() / goodput_pps < 0.05, "{total_pps} vs {goodput_pps}");
+    // After the halt the sender goes quiet: no new data enters the network
+    // and the event queue drains instead of running forever.
+    sim.run_until(SimTime::from_secs_f64(30.0));
+    assert_eq!(flow.sender_ref(&sim).data_sent(), sent_at_halt, "sender kept sending after halt");
+    assert_eq!(sim.pending_events(), 0, "residual events must drain after halt");
+    // Halting again is a no-op and keeps the original finish time.
+    flow.halt(&mut sim);
+    assert_eq!(flow.finish_time(&sim), Some(SimTime::from_secs_f64(5.0)));
+}
