@@ -8,7 +8,8 @@
 //! 8 MB) and, for `c`, the fluid-model friendliness ratio.
 //!
 //! Pass --smoke/--quick/--full and optionally --jobs N (default: available
-//! parallelism, or the SWEEP_JOBS env var). Every variant is an independent
+//! parallelism, or the SWEEP_JOBS env var) or --workers N (SWEEP_WORKERS)
+//! for supervised multi-process execution. Every variant is an independent
 //! simulation cell; all three sections form ONE fabric grid, so with
 //! --journal PATH (or SWEEP_JOURNAL) a killed sweep resumes across section
 //! boundaries and the recomputed tables are byte-identical. A panicking or
@@ -21,7 +22,9 @@
 //! the `trace_dump` binary. Tracing never changes results (pinned by
 //! `tests/sweep_determinism.rs`).
 
-use bench_harness::fabric::{run_fabric, CellOutcome, FabricCell, FabricOptions, Fingerprint};
+use bench_harness::fabric::{
+    run_dist, CellOutcome, DistOptions, FabricCell, FabricOptions, Fingerprint,
+};
 use bench_harness::{table, Cli, Scale};
 use mptcp_energy::scenarios::{run_two_path_bursty_traced, BurstyOptions, CcChoice};
 use mptcp_energy::{friendliness_ratio, CcModel, DtsConfig, Psi};
@@ -124,7 +127,11 @@ fn main() {
         cells.push(cell("eps", name.to_owned(), cfg, o, trace));
     }
 
-    let report = match run_fabric(cells, &FabricOptions::from_cli(&cli)) {
+    let report = match run_dist(
+        cells,
+        &FabricOptions::from_cli(&cli),
+        &DistOptions::from_cli(&cli, "ablation_dts"),
+    ) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("ablation_dts: {e}");

@@ -1,11 +1,16 @@
 //! Tiny deterministic sweep used to drill the crash-safe fabric itself —
 //! CI's `fabric` job builds this, SIGKILLs it mid-sweep, resumes from the
-//! journal, and diffs the resumed stdout against an uninterrupted run.
+//! journal, and diffs the resumed stdout against an uninterrupted run; the
+//! `dist-fabric` job runs it with `--workers 3` and diffs the distributed
+//! merge against the serial one.
 //!
 //! The 12 cells compute a cheap pseudo-random walk (u64 accumulator plus an
-//! f64 mean, exercising bit-exact float journaling). Knobs, all optional:
+//! f64 mean, exercising bit-exact float journaling) — the shared
+//! [`bench_harness::fabric::demo`] workload. Knobs, all optional:
 //!
 //! * `--journal PATH` / `SWEEP_JOURNAL` — checkpoint + resume as usual;
+//! * `--workers N` / `SWEEP_WORKERS` — distribute the grid across N worker
+//!   processes (self-exec) through the supervisor;
 //! * `FABRIC_SMOKE_SLEEP_MS=N` — each cell sleeps N ms first, so an external
 //!   `timeout -s KILL` reliably lands while the sweep is mid-flight;
 //! * `FABRIC_SMOKE_FAIL=cell-03,cell-07` — the named cells panic on every
@@ -15,26 +20,9 @@
 //! stdout is one `(label, seed, output)` Debug line per completed cell, in
 //! input order — byte-comparable across runs by construction.
 
-use bench_harness::fabric::{run_fabric, FabricCell, FabricOptions, Fingerprint};
+use bench_harness::fabric::demo;
+use bench_harness::fabric::{run_dist, DistOptions, FabricOptions};
 use bench_harness::Cli;
-
-const CELLS: u64 = 12;
-
-/// A deterministic per-cell workload: a splitmix-style walk folded into a
-/// u64 checksum and an f64 mean. Pure function of the seed.
-fn walk(seed: u64) -> (u64, f64) {
-    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
-    let mut sum = 0u64;
-    let mut mean = 0.0f64;
-    for i in 0..4096u64 {
-        x ^= x >> 30;
-        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        x ^= x >> 27;
-        sum = sum.wrapping_add(x);
-        mean += (x as f64 / u64::MAX as f64 - mean) / (i + 1) as f64;
-    }
-    (sum, mean)
-}
 
 fn env_ms(name: &str) -> Option<u64> {
     let raw = std::env::var(name).ok()?;
@@ -54,23 +42,12 @@ fn main() {
         .map(|s| s.split(',').map(|t| t.trim().to_owned()).filter(|t| !t.is_empty()).collect())
         .unwrap_or_default();
 
-    let cells: Vec<FabricCell<(u64, f64)>> = (0..CELLS)
-        .map(|i| {
-            let label = format!("cell-{i:02}");
-            let bomb = fail.iter().any(|f| f == &label);
-            let cell_label = label.clone();
-            FabricCell::new(label, i, move || {
-                if let Some(ms) = sleep_ms {
-                    std::thread::sleep(std::time::Duration::from_millis(ms));
-                }
-                assert!(!bomb, "fabric_smoke: injected failure in {cell_label}");
-                walk(i)
-            })
-            .config(Fingerprint::new().str("fabric_smoke").u64(i))
-        })
-        .collect();
-
-    let report = match run_fabric(cells, &FabricOptions::from_cli(&cli)) {
+    let cells = demo::walk_cells_with(sleep_ms, &fail);
+    let report = match run_dist(
+        cells,
+        &FabricOptions::from_cli(&cli),
+        &DistOptions::from_cli(&cli, demo::WALK_SUITE),
+    ) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("fabric_smoke: {e}");

@@ -7,15 +7,21 @@
 //! byte-identical to an uninterrupted run (CI's `fabric` job pins this).
 //! A panicking or deadline-blown figure is retried with backoff and, on
 //! exhaustion, quarantined: the surviving figures still print and the
-//! process exits 1 with a partial-sweep note on stderr.
+//! process exits 1 with a partial-sweep note on stderr. With --workers N
+//! (or SWEEP_WORKERS) the figures run in N supervised worker processes —
+//! same byte-identical stdout, plus survival of whole worker losses.
 
-use bench_harness::fabric::{run_fabric, FabricOptions};
+use bench_harness::fabric::{run_dist, DistOptions, FabricOptions};
 use bench_harness::{figs, Cli};
 
 fn main() {
     let cli = Cli::from_args();
     let opts = FabricOptions::from_cli(&cli);
-    let report = match run_fabric(figs::fig_cells(cli.scale), &opts) {
+    let report = match run_dist(
+        figs::fig_cells(cli.scale),
+        &opts,
+        &DistOptions::from_cli(&cli, "figures"),
+    ) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("figures_all: {e}");

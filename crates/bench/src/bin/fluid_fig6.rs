@@ -10,7 +10,8 @@
 //! checkpoint to an append-only journal and a killed run resumes where it
 //! left off; a diverging solve can be bounded with SWEEP_DEADLINE_S and is
 //! quarantined instead of sinking the table (exit 1, partial note on
-//! stderr).
+//! stderr); --workers N (or SWEEP_WORKERS) spreads the solves over
+//! supervised worker processes with identical output.
 //!
 //! With `--trace DIR` (or `SWEEP_TRACE`) the equilibrium results are also
 //! appended to `DIR/fluid_fig6.jsonl` as `{"ev":"fluid_cell",...}` lines —
@@ -18,7 +19,7 @@
 //! the custom event kind and the file slots into the same trace directory
 //! the packet-level harnesses fill.
 
-use bench_harness::fabric::{run_fabric, FabricCell, FabricOptions, Fingerprint};
+use bench_harness::fabric::{run_dist, DistOptions, FabricCell, FabricOptions, Fingerprint};
 use bench_harness::{table, Cli, Scale};
 use mptcp_energy::{CcModel, FluidFlow, FluidLink, FluidNet, FluidPath, Psi};
 
@@ -83,7 +84,11 @@ fn main() {
             }
         }
     });
-    let report = match run_fabric(cells, &FabricOptions::from_cli(&cli)) {
+    let report = match run_dist(
+        cells,
+        &FabricOptions::from_cli(&cli),
+        &DistOptions::from_cli(&cli, "fluid_fig6"),
+    ) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("fluid_fig6: {e}");

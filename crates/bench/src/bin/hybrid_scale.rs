@@ -11,12 +11,16 @@
 //!
 //! Runs through the crash-safe sweep fabric: `--journal PATH` checkpoints
 //! each completed cell and resumes after a kill; `--smoke/--quick/--full`
-//! select the scale tier. Same seed + same tier → byte-identical stdout
-//! (all state derives from the simulator clock and seeded RNG; outputs are
-//! journaled bit-exactly).
+//! select the scale tier; `--workers N` (or `SWEEP_WORKERS`) distributes
+//! the cells over N worker processes with leases, heartbeats, and
+//! re-dispatch on worker loss. Same seed + same tier → byte-identical
+//! stdout regardless of worker count (all state derives from the simulator
+//! clock and seeded RNG; outputs are journaled bit-exactly).
 
 use bench_harness::fabric::journal::{JournalValue, ValueReader};
-use bench_harness::fabric::{run_fabric, FabricCell, FabricOptions, Fingerprint, JournalCodec};
+use bench_harness::fabric::{
+    run_dist, DistOptions, FabricCell, FabricOptions, Fingerprint, JournalCodec,
+};
 use bench_harness::{Cli, Scale};
 use congestion::AlgorithmKind;
 use energy_model::WiredCpuModel;
@@ -210,7 +214,11 @@ fn main() {
         })
         .collect();
 
-    let report = match run_fabric(cells, &FabricOptions::from_cli(&cli)) {
+    let report = match run_dist(
+        cells,
+        &FabricOptions::from_cli(&cli),
+        &DistOptions::from_cli(&cli, "hybrid_scale"),
+    ) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("hybrid_scale: {e}");

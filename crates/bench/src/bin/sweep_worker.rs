@@ -1,0 +1,107 @@
+//! Attach-mode sweep worker: watches a spool directory, claims shard
+//! requests for suites it hosts, and streams results back in the dist wire
+//! format. The supervisor side is any figure binary run with
+//! `SWEEP_SPAWN=attach` — it publishes requests into the spool instead of
+//! spawning processes, and this binary (started separately, possibly many
+//! times, possibly on another filesystem-sharing host) does the work.
+//!
+//! ```text
+//! terminal 1:  SWEEP_SPAWN=attach fabric_smoke --workers 3 --spool /tmp/spool
+//! terminal 2+: sweep_worker --spool /tmp/spool      # one or more
+//! ```
+//!
+//! Usage: `sweep_worker --spool DIR [--id NAME]`. The worker scans
+//! `DIR` and every `DIR/grid-*/` below it, claims unclaimed requests
+//! (O_EXCL claim files arbitrate racing workers), serves them, and exits
+//! once a supervisor writes the spool's shutdown marker. Hosted suites:
+//! the shared demo `walk` workload. Real sweeps self-exec their own binary
+//! instead — attach mode exists for externally-managed worker pools and
+//! for drilling the claim/heartbeat path.
+
+use bench_harness::fabric::demo;
+use bench_harness::fabric::dist::{attach_loop, SuiteRegistry};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: sweep_worker --spool DIR [--id NAME]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut spool: Option<PathBuf> = None;
+    let mut id: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--spool" => spool = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--id" => id = Some(args.next().unwrap_or_else(|| usage())),
+            other => {
+                if let Some(v) = other.strip_prefix("--spool=") {
+                    spool = Some(PathBuf::from(v));
+                } else if let Some(v) = other.strip_prefix("--id=") {
+                    id = Some(v.to_owned());
+                } else {
+                    eprintln!("sweep_worker: unknown argument {other:?}");
+                    usage();
+                }
+            }
+        }
+    }
+    let Some(spool) = spool else { usage() };
+    let id = id.unwrap_or_else(|| format!("w{}", std::process::id()));
+
+    let mut suites = SuiteRegistry::new();
+    let walk = demo::walk_suite();
+    suites.register(demo::WALK_SUITE, move |label, seed| walk(label, seed));
+
+    // The supervisor works inside a per-grid subdirectory; accept either
+    // the grid directory itself or its parent. `attach_loop` serves one
+    // grid until its supervisor writes the shutdown marker, so: wait for a
+    // first grid to appear, serve every grid not yet served, and exit once
+    // a rescan turns up nothing new.
+    let poll = Duration::from_millis(25);
+    let mut served: std::collections::BTreeSet<PathBuf> = std::collections::BTreeSet::new();
+    let mut observed = false;
+    loop {
+        let fresh: Vec<PathBuf> =
+            grid_dirs(&spool).into_iter().filter(|d| !served.contains(d)).collect();
+        if fresh.is_empty() {
+            if observed {
+                break;
+            }
+            std::thread::sleep(poll);
+            continue;
+        }
+        observed = true;
+        for dir in fresh {
+            if let Err(e) = attach_loop(&dir, &id, &suites, poll) {
+                eprintln!("sweep_worker {id}: {e}");
+                std::process::exit(2);
+            }
+            served.insert(dir);
+        }
+    }
+    eprintln!("sweep_worker {id}: shutdown observed, exiting");
+}
+
+/// The spool directories to serve: `spool` itself if it already has a
+/// manifest, else every `grid-*/` child that does.
+fn grid_dirs(spool: &PathBuf) -> Vec<PathBuf> {
+    if spool.join("manifest.jsonl").exists() {
+        return vec![spool.clone()];
+    }
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(spool)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.is_dir()
+                && p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with("grid-"))
+                && p.join("manifest.jsonl").exists()
+        })
+        .collect();
+    dirs.sort();
+    dirs
+}

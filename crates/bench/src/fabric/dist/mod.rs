@@ -1,0 +1,881 @@
+//! # dist — supervisor/worker execution on top of the sweep fabric
+//!
+//! [`super::run_fabric`] contains failures inside one process; this module
+//! contains the loss of whole *processes*. A supervisor plans the grid,
+//! round-robins it into shards ([`ShardPlan::shards`]), and grants each
+//! shard a **lease**: a worker process, a deadline, and a heartbeat
+//! obligation. Workers stream results back through a spool directory in
+//! the versioned wire format of [`wire`]; the supervisor harvests them
+//! cell by cell into the same journal the single-process fabric writes, so
+//! crash-safety composes — kill the supervisor and a rerun resumes from
+//! the journal; kill a worker and the supervisor re-dispatches only the
+//! cells its partial response did not already deliver.
+//!
+//! ## The lease lifecycle (see [`lease`])
+//!
+//! ```text
+//! dispatch ──► Leased ──(complete+valid response)──► Settled
+//!    ▲            │
+//!    │            ├─ crash (process exit, incomplete response)
+//!    │            ├─ heartbeat lapse (no liveness)
+//!    │            ├─ stall (liveness but no progress past deadline)
+//!    │            └─ invalid/stale response (corrupt, wrong echo, old
+//!    │               protocol)
+//!    │            ▼
+//!    └─(backoff)─ revoke: harvest valid prefix, kill child, gen += 1
+//!                 … until the re-dispatch budget is spent, then the
+//!                 remaining cells quarantine with FailCause::Worker
+//! ```
+//!
+//! **First-valid-wins.** A cell's first decoded result — from any
+//! generation — is journaled and final. Later results for the same cell
+//! (duplicate lines from a chaos-mode worker, a revoked worker racing its
+//! replacement) are discarded and counted in
+//! [`obs::DistCounters::duplicate_cells`]; growth in a revoked
+//! generation's response file is counted in `late_responses`. Nothing is
+//! silently dropped: every absorbed failure increments a counter and
+//! appends a [`obs::DistEvent`] line to `spool/events.jsonl`.
+//!
+//! **Determinism.** Worker assignment, lease timing, crashes, and
+//! re-dispatch order never influence a cell's *output* — cells own their
+//! seeded simulators, payloads round-trip bit-exactly, and the merged
+//! report is assembled by input position. The merged report of a
+//! distributed run is therefore byte-identical to the in-process
+//! [`super::run_fabric`] of the same grid (pinned by
+//! `tests/fabric_dist.rs`); wall-clock here decides only whether and where
+//! a cell runs, the same contract as [`super::retry`].
+
+pub mod lease;
+pub mod wire;
+pub mod worker;
+
+pub use lease::{Lease, RevokeCause};
+pub use worker::{attach_loop, parse_chaos, serve_cells, SuiteFn, SuiteRegistry};
+
+use super::journal::{decode_payload, JournalCodec, JournalWriter};
+use super::merge::{CellOutcome, QuarantineRecord};
+use super::plan::{CellId, PlannedCell, ShardPlan};
+use super::retry::{AttemptStats, FailCause};
+use super::{
+    assemble_report, env_parsed, replay_for_plan, write_artifact, FabricCell, FabricOptions,
+    FabricReport, Replayed,
+};
+use crate::runner::RunSummary;
+use crate::DistWorkerCli;
+use obs::{CounterSnapshot, DistCounters, DistEvent};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use wire::{RequestCell, RequestHeader, ResponseExpect, ResponseFault, PROTOCOL_VERSION};
+
+/// How the supervisor obtains worker processes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SpawnMode {
+    /// Re-exec the current binary with `--dist-worker …` appended (plus the
+    /// original scale flags, so the worker rebuilds the identical grid).
+    /// The default for figure binaries.
+    SelfExec,
+    /// Spawn an explicit command (argv) per shard, `--dist-worker …`
+    /// appended. Used by tests and the chaos harness.
+    Command(Vec<String>),
+    /// Spawn nothing: externally-started `sweep_worker` processes watch the
+    /// spool and claim shards (`SWEEP_SPAWN=attach`).
+    Attach,
+}
+
+/// Distributed execution knobs, layered on top of [`FabricOptions`].
+#[derive(Clone, Debug)]
+pub struct DistOptions {
+    /// Worker-process count; 1 means "run in-process via `run_fabric`".
+    pub workers: usize,
+    /// Spool directory root; `None` uses a per-run temp directory. The
+    /// supervisor works inside `<spool>/grid-<digest>/`, wiped at start.
+    pub spool: Option<PathBuf>,
+    /// Suite tag written into requests; attach-mode workers only claim
+    /// suites they host.
+    pub suite: String,
+    /// Lease duration: how long a worker may go without completing a *new*
+    /// cell before it is declared stalled. Renewed on every completed cell.
+    pub lease: Duration,
+    /// Interval workers append heartbeats at.
+    pub heartbeat: Duration,
+    /// Silence longer than this revokes the lease as a heartbeat lapse.
+    pub heartbeat_timeout: Duration,
+    /// Supervisor poll interval.
+    pub poll: Duration,
+    /// Re-dispatch budget per shard; once spent, the shard's remaining
+    /// cells quarantine with [`FailCause::Worker`].
+    pub max_redispatch: u32,
+    /// How worker processes are obtained.
+    pub spawn: SpawnMode,
+    /// Set when this process *is* a worker: [`run_dist`] serves the
+    /// assigned shard and exits instead of supervising.
+    pub task: Option<DistWorkerCli>,
+}
+
+impl DistOptions {
+    /// Defaults for `suite`: single worker (in-process), 120 s lease,
+    /// 200 ms heartbeats with a 3 s timeout, 25 ms poll, 3 re-dispatches,
+    /// self-exec spawning.
+    pub fn new(suite: impl Into<String>) -> DistOptions {
+        DistOptions {
+            workers: 1,
+            spool: None,
+            suite: suite.into(),
+            lease: Duration::from_secs(120),
+            heartbeat: Duration::from_millis(200),
+            heartbeat_timeout: Duration::from_secs(3),
+            poll: Duration::from_millis(25),
+            max_redispatch: 3,
+            spawn: SpawnMode::SelfExec,
+            task: None,
+        }
+    }
+
+    /// Builds options from the parsed [`crate::Cli`] plus the env knobs:
+    /// `SWEEP_LEASE_S` (fractional seconds without a new cell before a
+    /// stall), `SWEEP_HEARTBEAT_MS`, `SWEEP_HEARTBEAT_TIMEOUT_MS`,
+    /// `SWEEP_POLL_MS`, `SWEEP_REDISPATCH` (budget per shard), and
+    /// `SWEEP_SPAWN=attach` to use externally-started `sweep_worker`
+    /// processes. Unusable values warn and fall back.
+    pub fn from_cli(cli: &crate::Cli, suite: impl Into<String>) -> DistOptions {
+        let mut o = DistOptions::new(suite);
+        o.workers = cli.workers();
+        o.spool = cli.spool.clone();
+        o.task = cli.dist.clone();
+        if let Some(secs) = env_parsed::<f64>("SWEEP_LEASE_S", "a positive number of seconds") {
+            if secs > 0.0 && secs.is_finite() {
+                o.lease = Duration::from_secs_f64(secs);
+            } else {
+                eprintln!(
+                    "warning: ignoring SWEEP_LEASE_S={secs}: expected a positive number of seconds"
+                );
+            }
+        }
+        if let Some(ms) = env_parsed::<u64>("SWEEP_HEARTBEAT_MS", "an interval in milliseconds") {
+            o.heartbeat = Duration::from_millis(ms.max(1));
+        }
+        if let Some(ms) =
+            env_parsed::<u64>("SWEEP_HEARTBEAT_TIMEOUT_MS", "a timeout in milliseconds")
+        {
+            o.heartbeat_timeout = Duration::from_millis(ms.max(1));
+        }
+        if let Some(ms) = env_parsed::<u64>("SWEEP_POLL_MS", "an interval in milliseconds") {
+            o.poll = Duration::from_millis(ms.max(1));
+        }
+        if let Some(n) = env_parsed::<u32>("SWEEP_REDISPATCH", "a re-dispatch budget") {
+            o.max_redispatch = n;
+        }
+        if std::env::var("SWEEP_SPAWN").as_deref() == Ok("attach") {
+            o.spawn = SpawnMode::Attach;
+        }
+        o
+    }
+}
+
+/// Runs the grid across worker processes — or serves it, or falls through.
+///
+/// Exactly one of three things happens:
+///
+/// * `dist.task` is set (this process was spawned with `--dist-worker`):
+///   the assigned shard is served and **the process exits** — the caller's
+///   post-run printing belongs to the supervisor alone, so this never
+///   returns.
+/// * `dist.workers <= 1`: delegates to [`super::run_fabric`] — identical
+///   semantics, no spool, no processes.
+/// * Otherwise: supervises `dist.workers` shard leases to completion and
+///   returns the merged report, byte-identical (outputs, seeds, labels,
+///   counter snapshots) to the in-process run of the same grid.
+///
+/// # Errors
+///
+/// On planning/journal errors, an unusable spool, or spawn failures.
+/// Worker crashes, stalls, and invalid responses are *contained* —
+/// re-dispatched and ultimately quarantined — never returned as `Err`.
+pub fn run_dist<T>(
+    cells: Vec<FabricCell<T>>,
+    opts: &FabricOptions,
+    dist: &DistOptions,
+) -> Result<FabricReport<T>, String>
+where
+    T: JournalCodec + Send + 'static,
+{
+    if let Some(task) = &dist.task {
+        match worker::serve_cells(task, &cells) {
+            Ok(()) => std::process::exit(0),
+            Err(e) => {
+                eprintln!("dist worker {}: {e}", task.id);
+                std::process::exit(3);
+            }
+        }
+    }
+    if dist.workers <= 1 {
+        return super::run_fabric(cells, opts);
+    }
+    supervise(cells, opts, dist)
+}
+
+/// One shard's dispatch bookkeeping across generations.
+struct ShardRun<'p> {
+    shard: usize,
+    gen: u64,
+    redispatches: u32,
+    /// Cells still owed a result, by id.
+    pending: BTreeMap<CellId, &'p PlannedCell>,
+    /// Harvest cursors into the current generation's parsed response —
+    /// lines before the cursor were already consumed on an earlier poll.
+    harvest_done: usize,
+    harvest_failed: usize,
+    /// Cells accepted under the current generation (become "harvested" in
+    /// the accounting if this generation is revoked).
+    accepted_this_gen: Vec<CellId>,
+    /// Revocation history, folded into the final quarantine message.
+    causes: Vec<String>,
+    /// Revoked generations still watched for late response growth:
+    /// `(gen, response bytes at revocation)`.
+    watch: Vec<(u64, u64)>,
+    state: State,
+}
+
+enum State {
+    /// Attach mode: request published, waiting for a worker to claim it.
+    AwaitingClaim,
+    /// Revoked; re-dispatch scheduled after bounded backoff.
+    AwaitingRedispatch { at_ms: u64 },
+    /// A worker owns the shard.
+    Leased { lease: Lease, child: Option<Child> },
+    /// Finished: completed, or quarantined after the budget was spent.
+    Settled,
+}
+
+/// The supervisor's audit log (`spool/events.jsonl`).
+struct EventLog {
+    file: Option<std::fs::File>,
+    t0: Instant,
+}
+
+impl EventLog {
+    fn emit(&mut self, ev: &DistEvent) {
+        if let Some(f) = &mut self.file {
+            let mut line = String::new();
+            ev.to_json(self.t0.elapsed().as_millis() as u64, &mut line);
+            line.push('\n');
+            // Audit-log IO failures must never take down the sweep.
+            let _ = f.write_all(line.as_bytes()).and_then(|()| f.flush());
+        }
+    }
+}
+
+/// Everything the per-shard stepping functions share.
+struct Supervisor<'a, T> {
+    spool: PathBuf,
+    grid: u64,
+    opts: &'a FabricOptions,
+    dist: &'a DistOptions,
+    cells: &'a [FabricCell<T>],
+    writer: Option<JournalWriter>,
+    counters: DistCounters,
+    events: EventLog,
+    fresh: Vec<(usize, CellOutcome<T>, AttemptStats)>,
+    lease_ms: u64,
+    hb_timeout_ms: u64,
+}
+
+fn supervise<T>(
+    cells: Vec<FabricCell<T>>,
+    opts: &FabricOptions,
+    dist: &DistOptions,
+) -> Result<FabricReport<T>, String>
+where
+    T: JournalCodec + Send + 'static,
+{
+    let plan = ShardPlan::new(cells.iter().map(|c| (c.label.clone(), c.seed, c.config)))?;
+    let cells_by_index: BTreeMap<usize, (String, u64)> =
+        plan.cells().iter().map(|p| (p.index, (p.label.clone(), p.seed))).collect();
+    let replayed: Replayed<T> = match &opts.journal {
+        Some(path) => replay_for_plan(&plan, path)?,
+        None => BTreeMap::new(),
+    };
+    let writer = match &opts.journal {
+        Some(path) => Some(JournalWriter::append_to(path, plan.grid_id(), plan.len())?),
+        None => None,
+    };
+
+    // A fresh per-grid spool: stale files from a previous (possibly killed)
+    // supervisor must not masquerade as this run's responses — completed
+    // work survives in the journal, which is the durable layer.
+    let root = dist.spool.clone().unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("sweep-spool-{}", std::process::id()))
+    });
+    let spool = root.join(format!("grid-{:016x}", plan.grid_id()));
+    let _ = std::fs::remove_dir_all(&spool);
+    wire::init_spool(&spool, plan.grid_id(), plan.len(), dist.workers, &dist.suite)?;
+
+    let mut sup = Supervisor {
+        grid: plan.grid_id(),
+        opts,
+        dist,
+        cells: &cells,
+        writer,
+        counters: DistCounters::default(),
+        events: EventLog {
+            file: std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(wire::events_path(&spool))
+                .ok(),
+            t0: Instant::now(),
+        },
+        fresh: Vec::new(),
+        lease_ms: dist.lease.as_millis() as u64,
+        hb_timeout_ms: dist.heartbeat_timeout.as_millis() as u64,
+        spool,
+    };
+
+    let shards = plan.shards(dist.workers)?;
+    let mut runs: Vec<ShardRun<'_>> = Vec::with_capacity(shards.len());
+    for (k, shard_cells) in shards.iter().enumerate() {
+        let pending: BTreeMap<CellId, &PlannedCell> = shard_cells
+            .iter()
+            .filter(|p| !replayed.contains_key(&p.index))
+            .map(|p| (p.id, *p))
+            .collect();
+        let mut run = ShardRun {
+            shard: k,
+            gen: 0,
+            redispatches: 0,
+            pending,
+            harvest_done: 0,
+            harvest_failed: 0,
+            accepted_this_gen: Vec::new(),
+            causes: Vec::new(),
+            watch: Vec::new(),
+            state: State::Settled,
+        };
+        if !run.pending.is_empty() {
+            sup.counters.shards += 1;
+            run.state = sup.dispatch(&run)?;
+        }
+        runs.push(run);
+    }
+    if !replayed.is_empty() {
+        eprintln!("fabric: resumed {} of {} cell(s) from journal", replayed.len(), plan.len());
+    }
+
+    loop {
+        let now = sup.now_ms();
+        let mut active = 0usize;
+        for run in &mut runs {
+            sup.watch_late(run);
+            let state = std::mem::replace(&mut run.state, State::Settled);
+            run.state = match state {
+                State::Settled => State::Settled,
+                State::AwaitingClaim => match wire::read_claim(&sup.spool, run.shard, run.gen) {
+                    Some(worker_id) => {
+                        sup.counters.leases_granted += 1;
+                        sup.events.emit(&DistEvent::LeaseGranted {
+                            shard: run.shard,
+                            gen: run.gen,
+                            worker: worker_id.clone(),
+                            cells: run.pending.len(),
+                        });
+                        State::Leased {
+                            lease: Lease::grant(run.shard, run.gen, worker_id, now, sup.lease_ms),
+                            child: None,
+                        }
+                    }
+                    None => State::AwaitingClaim,
+                },
+                State::AwaitingRedispatch { at_ms } if now >= at_ms => sup.dispatch(run)?,
+                s @ State::AwaitingRedispatch { .. } => s,
+                State::Leased { lease, child } => sup.step_lease(run, lease, child, now)?,
+            };
+            if !matches!(run.state, State::Settled) {
+                active += 1;
+            }
+        }
+        if active == 0 {
+            break;
+        }
+        std::thread::sleep(dist.poll);
+    }
+
+    if let Err(e) = wire::write_shutdown(&sup.spool) {
+        eprintln!("warning: {e}");
+    }
+    let Supervisor { counters, fresh, .. } = sup;
+    let mut report = assemble_report(&plan, replayed, fresh, &cells_by_index)?;
+    report.counters.dist = counters;
+    if !report.counters.dist.is_idle() {
+        eprintln!("{}", report.counters.dist.render());
+    }
+    Ok(report)
+}
+
+impl<T> Supervisor<'_, T>
+where
+    T: JournalCodec + Send + 'static,
+{
+    fn now_ms(&self) -> u64 {
+        self.events.t0.elapsed().as_millis() as u64
+    }
+
+    /// Publishes the request for `run`'s current generation and obtains a
+    /// worker for it (spawn modes) or starts waiting for one (attach).
+    fn dispatch(&mut self, run: &ShardRun<'_>) -> Result<State, String> {
+        let header = RequestHeader {
+            version: PROTOCOL_VERSION,
+            grid: self.grid,
+            shard: run.shard,
+            gen: run.gen,
+            suite: self.dist.suite.clone(),
+            cells: run.pending.len(),
+            deadline_ms: self.opts.deadline.map_or(0, |d| d.as_millis() as u64),
+            max_attempts: self.opts.retry.attempts(),
+            backoff_ms: self.opts.retry.base_backoff.as_millis() as u64,
+            max_backoff_ms: self.opts.retry.max_backoff.as_millis() as u64,
+            heartbeat_ms: self.dist.heartbeat.as_millis() as u64,
+        };
+        let req_cells: Vec<RequestCell> = run
+            .pending
+            .values()
+            .map(|p| RequestCell { id: p.id, index: p.index, label: p.label.clone(), seed: p.seed })
+            .collect();
+        wire::write_request(&self.spool, &header, &req_cells)?;
+        if self.dist.spawn == SpawnMode::Attach {
+            return Ok(State::AwaitingClaim);
+        }
+        let worker_id = format!("w{}-g{}", run.shard, run.gen);
+        let child = spawn_worker(&self.dist.spawn, &self.spool, run.shard, run.gen, &worker_id)?;
+        self.counters.workers_spawned += 1;
+        self.counters.leases_granted += 1;
+        self.events.emit(&DistEvent::LeaseGranted {
+            shard: run.shard,
+            gen: run.gen,
+            worker: worker_id.clone(),
+            cells: run.pending.len(),
+        });
+        Ok(State::Leased {
+            lease: Lease::grant(run.shard, run.gen, worker_id, self.now_ms(), self.lease_ms),
+            child: Some(child),
+        })
+    }
+
+    /// Checks revoked generations for post-revocation response growth: a
+    /// late worker still writing. The work is discarded (its cells were
+    /// re-dispatched); the activity is counted so nothing vanishes quietly.
+    fn watch_late(&mut self, run: &mut ShardRun<'_>) {
+        let spool = self.spool.clone();
+        let shard = run.shard;
+        let counters = &mut self.counters;
+        let events = &mut self.events;
+        run.watch.retain(|&(gen, bytes)| {
+            let len =
+                std::fs::metadata(wire::response_path(&spool, shard, gen)).map_or(0, |m| m.len());
+            if len > bytes {
+                counters.late_responses += 1;
+                events.emit(&DistEvent::LateResponse { shard, gen });
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    /// One poll step for a leased shard: read the streamed response,
+    /// harvest new lines first-valid-wins, then judge the lease. Ordering
+    /// matters — completion is checked before expiry, so a worker that
+    /// finishes exactly at its deadline wins.
+    fn step_lease(
+        &mut self,
+        run: &mut ShardRun<'_>,
+        mut lease: Lease,
+        mut child: Option<Child>,
+        now: u64,
+    ) -> Result<State, String> {
+        let resp_path = wire::response_path(&self.spool, run.shard, run.gen);
+        let expect = ResponseExpect { grid: self.grid, shard: run.shard, gen: run.gen };
+        let mut text = std::fs::read_to_string(&resp_path).unwrap_or_default();
+        let mut exited = None;
+        if let Some(c) = child.as_mut() {
+            if let Ok(Some(status)) = c.try_wait() {
+                exited = Some(status);
+                // The exit can race our read of the final footer flush —
+                // re-read so a clean finish is never misread as a crash.
+                text = std::fs::read_to_string(&resp_path).unwrap_or_default();
+            }
+        }
+        let parsed = wire::parse_response(&text, &expect);
+        if let Some(seq) = wire::read_heartbeat_seq(&self.spool, &lease.worker) {
+            lease.observe_heartbeat(seq, now);
+        }
+        let harvested = self.harvest(run, &parsed);
+        lease.observe_progress(parsed.done.len() + parsed.failed.len(), now, self.lease_ms);
+        if let Err(detail) = harvested {
+            self.counters.invalid_responses += 1;
+            return self.revoke(run, child, "invalid_response", detail, &text, now);
+        }
+        if let Some(fault) = &parsed.fault {
+            match fault {
+                ResponseFault::Stale(_) => self.counters.stale_protocol += 1,
+                ResponseFault::Invalid(_) => self.counters.invalid_responses += 1,
+            }
+            let detail = fault.detail().to_owned();
+            return self.revoke(run, child, fault.as_str(), detail, &text, now);
+        }
+        if parsed.complete {
+            if run.pending.is_empty() {
+                if let Some(mut c) = child {
+                    let _ = c.wait();
+                }
+                self.events.emit(&DistEvent::ResponseAccepted {
+                    shard: run.shard,
+                    gen: run.gen,
+                    done: parsed.done.len(),
+                    failed: parsed.failed.len(),
+                });
+                return Ok(State::Settled);
+            }
+            self.counters.invalid_responses += 1;
+            let detail = format!("complete response left {} cell(s) unanswered", run.pending.len());
+            return self.revoke(run, child, "invalid_response", detail, &text, now);
+        }
+        if let Some(status) = exited {
+            self.counters.worker_crashes += 1;
+            let detail = format!("worker exited ({status}) with an incomplete response");
+            return self.revoke(run, child, "crash", detail, &text, now);
+        }
+        if let Some(cause) = lease.assess(now, self.hb_timeout_ms) {
+            let detail = match cause {
+                RevokeCause::Stall => {
+                    self.counters.stalls += 1;
+                    format!(
+                        "heartbeats alive (seq {}) but no new cell before the lease deadline \
+                         ({} of {} cells done)",
+                        lease.heartbeat_seq,
+                        lease.progress,
+                        lease.progress + run.pending.len()
+                    )
+                }
+                _ => {
+                    self.counters.heartbeat_lapses += 1;
+                    format!("no heartbeat for over {} ms", self.hb_timeout_ms)
+                }
+            };
+            return self.revoke(run, child, cause.as_str(), detail, &text, now);
+        }
+        Ok(State::Leased { lease, child })
+    }
+
+    /// Consumes new response lines past the harvest cursors. First valid
+    /// result per cell wins — it is journaled immediately (crash-safety for
+    /// the *supervisor*), later duplicates are counted and dropped.
+    ///
+    /// # Errors
+    ///
+    /// On an undecodable payload — the caller revokes the lease.
+    fn harvest(
+        &mut self,
+        run: &mut ShardRun<'_>,
+        parsed: &wire::ParsedResponse,
+    ) -> Result<(), String> {
+        for dl in &parsed.done[run.harvest_done..] {
+            run.harvest_done += 1;
+            let Some(&planned) = run.pending.get(&dl.id) else {
+                self.counters.duplicate_cells += 1;
+                self.events.emit(&DistEvent::DuplicateCell {
+                    shard: run.shard,
+                    gen: run.gen,
+                    cell: dl.id.to_string(),
+                });
+                continue;
+            };
+            let (output, counters) = decode_payload::<(T, CounterSnapshot)>(&dl.payload)
+                .map_err(|e| format!("payload for cell {} ({:?}): {e}", dl.id, dl.label))?;
+            if let Some(w) = &mut self.writer {
+                if let Err(e) = w.record_done(
+                    planned.id,
+                    &planned.label,
+                    planned.seed,
+                    dl.attempts,
+                    &dl.payload,
+                ) {
+                    eprintln!("warning: {e}");
+                }
+            }
+            self.fresh.push((
+                planned.index,
+                CellOutcome::Done {
+                    summary: RunSummary {
+                        label: planned.label.clone(),
+                        seed: planned.seed,
+                        output,
+                        counters,
+                    },
+                    attempts: dl.attempts,
+                    replayed: false,
+                },
+                AttemptStats { attempts: dl.attempts, panics: 0, deadline_kills: 0 },
+            ));
+            run.pending.remove(&dl.id);
+            run.accepted_this_gen.push(dl.id);
+        }
+        for fl in &parsed.failed[run.harvest_failed..] {
+            run.harvest_failed += 1;
+            let Some(&planned) = run.pending.get(&fl.id) else {
+                self.counters.duplicate_cells += 1;
+                self.events.emit(&DistEvent::DuplicateCell {
+                    shard: run.shard,
+                    gen: run.gen,
+                    cell: fl.id.to_string(),
+                });
+                continue;
+            };
+            let cause = match fl.cause.as_str() {
+                "deadline" => FailCause::Deadline,
+                "worker" => FailCause::Worker,
+                _ => FailCause::Panic,
+            };
+            self.quarantine(
+                planned,
+                fl.attempts,
+                cause,
+                fl.message.clone(),
+                AttemptStats {
+                    attempts: fl.attempts,
+                    panics: fl.panics,
+                    deadline_kills: fl.deadline_kills,
+                },
+            );
+            run.pending.remove(&fl.id);
+            run.accepted_this_gen.push(fl.id);
+        }
+        Ok(())
+    }
+
+    /// Quarantines one cell: artifact, journal line, report entry — the
+    /// exact single-process semantics, fed from the wire.
+    fn quarantine(
+        &mut self,
+        planned: &PlannedCell,
+        attempts: u32,
+        cause: FailCause,
+        message: String,
+        stats: AttemptStats,
+    ) {
+        let artifact = self.opts.artifacts.as_deref().and_then(|dir| {
+            write_artifact(dir, planned, self.cells[planned.index].repro.as_ref(), cause, &message)
+        });
+        let record = QuarantineRecord {
+            id: planned.id,
+            label: planned.label.clone(),
+            seed: planned.seed,
+            attempts,
+            cause,
+            message,
+            artifact,
+        };
+        eprintln!("fabric: {record}");
+        if let Some(w) = &mut self.writer {
+            if let Err(e) = w.record_quarantine(
+                record.id,
+                &record.label,
+                record.seed,
+                record.attempts,
+                cause.as_str(),
+                &record.message,
+            ) {
+                eprintln!("warning: {e}");
+            }
+        }
+        self.fresh.push((planned.index, CellOutcome::Quarantined(record), stats));
+    }
+
+    /// Revokes the current lease: kill the worker (if ours to kill), log
+    /// the harvested salvage, and either re-dispatch the remainder after
+    /// bounded backoff or — budget spent — quarantine it.
+    fn revoke(
+        &mut self,
+        run: &mut ShardRun<'_>,
+        child: Option<Child>,
+        reason: &'static str,
+        detail: String,
+        text_at_revoke: &str,
+        now: u64,
+    ) -> Result<State, String> {
+        if let Some(mut c) = child {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        self.events.emit(&DistEvent::LeaseRevoked {
+            shard: run.shard,
+            gen: run.gen,
+            reason,
+            detail: detail.clone(),
+        });
+        self.counters.harvested_cells += run.accepted_this_gen.len() as u64;
+        for id in run.accepted_this_gen.drain(..) {
+            self.events.emit(&DistEvent::CellHarvested {
+                shard: run.shard,
+                gen: run.gen,
+                cell: id.to_string(),
+            });
+        }
+        run.causes.push(format!("g{}: {reason} ({detail})", run.gen));
+        run.watch.push((run.gen, text_at_revoke.len() as u64));
+        if run.pending.is_empty() {
+            // Everything was salvaged from the partial response (e.g. a
+            // crash between the last cell and the footer): nothing to redo.
+            return Ok(State::Settled);
+        }
+        if run.redispatches >= self.dist.max_redispatch {
+            let attempts = run.redispatches + 1;
+            let message = format!(
+                "shard {} re-dispatch budget exhausted after {attempts} generation(s): {}",
+                run.shard,
+                run.causes.join("; ")
+            );
+            let remaining: Vec<&PlannedCell> = run.pending.values().copied().collect();
+            for planned in remaining {
+                self.quarantine(
+                    planned,
+                    attempts,
+                    FailCause::Worker,
+                    message.clone(),
+                    AttemptStats::default(),
+                );
+            }
+            run.pending.clear();
+            return Ok(State::Settled);
+        }
+        run.redispatches += 1;
+        self.counters.redispatches += 1;
+        run.gen += 1;
+        run.harvest_done = 0;
+        run.harvest_failed = 0;
+        Ok(State::AwaitingRedispatch {
+            at_ms: now + redispatch_backoff(self.opts, run.redispatches),
+        })
+    }
+}
+
+/// Bounded exponential backoff before the `nth` re-dispatch (1-based),
+/// shaped by the fabric's retry policy: `base · 2^(n-1)` capped at the
+/// policy ceiling.
+fn redispatch_backoff(opts: &FabricOptions, nth: u32) -> u64 {
+    let exp = nth.saturating_sub(1).min(20);
+    let backoff = opts.retry.base_backoff.saturating_mul(1 << exp).min(opts.retry.max_backoff);
+    backoff.as_millis() as u64
+}
+
+/// Spawns one worker process for `(shard, gen)`.
+fn spawn_worker(
+    mode: &SpawnMode,
+    spool: &Path,
+    shard: usize,
+    gen: u64,
+    worker_id: &str,
+) -> Result<Child, String> {
+    let mut cmd = match mode {
+        SpawnMode::SelfExec => {
+            let exe = std::env::current_exe()
+                .map_err(|e| format!("cannot resolve current executable: {e}"))?;
+            let mut c = Command::new(exe);
+            c.args(passthrough_args(std::env::args().skip(1)));
+            c
+        }
+        SpawnMode::Command(argv) => {
+            let (prog, rest) = argv.split_first().ok_or("worker command must not be empty")?;
+            let mut c = Command::new(prog);
+            c.args(rest);
+            c
+        }
+        SpawnMode::Attach => return Err("attach mode spawns no workers".to_owned()),
+    };
+    cmd.arg("--dist-worker")
+        .arg(spool)
+        .arg("--dist-shard")
+        .arg(shard.to_string())
+        .arg("--dist-gen")
+        .arg(gen.to_string())
+        .arg("--dist-id")
+        .arg(worker_id)
+        // Workers write results to the spool and diagnostics to stderr;
+        // stdout stays clean for the supervisor's own table.
+        .stdout(Stdio::null());
+    cmd.spawn().map_err(|e| format!("cannot spawn worker {worker_id}: {e}"))
+}
+
+/// The supervisor's own argv minus the orchestration flags: what a
+/// self-exec worker inherits. `--workers`, `--spool`, `--journal`, and
+/// `--jobs` are the supervisor's business — a worker re-supervising, or
+/// double-journaling, would be a fork bomb with extra steps.
+fn passthrough_args(args: impl Iterator<Item = String>) -> Vec<String> {
+    const VALUED: [&str; 4] = ["--workers", "--spool", "--journal", "--jobs"];
+    let mut out = Vec::new();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        if VALUED.contains(&a.as_str()) {
+            let _ = args.next();
+            continue;
+        }
+        if VALUED.iter().any(|f| a.starts_with(f) && a[f.len()..].starts_with('=')) {
+            continue;
+        }
+        out.push(a);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::RetryPolicy;
+    use super::*;
+
+    #[test]
+    fn passthrough_strips_orchestration_flags_only() {
+        let args = [
+            "--full",
+            "--workers",
+            "3",
+            "--trace",
+            "t",
+            "--jobs=2",
+            "--spool",
+            "s",
+            "--journal=j.jsonl",
+        ];
+        let kept = passthrough_args(args.iter().map(|s| (*s).to_owned()));
+        assert_eq!(kept, vec!["--full".to_owned(), "--trace".to_owned(), "t".to_owned()]);
+        // A trailing orchestration flag with no value is still stripped.
+        let kept = passthrough_args(["--full", "--workers"].iter().map(|s| (*s).to_owned()));
+        assert_eq!(kept, vec!["--full".to_owned()]);
+    }
+
+    #[test]
+    fn redispatch_backoff_doubles_and_caps() {
+        let opts = FabricOptions {
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::from_millis(10),
+                max_backoff: Duration::from_millis(35),
+            },
+            ..FabricOptions::default()
+        };
+        assert_eq!(redispatch_backoff(&opts, 1), 10);
+        assert_eq!(redispatch_backoff(&opts, 2), 20);
+        assert_eq!(redispatch_backoff(&opts, 3), 35, "capped at the policy ceiling");
+        assert_eq!(redispatch_backoff(&opts, 21), 35);
+    }
+
+    #[test]
+    fn dist_options_defaults_are_single_process() {
+        let o = DistOptions::new("walk");
+        assert_eq!(o.workers, 1);
+        assert_eq!(o.spawn, SpawnMode::SelfExec);
+        assert!(o.task.is_none());
+        assert!(o.lease > o.heartbeat_timeout, "a stall must outlive a heartbeat lapse window");
+    }
+}

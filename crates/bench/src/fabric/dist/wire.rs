@@ -1,0 +1,840 @@
+//! The distributed fabric's wire contract: versioned JSONL files exchanged
+//! through a spool directory.
+//!
+//! The supervisor and its workers share no memory and no sockets — only a
+//! directory. Every artefact is a flat JSONL file in the journal's
+//! hand-rolled dialect (floats as IEEE-754 bit patterns, strings escaped by
+//! `crate::repro::esc`), so the same parsing discipline — and the same
+//! torn-tail tolerance — applies end to end:
+//!
+//! ```text
+//! spool/
+//!   manifest.jsonl              supervisor: grid digest, cell/shard counts
+//!   requests/shard-K.gG.jsonl   work order: header + one line per cell
+//!   claims/shard-K.gG.claim     O_EXCL claim file (attach-mode workers)
+//!   heartbeats/WORKER.jsonl     appended by the worker's heartbeat thread
+//!   responses/shard-K.gG.jsonl  streamed results: header, done/failed, end
+//!   events.jsonl                supervisor audit log (obs::DistEvent)
+//!   shutdown                    marker: attached workers drain and exit
+//! ```
+//!
+//! **Versioning and echo.** Every request and response header carries
+//! [`PROTOCOL_VERSION`] and the grid digest. A worker refuses a request
+//! whose version it does not speak; a supervisor rejects a response whose
+//! version ([`ResponseFault::Stale`]) or grid/shard/generation echo
+//! ([`ResponseFault::Invalid`]) does not match what it dispatched. The echo
+//! is what makes re-dispatch safe: a revoked generation's late response can
+//! never be confused with the replacement's.
+//!
+//! **Streaming and truncation.** Workers append one flushed line per
+//! finished cell and an `end` footer with the final counts. A response
+//! without a matching footer is a *partial* response: the parsed prefix is
+//! still trustworthy (each line was flushed whole) and the supervisor
+//! harvests it, so a worker crash wastes at most the cell in flight —
+//! the spool-level analogue of the journal's torn-tail rule.
+//!
+//! Line formats:
+//!
+//! ```text
+//! {"dist":"manifest","version":1,"grid":"<16 hex>","cells":N,"shards":K,"suite":"..."}
+//! {"dist":"request","version":1,"grid":"<16 hex>","shard":K,"gen":G,"suite":"...",
+//!  "cells":N,"deadline_ms":D,"max_attempts":A,"backoff_ms":B,"max_backoff_ms":C,
+//!  "heartbeat_ms":H}
+//! {"dist":"cell","id":"<16 hex>","index":I,"label":"...","seed":S}
+//! {"dist":"claim","worker":"...","shard":K,"gen":G}
+//! {"dist":"heartbeat","worker":"...","shard":K,"gen":G,"seq":N}
+//! {"dist":"response","version":1,"grid":"<16 hex>","shard":K,"gen":G,"worker":"..."}
+//! {"dist":"done","id":"<16 hex>","label":"...","seed":S,"attempts":A,"payload":[...]}
+//! {"dist":"failed","id":"<16 hex>","label":"...","seed":S,"attempts":A,"panics":P,
+//!  "deadline_kills":D,"cause":"...","message":"..."}
+//! {"dist":"end","done":D,"failed":F}
+//! ```
+
+use crate::fabric::journal::{
+    parse_id, parse_payload, render_payload, str_field, u64_field, DoneLine, JournalValue,
+};
+use crate::fabric::plan::CellId;
+use crate::fabric::retry::AttemptStats;
+use crate::repro::esc;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// The wire protocol version; bumped on any incompatible change to the
+/// line formats above. Echoed in every request and response header.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Path of the request file for `(shard, gen)`.
+pub fn request_path(spool: &Path, shard: usize, gen: u64) -> PathBuf {
+    spool.join("requests").join(format!("shard-{shard}.g{gen}.jsonl"))
+}
+
+/// Path of the response file for `(shard, gen)`.
+pub fn response_path(spool: &Path, shard: usize, gen: u64) -> PathBuf {
+    spool.join("responses").join(format!("shard-{shard}.g{gen}.jsonl"))
+}
+
+/// Path of the claim file for `(shard, gen)` (attach mode).
+pub fn claim_path(spool: &Path, shard: usize, gen: u64) -> PathBuf {
+    spool.join("claims").join(format!("shard-{shard}.g{gen}.claim"))
+}
+
+/// Path of `worker`'s heartbeat file.
+pub fn heartbeat_path(spool: &Path, worker: &str) -> PathBuf {
+    spool.join("heartbeats").join(format!("{worker}.jsonl"))
+}
+
+/// Path of the supervisor's manifest.
+pub fn manifest_path(spool: &Path) -> PathBuf {
+    spool.join("manifest.jsonl")
+}
+
+/// Path of the supervisor's audit event log.
+pub fn events_path(spool: &Path) -> PathBuf {
+    spool.join("events.jsonl")
+}
+
+/// Path of the shutdown marker.
+pub fn shutdown_path(spool: &Path) -> PathBuf {
+    spool.join("shutdown")
+}
+
+/// Creates the spool directory tree and writes the manifest.
+///
+/// # Errors
+///
+/// On filesystem failures.
+pub fn init_spool(
+    spool: &Path,
+    grid: u64,
+    cells: usize,
+    shards: usize,
+    suite: &str,
+) -> Result<(), String> {
+    for sub in ["requests", "claims", "heartbeats", "responses"] {
+        std::fs::create_dir_all(spool.join(sub))
+            .map_err(|e| format!("cannot create spool dir {}/{sub}: {e}", spool.display()))?;
+    }
+    let line = format!(
+        "{{\"dist\":\"manifest\",\"version\":{PROTOCOL_VERSION},\"grid\":\"{grid:016x}\",\
+         \"cells\":{cells},\"shards\":{shards},\"suite\":\"{}\"}}\n",
+        esc(suite)
+    );
+    std::fs::write(manifest_path(spool), line)
+        .map_err(|e| format!("cannot write spool manifest: {e}"))
+}
+
+/// A work order's header: everything a worker needs to execute the shard
+/// with the *same* containment policy the single-process fabric would use.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestHeader {
+    /// Protocol version of the writer.
+    pub version: u64,
+    /// Grid digest; the worker echoes it so the supervisor can reject
+    /// responses from a different grid.
+    pub grid: u64,
+    /// Shard index.
+    pub shard: usize,
+    /// Dispatch generation.
+    pub gen: u64,
+    /// Suite name (attach-mode workers serve only suites they host).
+    pub suite: String,
+    /// Number of cell lines that follow.
+    pub cells: usize,
+    /// Per-attempt wall-clock deadline in ms; 0 = none.
+    pub deadline_ms: u64,
+    /// Max attempts per cell (the single-process retry policy, mirrored).
+    pub max_attempts: u32,
+    /// Base backoff in ms.
+    pub backoff_ms: u64,
+    /// Backoff ceiling in ms.
+    pub max_backoff_ms: u64,
+    /// Interval the worker's heartbeat thread should append at, in ms.
+    pub heartbeat_ms: u64,
+}
+
+/// One cell of a work order: identity only — the worker reconstructs (or
+/// hosts) the runnable closure itself and matches it by [`CellId`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RequestCell {
+    /// Content-addressed identity (must match the worker's own derivation).
+    pub id: CellId,
+    /// Input position in the supervisor's grid.
+    pub index: usize,
+    /// Display label.
+    pub label: String,
+    /// The cell's seed.
+    pub seed: u64,
+}
+
+/// Writes the request file for a shard dispatch, atomically (temp file +
+/// rename) so a watching worker never observes a half-written order.
+///
+/// # Errors
+///
+/// On filesystem failures.
+pub fn write_request(
+    spool: &Path,
+    header: &RequestHeader,
+    cells: &[RequestCell],
+) -> Result<PathBuf, String> {
+    let mut text = format!(
+        "{{\"dist\":\"request\",\"version\":{},\"grid\":\"{:016x}\",\"shard\":{},\"gen\":{},\
+         \"suite\":\"{}\",\"cells\":{},\"deadline_ms\":{},\"max_attempts\":{},\"backoff_ms\":{},\
+         \"max_backoff_ms\":{},\"heartbeat_ms\":{}}}\n",
+        header.version,
+        header.grid,
+        header.shard,
+        header.gen,
+        esc(&header.suite),
+        cells.len(),
+        header.deadline_ms,
+        header.max_attempts,
+        header.backoff_ms,
+        header.max_backoff_ms,
+        header.heartbeat_ms,
+    );
+    for c in cells {
+        let _ = writeln!(
+            text,
+            "{{\"dist\":\"cell\",\"id\":\"{}\",\"index\":{},\"label\":\"{}\",\"seed\":{}}}",
+            c.id,
+            c.index,
+            esc(&c.label),
+            c.seed
+        );
+    }
+    let path = request_path(spool, header.shard, header.gen);
+    let tmp = path.with_extension("jsonl.tmp");
+    std::fs::write(&tmp, text)
+        .map_err(|e| format!("cannot write request {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, &path)
+        .map_err(|e| format!("cannot publish request {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Parses a request file.
+///
+/// # Errors
+///
+/// On malformed headers/cell lines, an unsupported protocol version, or a
+/// cell count that does not match the header (a torn request must never be
+/// half-served — requests are published by atomic rename, so this is
+/// corruption, not streaming).
+pub fn read_request(path: &Path) -> Result<(RequestHeader, Vec<RequestCell>), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read request {}: {e}", path.display()))?;
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let head = lines.next().ok_or_else(|| format!("request {} is empty", path.display()))?;
+    if str_field(head, "dist")? != "request" {
+        return Err(format!("request {} does not start with a request header", path.display()));
+    }
+    let header = RequestHeader {
+        version: u64_field(head, "version")?,
+        grid: parse_grid(head)?,
+        shard: usize::try_from(u64_field(head, "shard")?).map_err(|e| e.to_string())?,
+        gen: u64_field(head, "gen")?,
+        suite: str_field(head, "suite")?,
+        cells: usize::try_from(u64_field(head, "cells")?).map_err(|e| e.to_string())?,
+        deadline_ms: u64_field(head, "deadline_ms")?,
+        max_attempts: u32::try_from(u64_field(head, "max_attempts")?).map_err(|e| e.to_string())?,
+        backoff_ms: u64_field(head, "backoff_ms")?,
+        max_backoff_ms: u64_field(head, "max_backoff_ms")?,
+        heartbeat_ms: u64_field(head, "heartbeat_ms")?,
+    };
+    if header.version != PROTOCOL_VERSION {
+        return Err(format!(
+            "request {} speaks protocol v{}, this worker speaks v{PROTOCOL_VERSION}; \
+             supervisor and worker binaries are out of step",
+            path.display(),
+            header.version
+        ));
+    }
+    let mut cells = Vec::with_capacity(header.cells);
+    for line in lines {
+        if str_field(line, "dist")? != "cell" {
+            return Err(format!("request {}: unexpected line {line:?}", path.display()));
+        }
+        cells.push(RequestCell {
+            id: parse_id(line)?,
+            index: usize::try_from(u64_field(line, "index")?).map_err(|e| e.to_string())?,
+            label: str_field(line, "label")?,
+            seed: u64_field(line, "seed")?,
+        });
+    }
+    if cells.len() != header.cells {
+        return Err(format!(
+            "request {} header promises {} cell(s), found {}",
+            path.display(),
+            header.cells,
+            cells.len()
+        ));
+    }
+    Ok((header, cells))
+}
+
+fn parse_grid(line: &str) -> Result<u64, String> {
+    let g = str_field(line, "grid")?;
+    u64::from_str_radix(&g, 16).map_err(|e| format!("bad grid digest {g:?}: {e}"))
+}
+
+/// The worker side of a response file: header first, then one flushed line
+/// per finished cell, then the `end` footer. Flushing per line is what
+/// makes the supervisor's partial-harvest sound.
+#[derive(Debug)]
+pub struct ResponseWriter {
+    file: File,
+    done: usize,
+    failed: usize,
+}
+
+impl ResponseWriter {
+    /// Creates (truncating) the response file for `(shard, gen)` and writes
+    /// the echo header.
+    ///
+    /// # Errors
+    ///
+    /// On filesystem failures.
+    pub fn create(
+        spool: &Path,
+        shard: usize,
+        gen: u64,
+        grid: u64,
+        worker: &str,
+        version: u64,
+    ) -> Result<ResponseWriter, String> {
+        let path = response_path(spool, shard, gen);
+        let mut file = File::create(&path)
+            .map_err(|e| format!("cannot create response {}: {e}", path.display()))?;
+        let head = format!(
+            "{{\"dist\":\"response\",\"version\":{version},\"grid\":\"{grid:016x}\",\
+             \"shard\":{shard},\"gen\":{gen},\"worker\":\"{}\"}}\n",
+            esc(worker)
+        );
+        file.write_all(head.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| format!("cannot write response header: {e}"))?;
+        Ok(ResponseWriter { file, done: 0, failed: 0 })
+    }
+
+    /// Raw line append — used by the chaos drill to plant interior garbage.
+    pub(crate) fn append(&mut self, line: &str) -> Result<(), String> {
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .map_err(|e| format!("cannot append response line: {e}"))
+    }
+
+    /// Streams one completed cell.
+    ///
+    /// # Errors
+    ///
+    /// On filesystem failures.
+    pub fn record_done(
+        &mut self,
+        id: CellId,
+        label: &str,
+        seed: u64,
+        attempts: u32,
+        payload: &[JournalValue],
+    ) -> Result<(), String> {
+        let mut line = format!(
+            "{{\"dist\":\"done\",\"id\":\"{id}\",\"label\":\"{}\",\"seed\":{seed},\
+             \"attempts\":{attempts},\"payload\":",
+            esc(label)
+        );
+        render_payload(payload, &mut line);
+        line.push_str("}\n");
+        self.append(&line)?;
+        self.done += 1;
+        Ok(())
+    }
+
+    /// Streams one exhausted (quarantine-bound) cell.
+    ///
+    /// # Errors
+    ///
+    /// On filesystem failures.
+    pub fn record_failed(
+        &mut self,
+        id: CellId,
+        label: &str,
+        seed: u64,
+        stats: AttemptStats,
+        cause: &str,
+        message: &str,
+    ) -> Result<(), String> {
+        let line = format!(
+            "{{\"dist\":\"failed\",\"id\":\"{id}\",\"label\":\"{}\",\"seed\":{seed},\
+             \"attempts\":{},\"panics\":{},\"deadline_kills\":{},\"cause\":\"{cause}\",\
+             \"message\":\"{}\"}}\n",
+            esc(label),
+            stats.attempts,
+            stats.panics,
+            stats.deadline_kills,
+            esc(message)
+        );
+        self.append(&line)?;
+        self.failed += 1;
+        Ok(())
+    }
+
+    /// Writes the `end` footer with the final counts. A response without
+    /// this footer is partial by definition.
+    ///
+    /// # Errors
+    ///
+    /// On filesystem failures.
+    pub fn finish(mut self) -> Result<(), String> {
+        let line =
+            format!("{{\"dist\":\"end\",\"done\":{},\"failed\":{}}}\n", self.done, self.failed);
+        self.append(&line)
+    }
+}
+
+/// One streamed `failed` line: a cell the worker exhausted its per-cell
+/// retry policy on (the distributed analogue of a quarantine record).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FailedLine {
+    /// The cell's content-addressed id.
+    pub id: CellId,
+    /// Display label.
+    pub label: String,
+    /// The cell's seed.
+    pub seed: u64,
+    /// Attempts consumed on the worker.
+    pub attempts: u32,
+    /// Attempts that ended in a caught panic (per-cause accounting, so the
+    /// supervisor's `FabricCounters` match a single-process run exactly).
+    pub panics: u32,
+    /// Attempts abandoned at the per-attempt wall-clock deadline.
+    pub deadline_kills: u32,
+    /// Failure cause tag (`panic`/`deadline`).
+    pub cause: String,
+    /// The last failure message.
+    pub message: String,
+}
+
+/// What the supervisor expected the response to echo.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResponseExpect {
+    /// The dispatched grid digest.
+    pub grid: u64,
+    /// The dispatched shard.
+    pub shard: usize,
+    /// The dispatched generation.
+    pub gen: u64,
+}
+
+/// Why a response was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResponseFault {
+    /// The worker speaks a different protocol version — supervisor and
+    /// worker binaries are out of step. Nothing in the file can be trusted.
+    Stale(String),
+    /// The response is corrupt, truncated mid-line in the interior, echoes
+    /// the wrong grid/shard/generation, or its footer counts disagree with
+    /// its lines.
+    Invalid(String),
+}
+
+impl ResponseFault {
+    /// The stable tag used in events.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ResponseFault::Stale(_) => "stale_protocol",
+            ResponseFault::Invalid(_) => "invalid_response",
+        }
+    }
+
+    /// The human-readable detail.
+    pub fn detail(&self) -> &str {
+        match self {
+            ResponseFault::Stale(d) | ResponseFault::Invalid(d) => d,
+        }
+    }
+}
+
+/// The supervisor's view of a (possibly still-growing) response file.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ParsedResponse {
+    /// The worker id from the header, once the header exists.
+    pub worker: Option<String>,
+    /// Completed cells harvested from the valid prefix.
+    pub done: Vec<DoneLine>,
+    /// Exhausted cells from the valid prefix.
+    pub failed: Vec<FailedLine>,
+    /// True once the `end` footer is present with matching counts.
+    pub complete: bool,
+    /// A header/interior fault, if the response must be rejected.
+    pub fault: Option<ResponseFault>,
+}
+
+/// Parses a response file's current contents against what the supervisor
+/// dispatched. Never errors: a missing/empty file is simply "no response
+/// yet", a torn *final* line is a worker mid-append (prefix harvested), and
+/// header or interior damage is reported as a [`ResponseFault`] with the
+/// valid prefix still available for harvesting (each earlier line was
+/// flushed whole before the damage).
+pub fn parse_response(text: &str, expect: &ResponseExpect) -> ParsedResponse {
+    let mut out = ParsedResponse::default();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut saw_header = false;
+    let mut footer: Option<(u64, u64)> = None;
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        if footer.is_some() {
+            out.fault = Some(ResponseFault::Invalid(format!("line {} after end footer", i + 1)));
+            break;
+        }
+        let is_last = i + 1 == lines.len();
+        let parsed: Result<(), LineIssue> = if saw_header {
+            parse_body_line(line, &mut out, &mut footer)
+        } else {
+            saw_header = true;
+            parse_header_line(line, expect, &mut out)
+        };
+        match parsed {
+            Ok(()) => {}
+            // Unparseable final line: the worker is (or was) mid-append —
+            // streaming, not corruption. The harvested prefix stands.
+            Err(LineIssue::Malformed(_)) if is_last => break,
+            Err(LineIssue::Malformed(detail)) => {
+                out.fault = Some(ResponseFault::Invalid(detail));
+                break;
+            }
+            // A fully-parsed line that fails validation (version skew, echo
+            // mismatch) poisons the file wherever it sits.
+            Err(LineIssue::Reject(fault)) => {
+                out.fault = Some(fault);
+                break;
+            }
+        }
+    }
+    if let Some((d, f)) = footer {
+        if d == out.done.len() as u64 && f == out.failed.len() as u64 {
+            out.complete = true;
+        } else if out.fault.is_none() {
+            out.fault = Some(ResponseFault::Invalid(format!(
+                "end footer promises done={d} failed={f}, file has done={} failed={}",
+                out.done.len(),
+                out.failed.len()
+            )));
+        }
+    }
+    out
+}
+
+/// How a single response line failed: unparseable (a torn tail if final,
+/// corruption otherwise) vs parsed-but-rejected (always a fault).
+enum LineIssue {
+    Malformed(String),
+    Reject(ResponseFault),
+}
+
+fn parse_header_line(
+    line: &str,
+    expect: &ResponseExpect,
+    out: &mut ParsedResponse,
+) -> Result<(), LineIssue> {
+    let bad = |e: String| LineIssue::Malformed(format!("response header: {e}"));
+    if str_field(line, "dist").map_err(bad)? != "response" {
+        return Err(LineIssue::Malformed("response does not start with a header".to_owned()));
+    }
+    let version = u64_field(line, "version").map_err(bad)?;
+    if version != PROTOCOL_VERSION {
+        return Err(LineIssue::Reject(ResponseFault::Stale(format!(
+            "worker speaks protocol v{version}, supervisor speaks v{PROTOCOL_VERSION}"
+        ))));
+    }
+    let grid = parse_grid(line).map_err(bad)?;
+    let shard = u64_field(line, "shard").map_err(bad)?;
+    let gen = u64_field(line, "gen").map_err(bad)?;
+    if grid != expect.grid || shard != expect.shard as u64 || gen != expect.gen {
+        return Err(LineIssue::Reject(ResponseFault::Invalid(format!(
+            "response echoes grid={grid:016x} shard={shard} gen={gen}, \
+             dispatched grid={:016x} shard={} gen={}",
+            expect.grid, expect.shard, expect.gen
+        ))));
+    }
+    out.worker = Some(str_field(line, "worker").map_err(bad)?);
+    Ok(())
+}
+
+fn parse_body_line(
+    line: &str,
+    out: &mut ParsedResponse,
+    footer: &mut Option<(u64, u64)>,
+) -> Result<(), LineIssue> {
+    let bad = |e: String| LineIssue::Malformed(format!("response line: {e}"));
+    match str_field(line, "dist").map_err(bad)?.as_str() {
+        "done" => {
+            out.done.push(DoneLine {
+                id: parse_id(line).map_err(bad)?,
+                label: str_field(line, "label").map_err(bad)?,
+                seed: u64_field(line, "seed").map_err(bad)?,
+                attempts: u32::try_from(u64_field(line, "attempts").map_err(bad)?)
+                    .map_err(|e| bad(e.to_string()))?,
+                payload: parse_payload(line).map_err(bad)?,
+            });
+            Ok(())
+        }
+        "failed" => {
+            out.failed.push(FailedLine {
+                id: parse_id(line).map_err(bad)?,
+                label: str_field(line, "label").map_err(bad)?,
+                seed: u64_field(line, "seed").map_err(bad)?,
+                attempts: u32::try_from(u64_field(line, "attempts").map_err(bad)?)
+                    .map_err(|e| bad(e.to_string()))?,
+                panics: u32::try_from(u64_field(line, "panics").map_err(bad)?)
+                    .map_err(|e| bad(e.to_string()))?,
+                deadline_kills: u32::try_from(u64_field(line, "deadline_kills").map_err(bad)?)
+                    .map_err(|e| bad(e.to_string()))?,
+                cause: str_field(line, "cause").map_err(bad)?,
+                message: str_field(line, "message").map_err(bad)?,
+            });
+            Ok(())
+        }
+        "end" => {
+            *footer = Some((
+                u64_field(line, "done").map_err(bad)?,
+                u64_field(line, "failed").map_err(bad)?,
+            ));
+            Ok(())
+        }
+        other => Err(LineIssue::Malformed(format!("unknown response line kind {other:?}"))),
+    }
+}
+
+/// Appends one heartbeat line for `worker` and flushes it.
+///
+/// # Errors
+///
+/// On filesystem failures.
+pub fn append_heartbeat(
+    spool: &Path,
+    worker: &str,
+    shard: usize,
+    gen: u64,
+    seq: u64,
+) -> Result<(), String> {
+    let path = heartbeat_path(spool, worker);
+    let mut f = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("cannot open heartbeat {}: {e}", path.display()))?;
+    let line = format!(
+        "{{\"dist\":\"heartbeat\",\"worker\":\"{}\",\"shard\":{shard},\"gen\":{gen},\"seq\":{seq}}}\n",
+        esc(worker)
+    );
+    f.write_all(line.as_bytes())
+        .and_then(|()| f.flush())
+        .map_err(|e| format!("cannot append heartbeat: {e}"))
+}
+
+/// Reads the highest heartbeat sequence in `worker`'s file, skipping any
+/// torn final line. `None` when the file does not exist or holds no
+/// complete line yet.
+pub fn read_heartbeat_seq(spool: &Path, worker: &str) -> Option<u64> {
+    let text = std::fs::read_to_string(heartbeat_path(spool, worker)).ok()?;
+    text.lines().filter_map(|l| u64_field(l, "seq").ok()).max()
+}
+
+/// Attempts to claim `(shard, gen)` for `worker` by O_EXCL-creating the
+/// claim file. Exactly one worker can win; the rest see `false`.
+///
+/// # Errors
+///
+/// On filesystem failures other than "already claimed".
+pub fn try_claim(spool: &Path, shard: usize, gen: u64, worker: &str) -> Result<bool, String> {
+    let path = claim_path(spool, shard, gen);
+    match OpenOptions::new().create_new(true).write(true).open(&path) {
+        Ok(mut f) => {
+            let line = format!(
+                "{{\"dist\":\"claim\",\"worker\":\"{}\",\"shard\":{shard},\"gen\":{gen}}}\n",
+                esc(worker)
+            );
+            f.write_all(line.as_bytes())
+                .and_then(|()| f.flush())
+                .map_err(|e| format!("cannot write claim {}: {e}", path.display()))?;
+            Ok(true)
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(false),
+        Err(e) => Err(format!("cannot claim {}: {e}", path.display())),
+    }
+}
+
+/// Reads who claimed `(shard, gen)`, if anyone has (and the claim line is
+/// fully written).
+pub fn read_claim(spool: &Path, shard: usize, gen: u64) -> Option<String> {
+    let text = std::fs::read_to_string(claim_path(spool, shard, gen)).ok()?;
+    text.lines().find_map(|l| str_field(l, "worker").ok())
+}
+
+/// Drops the shutdown marker: attached workers drain and exit.
+///
+/// # Errors
+///
+/// On filesystem failures.
+pub fn write_shutdown(spool: &Path) -> Result<(), String> {
+    std::fs::write(shutdown_path(spool), b"shutdown\n")
+        .map_err(|e| format!("cannot write shutdown marker: {e}"))
+}
+
+/// True once the supervisor has requested shutdown.
+pub fn shutdown_requested(spool: &Path) -> bool {
+    shutdown_path(spool).exists()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::plan::Fingerprint;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("fabric-wire-{}-{name}", std::process::id()))
+    }
+
+    fn header(grid: u64, shard: usize, gen: u64) -> RequestHeader {
+        RequestHeader {
+            version: PROTOCOL_VERSION,
+            grid,
+            shard,
+            gen,
+            suite: "walk".to_owned(),
+            cells: 0,
+            deadline_ms: 0,
+            max_attempts: 3,
+            backoff_ms: 100,
+            max_backoff_ms: 5000,
+            heartbeat_ms: 200,
+        }
+    }
+
+    fn cell(i: usize) -> RequestCell {
+        RequestCell {
+            id: CellId::derive(&format!("c{i}"), i as u64, Fingerprint::new()),
+            index: i,
+            label: format!("c{i}"),
+            seed: i as u64,
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip_and_reject_version_skew() {
+        let spool = tmp("req");
+        let _ = std::fs::remove_dir_all(&spool);
+        init_spool(&spool, 0xabcd, 3, 2, "walk").expect("init");
+        let cells = vec![cell(0), cell(2)];
+        let mut h = header(0xabcd, 1, 0);
+        h.cells = cells.len();
+        let path = write_request(&spool, &h, &cells).expect("write");
+        let (rh, rc) = read_request(&path).expect("read");
+        assert_eq!(rh, h);
+        assert_eq!(rc, cells);
+        // Version skew is refused with both versions named.
+        let skew =
+            std::fs::read_to_string(&path).unwrap().replacen("\"version\":1", "\"version\":999", 1);
+        std::fs::write(&path, skew).unwrap();
+        let err = read_request(&path).unwrap_err();
+        assert!(err.contains("v999") && err.contains("out of step"), "{err}");
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn responses_stream_and_parse_with_prefix_harvest() {
+        let spool = tmp("resp");
+        let _ = std::fs::remove_dir_all(&spool);
+        init_spool(&spool, 0x11, 2, 1, "walk").expect("init");
+        let expect = ResponseExpect { grid: 0x11, shard: 0, gen: 0 };
+        let mut w =
+            ResponseWriter::create(&spool, 0, 0, 0x11, "w0-g0", PROTOCOL_VERSION).expect("create");
+        let id = CellId::derive("a", 1, Fingerprint::new());
+        w.record_done(id, "a", 1, 1, &[JournalValue::U64(42)]).expect("done");
+        // Mid-stream: header + one done line, no footer → partial, harvestable.
+        let text = std::fs::read_to_string(response_path(&spool, 0, 0)).unwrap();
+        let p = parse_response(&text, &expect);
+        assert_eq!(p.worker.as_deref(), Some("w0-g0"));
+        assert_eq!(p.done.len(), 1);
+        assert_eq!(p.done[0].payload, vec![JournalValue::U64(42)]);
+        assert!(!p.complete && p.fault.is_none());
+        // A torn final line is streaming, not a fault; the prefix survives.
+        let torn = format!("{text}{{\"dist\":\"done\",\"id\":\"00");
+        let p = parse_response(&torn, &expect);
+        assert_eq!(p.done.len(), 1);
+        assert!(!p.complete && p.fault.is_none(), "{:?}", p.fault);
+        // Footer completes it.
+        let stats = AttemptStats { attempts: 3, panics: 3, deadline_kills: 0 };
+        w.record_failed(CellId::derive("b", 2, Fingerprint::new()), "b", 2, stats, "panic", "boom")
+            .expect("failed");
+        w.finish().expect("finish");
+        let text = std::fs::read_to_string(response_path(&spool, 0, 0)).unwrap();
+        let p = parse_response(&text, &expect);
+        assert!(p.complete, "{p:?}");
+        assert_eq!(p.failed.len(), 1);
+        assert_eq!(p.failed[0].cause, "panic");
+        assert_eq!((p.failed[0].panics, p.failed[0].deadline_kills), (3, 0));
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    #[test]
+    fn responses_reject_version_skew_echo_mismatch_and_bad_footer() {
+        let expect = ResponseExpect { grid: 0x11, shard: 0, gen: 1 };
+        let stale = "{\"dist\":\"response\",\"version\":0,\"grid\":\"0000000000000011\",\
+                     \"shard\":0,\"gen\":1,\"worker\":\"w\"}\n";
+        let p = parse_response(stale, &expect);
+        assert!(matches!(p.fault, Some(ResponseFault::Stale(_))), "{p:?}");
+        // A revoked generation's echo must not pass for the replacement's.
+        let old_gen = "{\"dist\":\"response\",\"version\":1,\"grid\":\"0000000000000011\",\
+                       \"shard\":0,\"gen\":0,\"worker\":\"w\"}\n";
+        let p = parse_response(old_gen, &expect);
+        match &p.fault {
+            Some(ResponseFault::Invalid(d)) => assert!(d.contains("gen=0"), "{d}"),
+            other => panic!("expected echo rejection, got {other:?}"),
+        }
+        // Footer counts must match the lines actually present.
+        let lying = "{\"dist\":\"response\",\"version\":1,\"grid\":\"0000000000000011\",\
+                     \"shard\":0,\"gen\":1,\"worker\":\"w\"}\n{\"dist\":\"end\",\"done\":5,\"failed\":0}\n";
+        let p = parse_response(lying, &expect);
+        assert!(!p.complete);
+        match &p.fault {
+            Some(ResponseFault::Invalid(d)) => assert!(d.contains("promises"), "{d}"),
+            other => panic!("expected footer rejection, got {other:?}"),
+        }
+        // Interior corruption faults the file but keeps the valid prefix.
+        let id = CellId::derive("a", 1, Fingerprint::new());
+        let corrupt = format!(
+            "{{\"dist\":\"response\",\"version\":1,\"grid\":\"0000000000000011\",\
+             \"shard\":0,\"gen\":1,\"worker\":\"w\"}}\n\
+             {{\"dist\":\"done\",\"id\":\"{id}\",\"label\":\"a\",\"seed\":1,\"attempts\":1,\
+             \"payload\":[7]}}\nGARBAGE\n{{\"dist\":\"end\",\"done\":1,\"failed\":0}}\n"
+        );
+        let p = parse_response(&corrupt, &expect);
+        assert_eq!(p.done.len(), 1, "prefix before the damage is harvestable");
+        assert!(matches!(p.fault, Some(ResponseFault::Invalid(_))), "{p:?}");
+        assert!(!p.complete);
+    }
+
+    #[test]
+    fn heartbeats_and_claims_roundtrip() {
+        let spool = tmp("hb");
+        let _ = std::fs::remove_dir_all(&spool);
+        init_spool(&spool, 1, 1, 1, "walk").expect("init");
+        assert_eq!(read_heartbeat_seq(&spool, "w0"), None);
+        append_heartbeat(&spool, "w0", 0, 0, 1).expect("hb1");
+        append_heartbeat(&spool, "w0", 0, 0, 2).expect("hb2");
+        assert_eq!(read_heartbeat_seq(&spool, "w0"), Some(2));
+        // Exactly one claimant wins; the claim names the winner.
+        assert!(try_claim(&spool, 0, 0, "w0").expect("claim"));
+        assert!(!try_claim(&spool, 0, 0, "other").expect("reclaim"));
+        assert_eq!(read_claim(&spool, 0, 0), Some("w0".to_owned()));
+        assert!(!shutdown_requested(&spool));
+        write_shutdown(&spool).expect("shutdown");
+        assert!(shutdown_requested(&spool));
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+}

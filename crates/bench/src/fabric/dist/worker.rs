@@ -1,0 +1,421 @@
+//! The worker side of the distributed fabric: claim or receive a shard,
+//! execute its cells with the **same per-cell containment policy** the
+//! single-process fabric uses, and stream results back through the spool.
+//!
+//! Two ways a process ends up here:
+//!
+//! * **Self-exec** ([`serve_cells`]): a figure binary spawned by its own
+//!   supervisor with `--dist-worker … --dist-shard K --dist-gen G
+//!   --dist-id ID`. The binary rebuilds its full deterministic cell vector
+//!   exactly as the supervisor did, so the grid digest in the request must
+//!   match its own plan — a mismatch means supervisor and worker binaries
+//!   are out of step, and the worker refuses rather than compute wrong
+//!   cells.
+//! * **Attach** ([`attach_loop`]): a generic `sweep_worker` process points
+//!   at a spool and claims request files for suites it hosts (a
+//!   [`SuiteRegistry`] maps suite name → cell function). Claims are
+//!   O_EXCL-exclusive, so any number of workers can watch one spool.
+//!
+//! Either way, each cell runs under [`retry::run_with_retries`] with the
+//! deadline/retry policy shipped in the request header — a cell that would
+//! be quarantined by the in-process fabric fails the same way here, as a
+//! streamed `failed` line the supervisor turns into the identical
+//! quarantine record. Results are flushed line by line; a heartbeat thread
+//! appends liveness proof on the side.
+//!
+//! ## Chaos injection
+//!
+//! The `SWEEP_DIST_CHAOS` environment variable arms one failure for the
+//! worker serving a named shard, **generation 0 only** — re-dispatched
+//! generations always run clean, so every drill converges instead of
+//! crash-looping. Format: `mode[:n]@shard`, e.g. `kill:1@0` (SIGKILL self
+//! after 1 completed cell while serving shard 0). Modes: `kill:n`,
+//! `stall:n` (heartbeats continue, no further progress), `truncate` (exit
+//! without the end footer), `corrupt:n` (write a garbage line), `dup`
+//! (write every done line twice), `stale` (respond with protocol version
+//! 0). Used by the `fabric_chaos` harness and CI; never armed in normal
+//! runs.
+
+use super::super::journal::{JournalCodec, JournalValue};
+use super::super::plan::ShardPlan;
+use super::super::retry::{self, CellFn, RetryPolicy};
+use super::super::FabricCell;
+use super::wire::{self, RequestCell, RequestHeader, ResponseWriter, PROTOCOL_VERSION};
+use crate::DistWorkerCli;
+use obs::CounterSnapshot;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One armed chaos failure (see the module doc for the grammar).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// SIGKILL self after `n` completed cells.
+    Kill(usize),
+    /// Stop making progress after `n` cells; keep heartbeating.
+    Stall(usize),
+    /// Exit cleanly without writing the end footer.
+    Truncate,
+    /// Write a garbage line after `n` cells, then continue.
+    Corrupt(usize),
+    /// Write every done line twice (duplicate responses for one cell).
+    Dup,
+    /// Write the response header with protocol version 0.
+    Stale,
+}
+
+/// A chaos arming: the mode plus the shard whose gen-0 worker it hits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Chaos {
+    /// The armed failure.
+    pub mode: ChaosMode,
+    /// Only the worker serving this shard is affected.
+    pub shard: usize,
+}
+
+/// Parses a `SWEEP_DIST_CHAOS` spec (`mode[:n]@shard`). `None` on anything
+/// unparseable — chaos is a test tool, and a typo must not take down a real
+/// sweep; it just stays unarmed.
+pub fn parse_chaos(spec: &str) -> Option<Chaos> {
+    let (mode_part, shard_part) = spec.trim().split_once('@')?;
+    let shard = shard_part.parse::<usize>().ok()?;
+    let (name, count) = match mode_part.split_once(':') {
+        Some((name, n)) => (name, Some(n.parse::<usize>().ok()?)),
+        None => (mode_part, None),
+    };
+    let mode = match (name, count) {
+        ("kill", Some(n)) => ChaosMode::Kill(n),
+        ("stall", Some(n)) => ChaosMode::Stall(n),
+        ("truncate", None) => ChaosMode::Truncate,
+        ("corrupt", Some(n)) => ChaosMode::Corrupt(n),
+        ("dup", None) => ChaosMode::Dup,
+        ("stale", None) => ChaosMode::Stale,
+        _ => return None,
+    };
+    Some(Chaos { mode, shard })
+}
+
+/// The chaos armed for `(shard, gen)` via `SWEEP_DIST_CHAOS`, if any.
+/// Generation 0 only: a re-dispatched shard always runs clean.
+fn armed_chaos(shard: usize, gen: u64) -> Option<Chaos> {
+    if gen != 0 {
+        return None;
+    }
+    let spec = std::env::var("SWEEP_DIST_CHAOS").ok()?;
+    parse_chaos(&spec).filter(|c| c.shard == shard)
+}
+
+/// SIGKILL this process: the crash drill. `kill -9` cannot be caught, so
+/// the response file is left exactly as the last flush left it.
+fn kill_self_hard() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill").arg("-9").arg(&pid).status();
+    // Unreachable on any POSIX system; abort as a fallback.
+    std::process::abort();
+}
+
+/// A liveness thread handle: appends one heartbeat line per interval until
+/// dropped/stopped.
+struct HeartbeatThread {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HeartbeatThread {
+    fn start(
+        spool: &Path,
+        worker: &str,
+        shard: usize,
+        gen: u64,
+        interval: Duration,
+    ) -> HeartbeatThread {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let spool = spool.to_path_buf();
+        let worker = worker.to_owned();
+        let handle = std::thread::Builder::new()
+            .name(format!("dist-heartbeat-{worker}"))
+            .spawn(move || {
+                let mut seq = 0u64;
+                while !flag.load(Ordering::Relaxed) {
+                    seq += 1;
+                    if let Err(e) = wire::append_heartbeat(&spool, &worker, shard, gen, seq) {
+                        eprintln!("warning: {e}");
+                    }
+                    std::thread::sleep(interval);
+                }
+            })
+            .ok();
+        HeartbeatThread { stop, handle }
+    }
+}
+
+impl Drop for HeartbeatThread {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The output of one served cell before it hits the wire: the encoded
+/// output payload (without counters) plus the counter snapshot, matching
+/// the journal's `(output, counters)` payload layout.
+type ServedCell = CellFn<Vec<JournalValue>>;
+
+/// Serves one request with per-cell closures supplied by `make`, applying
+/// the armed chaos. The shared core of both self-exec and attach serving.
+fn serve_request(
+    spool: &Path,
+    worker_id: &str,
+    header: &RequestHeader,
+    cells: &[RequestCell],
+    make: &dyn Fn(&RequestCell) -> Result<ServedCell, String>,
+) -> Result<(), String> {
+    let chaos = armed_chaos(header.shard, header.gen);
+    let version = match chaos.map(|c| c.mode) {
+        Some(ChaosMode::Stale) => 0,
+        _ => PROTOCOL_VERSION,
+    };
+    let mut resp =
+        ResponseWriter::create(spool, header.shard, header.gen, header.grid, worker_id, version)?;
+    let _heartbeat = HeartbeatThread::start(
+        spool,
+        worker_id,
+        header.shard,
+        header.gen,
+        Duration::from_millis(header.heartbeat_ms.max(1)),
+    );
+    let deadline = (header.deadline_ms > 0).then(|| Duration::from_millis(header.deadline_ms));
+    let policy = RetryPolicy {
+        max_attempts: header.max_attempts,
+        base_backoff: Duration::from_millis(header.backoff_ms),
+        max_backoff: Duration::from_millis(header.max_backoff_ms),
+    };
+    for (served, cell) in cells.iter().enumerate() {
+        match chaos.map(|c| c.mode) {
+            Some(ChaosMode::Kill(n)) if served == n => kill_self_hard(),
+            Some(ChaosMode::Stall(n)) if served == n => loop {
+                // Alive (the heartbeat thread keeps appending) but never
+                // progressing: the supervisor must diagnose a stall, not a
+                // heartbeat lapse.
+                std::thread::sleep(Duration::from_millis(50));
+            },
+            Some(ChaosMode::Corrupt(n)) if served == n => {
+                resp.append("{\"dist\":\"done\",CHAOS-INTERIOR-GARBAGE\n")?;
+            }
+            _ => {}
+        }
+        let run = make(cell)?;
+        let (result, stats) = retry::run_with_retries(&cell.label, &run, deadline, &policy);
+        match result {
+            Ok((mut payload, counters)) => {
+                counters.encode(&mut payload);
+                resp.record_done(cell.id, &cell.label, cell.seed, stats.attempts, &payload)?;
+                if chaos.map(|c| c.mode) == Some(ChaosMode::Dup) {
+                    resp.record_done(cell.id, &cell.label, cell.seed, stats.attempts, &payload)?;
+                }
+            }
+            Err((cause, message)) => {
+                resp.record_failed(
+                    cell.id,
+                    &cell.label,
+                    cell.seed,
+                    stats,
+                    cause.as_str(),
+                    &message,
+                )?;
+            }
+        }
+    }
+    if chaos.map(|c| c.mode) == Some(ChaosMode::Truncate) {
+        // Exit without the footer: to the supervisor this response is
+        // truncated, indistinguishable from a crash after the last flush.
+        return Ok(());
+    }
+    resp.finish()
+}
+
+/// Serves a self-exec worker assignment: reads the request for
+/// `(task.shard, task.gen)`, verifies the grid digest against this binary's
+/// own plan of `cells` (a mismatch means supervisor/worker version skew),
+/// and streams results.
+///
+/// # Errors
+///
+/// On an unreadable/stale request, a grid mismatch, cell ids the plan does
+/// not contain, or filesystem failures. The supervisor sees any of these as
+/// a crashed lease and re-dispatches.
+pub fn serve_cells<T>(task: &DistWorkerCli, cells: &[FabricCell<T>]) -> Result<(), String>
+where
+    T: JournalCodec + Send + 'static,
+{
+    let (header, requested) =
+        wire::read_request(&wire::request_path(&task.spool, task.shard, task.gen))?;
+    let plan = ShardPlan::new(cells.iter().map(|c| (c.label.clone(), c.seed, c.config)))?;
+    if plan.grid_id() != header.grid {
+        return Err(format!(
+            "request is for grid {:016x}, this binary plans grid {:016x}; \
+             supervisor and worker builds are out of step",
+            header.grid,
+            plan.grid_id()
+        ));
+    }
+    let by_id: BTreeMap<_, _> = cells.iter().map(|c| (c.id(), c)).collect();
+    serve_request(&task.spool, &task.id, &header, &requested, &|req| {
+        let cell = by_id
+            .get(&req.id)
+            .ok_or_else(|| format!("request names cell {} not in this grid", req.id))?;
+        let run = Arc::clone(&cell.run);
+        Ok(Arc::new(move || {
+            let (out, counters) = run();
+            let mut payload = Vec::new();
+            out.encode(&mut payload);
+            (payload, counters)
+        }) as ServedCell)
+    })
+}
+
+/// A named cell function an attached worker hosts: `(label, seed)` → the
+/// encoded output payload plus counters. Must produce byte-identical
+/// payloads to the in-process cell of the same suite — the merged report is
+/// pinned to be identical either way.
+pub type SuiteFn = Arc<dyn Fn(&str, u64) -> (Vec<JournalValue>, CounterSnapshot) + Send + Sync>;
+
+/// The suites an attached worker can serve, by name. Requests for unknown
+/// suites are left unclaimed for some other worker.
+#[derive(Clone, Default)]
+pub struct SuiteRegistry {
+    suites: BTreeMap<String, SuiteFn>,
+}
+
+impl SuiteRegistry {
+    /// An empty registry.
+    pub fn new() -> SuiteRegistry {
+        SuiteRegistry::default()
+    }
+
+    /// Registers `name`, replacing any previous entry.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        f: impl Fn(&str, u64) -> (Vec<JournalValue>, CounterSnapshot) + Send + Sync + 'static,
+    ) {
+        self.suites.insert(name.into(), Arc::new(f));
+    }
+
+    /// Looks a suite up.
+    pub fn get(&self, name: &str) -> Option<&SuiteFn> {
+        self.suites.get(name)
+    }
+
+    /// The hosted suite names.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.suites.keys().map(String::as_str)
+    }
+}
+
+/// Parses a request filename (`shard-K.gG.jsonl`) into `(shard, gen)`.
+fn parse_request_filename(name: &str) -> Option<(usize, u64)> {
+    let rest = name.strip_prefix("shard-")?.strip_suffix(".jsonl")?;
+    let (shard, gen) = rest.split_once(".g")?;
+    Some((shard.parse().ok()?, gen.parse().ok()?))
+}
+
+/// Attach-mode worker loop: watch the spool, claim request files whose
+/// suite this registry hosts (O_EXCL — exactly one worker wins each), serve
+/// them, and exit once the supervisor drops the shutdown marker. Returns
+/// the number of shard dispatches served.
+///
+/// # Errors
+///
+/// On filesystem failures; per-request serve errors are reported on stderr
+/// and the loop continues (the supervisor re-dispatches).
+pub fn attach_loop(
+    spool: &Path,
+    worker_id: &str,
+    suites: &SuiteRegistry,
+    poll: Duration,
+) -> Result<usize, String> {
+    let requests = spool.join("requests");
+    let mut served = 0usize;
+    loop {
+        if wire::shutdown_requested(spool) {
+            return Ok(served);
+        }
+        let Ok(entries) = std::fs::read_dir(&requests) else {
+            // The supervisor may not have initialised the spool yet.
+            std::thread::sleep(poll);
+            continue;
+        };
+        let mut names: Vec<String> = entries
+            .filter_map(Result::ok)
+            .filter_map(|e| e.file_name().into_string().ok())
+            .collect();
+        names.sort();
+        for name in names {
+            let Some((shard, gen)) = parse_request_filename(&name) else { continue };
+            if wire::read_claim(spool, shard, gen).is_some() {
+                continue;
+            }
+            let (header, cells) = match wire::read_request(&wire::request_path(spool, shard, gen)) {
+                Ok(parsed) => parsed,
+                Err(e) => {
+                    eprintln!("warning: skipping request {name}: {e}");
+                    continue;
+                }
+            };
+            let Some(suite) = suites.get(&header.suite).cloned() else { continue };
+            if !wire::try_claim(spool, shard, gen, worker_id)? {
+                continue; // someone else won the race
+            }
+            let result = serve_request(spool, worker_id, &header, &cells, &|req| {
+                let suite = Arc::clone(&suite);
+                let label = req.label.clone();
+                let seed = req.seed;
+                Ok(Arc::new(move || suite(&label, seed)) as ServedCell)
+            });
+            if let Err(e) = result {
+                eprintln!("warning: serving shard {shard} g{gen} failed: {e}");
+            } else {
+                served += 1;
+            }
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_specs_parse_and_reject_typos() {
+        assert_eq!(parse_chaos("kill:2@1"), Some(Chaos { mode: ChaosMode::Kill(2), shard: 1 }));
+        assert_eq!(parse_chaos("stall:0@0"), Some(Chaos { mode: ChaosMode::Stall(0), shard: 0 }));
+        assert_eq!(parse_chaos("truncate@2"), Some(Chaos { mode: ChaosMode::Truncate, shard: 2 }));
+        assert_eq!(
+            parse_chaos("corrupt:1@0"),
+            Some(Chaos { mode: ChaosMode::Corrupt(1), shard: 0 })
+        );
+        assert_eq!(parse_chaos("dup@0"), Some(Chaos { mode: ChaosMode::Dup, shard: 0 }));
+        assert_eq!(parse_chaos("stale@1"), Some(Chaos { mode: ChaosMode::Stale, shard: 1 }));
+        // Typos disarm rather than crash a real sweep.
+        assert_eq!(parse_chaos("kill@1"), None, "kill requires a count");
+        assert_eq!(parse_chaos("truncate:1@2"), None, "truncate takes no count");
+        assert_eq!(parse_chaos("kill:x@1"), None);
+        assert_eq!(parse_chaos("kill:1"), None, "shard is mandatory");
+        assert_eq!(parse_chaos(""), None);
+    }
+
+    #[test]
+    fn request_filenames_parse() {
+        assert_eq!(parse_request_filename("shard-3.g1.jsonl"), Some((3, 1)));
+        assert_eq!(parse_request_filename("shard-0.g0.jsonl"), Some((0, 0)));
+        assert_eq!(parse_request_filename("shard-0.g0.jsonl.tmp"), None);
+        assert_eq!(parse_request_filename("manifest.jsonl"), None);
+    }
+}

@@ -22,7 +22,12 @@
 //! cells from two different grids. A torn final line (the line a kill
 //! interrupted) is tolerated and simply re-run; corruption anywhere else is
 //! an error — the journal is evidence, and silently skipping mid-file
-//! damage would hide it.
+//! damage would hide it. Duplicate `done` records for the same cell —
+//! possible once multiple writers exist (distributed supervisors harvesting
+//! partial responses, or two crashed runs that both completed the cell) —
+//! resolve **first-record-wins**: the payload checkpointed first is the one
+//! every later resume replays, so a merged result can never silently change
+//! identity across resumes.
 
 use super::plan::CellId;
 use crate::repro::{esc, json_escaped_str_field, unesc};
@@ -451,7 +456,7 @@ pub fn decode_payload<T: JournalCodec>(vals: &[JournalValue]) -> Result<T, Strin
     Ok(v)
 }
 
-fn render_payload(vals: &[JournalValue], out: &mut String) {
+pub(crate) fn render_payload(vals: &[JournalValue], out: &mut String) {
     out.push('[');
     for (i, v) in vals.iter().enumerate() {
         if i > 0 {
@@ -469,8 +474,10 @@ fn render_payload(vals: &[JournalValue], out: &mut String) {
     out.push(']');
 }
 
-/// Parses the `"payload":[...]` array out of a journal line.
-fn parse_payload(line: &str) -> Result<Vec<JournalValue>, String> {
+/// Parses the `"payload":[...]` array out of a journal line. Shared with
+/// the distributed wire codec (`super::dist::wire`), whose `done` lines use
+/// the same payload rendering.
+pub(crate) fn parse_payload(line: &str) -> Result<Vec<JournalValue>, String> {
     let pat = "\"payload\":[";
     let start = line.find(pat).ok_or("done line missing payload array")? + pat.len();
     let rest = &line[start..];
@@ -586,17 +593,17 @@ fn parse_grid(line: &str) -> Result<u64, String> {
     u64::from_str_radix(g, 16).map_err(|e| format!("bad grid digest {g:?}: {e}"))
 }
 
-fn parse_id(line: &str) -> Result<CellId, String> {
+pub(crate) fn parse_id(line: &str) -> Result<CellId, String> {
     CellId::parse(json_str_field(line, "id").ok_or_else(|| format!("line missing id: {line}"))?)
 }
 
-fn str_field(line: &str, key: &str) -> Result<String, String> {
+pub(crate) fn str_field(line: &str, key: &str) -> Result<String, String> {
     json_escaped_str_field(line, key)
         .map(unesc)
         .ok_or_else(|| format!("line missing {key}: {line}"))
 }
 
-fn u64_field(line: &str, key: &str) -> Result<u64, String> {
+pub(crate) fn u64_field(line: &str, key: &str) -> Result<u64, String> {
     json_u64_field(line, key).ok_or_else(|| format!("line missing {key}: {line}"))
 }
 
@@ -628,10 +635,18 @@ fn parse_line(replay: &mut JournalReplay, line: &str) -> Result<(), String> {
                     .map_err(|e| format!("attempts out of range: {e}"))?,
                 payload: parse_payload(line)?,
             };
-            // Last write wins: a cell journaled twice (two crashed runs that
-            // both completed it) is deterministic either way, because both
-            // payloads encode the same pure function of the cell.
-            replay.done.insert(entry.id, entry);
+            // First record wins, pinned by test. A cell can be journaled
+            // twice once multiple writers exist (a supervisor harvesting a
+            // crashed worker's partial response while its re-dispatch also
+            // completes the cell, or two crashed runs that both finished
+            // it). For a deterministic cell both payloads are identical and
+            // the choice is moot; for a *non*-deterministic cell,
+            // first-record-wins means the payload that later readers see is
+            // the one that was checkpointed first — resuming can never
+            // silently swap an already-merged result for a different one.
+            // `merge::merge_replays` applies the same rule across shard
+            // journals (and additionally rejects disagreeing payloads).
+            replay.done.entry(entry.id).or_insert(entry);
         }
         Some("quarantined") => {
             replay.quarantined.push(QuarantineLine {
@@ -956,6 +971,31 @@ mod tests {
         assert_eq!(replay.done.len(), 2, "trimmed tear must not cost completed cells");
         assert!(replay.torn_tail.is_none(), "the tear itself is gone");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_done_records_resolve_first_record_wins() {
+        // Two writers can both journal the same cell (a harvested partial
+        // response racing its re-dispatch). The first checkpoint is the one
+        // a resume must replay — pinned here so the policy is specified,
+        // not incidental.
+        let mut text = String::from(
+            "{\"fabric\":\"run\",\"version\":1,\"grid\":\"00000000000000ff\",\"cells\":1}\n",
+        );
+        text.push_str(&format!(
+            "{{\"fabric\":\"done\",\"id\":\"{}\",\"label\":\"first\",\"seed\":0,\"attempts\":1,\"payload\":[11]}}\n",
+            id(0)
+        ));
+        text.push_str(&format!(
+            "{{\"fabric\":\"done\",\"id\":\"{}\",\"label\":\"second\",\"seed\":0,\"attempts\":2,\"payload\":[22]}}\n",
+            id(0)
+        ));
+        let replay = parse_journal(&text).expect("duplicates are not corruption");
+        assert_eq!(replay.done.len(), 1);
+        let entry = &replay.done[&id(0)];
+        assert_eq!(entry.label, "first", "first record must win");
+        assert_eq!(entry.attempts, 1);
+        assert_eq!(entry.payload, vec![JournalValue::U64(11)]);
     }
 
     #[test]

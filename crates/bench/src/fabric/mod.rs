@@ -34,11 +34,14 @@
 //! whole seeded simulator, so its output cannot change). Quarantine removes
 //! a cell from the result vector without touching its neighbours.
 
+pub mod demo;
+pub mod dist;
 pub mod journal;
 pub mod merge;
 pub mod plan;
 pub mod retry;
 
+pub use dist::{run_dist, DistOptions, SpawnMode};
 pub use journal::{JournalCodec, JournalReplay};
 pub use merge::{CellOutcome, FabricReport, QuarantineRecord};
 pub use plan::{CellId, Fingerprint, ShardPlan};
@@ -150,7 +153,7 @@ impl Default for FabricOptions {
     }
 }
 
-fn env_parsed<T: std::str::FromStr>(name: &str, what: &str) -> Option<T> {
+pub(crate) fn env_parsed<T: std::str::FromStr>(name: &str, what: &str) -> Option<T> {
     let v = std::env::var(name).ok()?;
     match v.trim().parse::<T>() {
         Ok(parsed) => Some(parsed),
@@ -196,9 +199,13 @@ impl FabricOptions {
 
 /// Writes the quarantine artifact for `cell`. With a [`ReproSpec`] the
 /// artifact is the full `crate::repro` format (replayable); without one it
-/// is an identity-only JSONL stub naming the cell. IO failures warn and
-/// return `None` — quarantine must never abort the sweep it exists to save.
-fn write_artifact(
+/// is an identity-only JSONL stub naming the cell. Both paths fold the
+/// cell's content-addressed [`CellId`] into the filename — a grid routinely
+/// runs many cells at the same seed (one per algorithm), and seed- or
+/// label-derived names would let their artifacts overwrite each other.
+/// IO failures warn and return `None` — quarantine must never abort the
+/// sweep it exists to save.
+pub(crate) fn write_artifact(
     dir: &Path,
     planned: &PlannedCell,
     spec: Option<&ReproSpec>,
@@ -215,7 +222,12 @@ fn write_artifact(
                 violation: Some(ViolationRecord { at_ns: 0, message: annotated }),
                 trace_tail: Vec::new(),
             };
-            repro::dump_artifact(dir, spec, &outcome)
+            repro::dump_artifact_named(
+                dir,
+                &format!("repro-{}-{}", planned.seed, planned.id),
+                spec,
+                &outcome,
+            )
         }
         None => {
             let path = dir.join(format!("quarantine-{}.jsonl", planned.id));
@@ -248,7 +260,49 @@ fn write_artifact(
 
 /// The already-journaled results for a grid, decoded and indexed by input
 /// position.
-type Replayed<T> = BTreeMap<usize, (T, CounterSnapshot, u32)>;
+pub(crate) type Replayed<T> = BTreeMap<usize, (T, CounterSnapshot, u32)>;
+
+/// Loads and decodes the journal at `journal_path` against `plan`: grid
+/// check, torn-tail warning, and per-cell payload decode. Shared by the
+/// in-process fabric and the distributed supervisor, so both resume with
+/// identical semantics.
+pub(crate) fn replay_for_plan<T: JournalCodec>(
+    plan: &ShardPlan,
+    journal_path: &Path,
+) -> Result<Replayed<T>, String> {
+    let replay = journal::load_journal(journal_path)?;
+    if let Some(grid) = replay.grid {
+        if grid != plan.grid_id() {
+            return Err(format!(
+                "journal {} was written for grid {grid:016x}, this sweep is {:016x}; \
+                 refusing to mix results (use a fresh journal path per grid)",
+                journal_path.display(),
+                plan.grid_id()
+            ));
+        }
+    }
+    if let Some(torn) = &replay.torn_tail {
+        eprintln!(
+            "fabric: journal {} has a torn final line (interrupted append), re-running that cell: {}",
+            journal_path.display(),
+            &torn[..torn.len().min(80)]
+        );
+    }
+    let mut replayed: Replayed<T> = BTreeMap::new();
+    for (id, entry) in &replay.done {
+        let Some(planned) = plan.find(*id) else {
+            return Err(format!(
+                "journal {} contains cell {id} ({:?}) that is not in this grid",
+                journal_path.display(),
+                entry.label
+            ));
+        };
+        let (output, counters) = decode_payload::<(T, CounterSnapshot)>(&entry.payload)
+            .map_err(|e| format!("journal payload for cell {id} ({:?}): {e}", entry.label))?;
+        replayed.insert(planned.index, (output, counters, entry.attempts));
+    }
+    Ok(replayed)
+}
 
 /// Runs the missing cells across the worker pool with containment, calling
 /// `on_done` under no lock ordering guarantees (it must synchronise
@@ -428,37 +482,7 @@ where
         plan.cells().iter().map(|p| (p.index, (p.label.clone(), p.seed))).collect();
 
     // Replay: decode every journaled payload for this grid.
-    let replay = journal::load_journal(&journal_path)?;
-    if let Some(grid) = replay.grid {
-        if grid != plan.grid_id() {
-            return Err(format!(
-                "journal {} was written for grid {grid:016x}, this sweep is {:016x}; \
-                 refusing to mix results (use a fresh journal path per grid)",
-                journal_path.display(),
-                plan.grid_id()
-            ));
-        }
-    }
-    if let Some(torn) = &replay.torn_tail {
-        eprintln!(
-            "fabric: journal {} has a torn final line (interrupted append), re-running that cell: {}",
-            journal_path.display(),
-            &torn[..torn.len().min(80)]
-        );
-    }
-    let mut replayed: Replayed<T> = BTreeMap::new();
-    for (id, entry) in &replay.done {
-        let Some(planned) = plan.find(*id) else {
-            return Err(format!(
-                "journal {} contains cell {id} ({:?}) that is not in this grid",
-                journal_path.display(),
-                entry.label
-            ));
-        };
-        let (output, counters) = decode_payload::<(T, CounterSnapshot)>(&entry.payload)
-            .map_err(|e| format!("journal payload for cell {id} ({:?}): {e}", entry.label))?;
-        replayed.insert(planned.index, (output, counters, entry.attempts));
-    }
+    let replayed: Replayed<T> = replay_for_plan(&plan, &journal_path)?;
 
     let writer = Mutex::new(JournalWriter::append_to(&journal_path, plan.grid_id(), plan.len())?);
     let on_done = |planned: &PlannedCell, attempts: u32, output: &T, counters: &CounterSnapshot| {

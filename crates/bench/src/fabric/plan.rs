@@ -195,13 +195,23 @@ impl ShardPlan {
     /// Round-robin (rather than contiguous chunks) balances grids whose
     /// cost grows along an axis, e.g. seeds sorted by transfer size.
     /// Deterministic: depends only on input order and `shards`.
-    pub fn shards(&self, shards: usize) -> Vec<Vec<&PlannedCell>> {
-        let shards = shards.max(1);
+    ///
+    /// # Errors
+    ///
+    /// A zero shard count is a usage error, rejected explicitly — the same
+    /// policy as `--jobs 0` in the runner. Silently coercing to one shard
+    /// would hide a broken `--workers`/`SWEEP_WORKERS` computation upstream.
+    pub fn shards(&self, shards: usize) -> Result<Vec<Vec<&PlannedCell>>, String> {
+        if shards == 0 {
+            return Err(
+                "shard count must be at least 1 (got 0); check --workers/SWEEP_WORKERS".to_owned()
+            );
+        }
         let mut out: Vec<Vec<&PlannedCell>> = (0..shards).map(|_| Vec::new()).collect();
         for (i, c) in self.cells.iter().enumerate() {
             out[i % shards].push(c);
         }
-        out
+        Ok(out)
     }
 }
 
@@ -279,7 +289,7 @@ mod tests {
     #[test]
     fn shards_partition_round_robin() {
         let plan = ShardPlan::new((0..7).map(|i| (format!("c{i}"), i, fp(0)))).unwrap();
-        let shards = plan.shards(3);
+        let shards = plan.shards(3).expect("3 shards");
         assert_eq!(shards.len(), 3);
         let idx: Vec<Vec<usize>> =
             shards.iter().map(|s| s.iter().map(|c| c.index).collect()).collect();
@@ -288,8 +298,19 @@ mod tests {
         let mut all: Vec<usize> = idx.into_iter().flatten().collect();
         all.sort_unstable();
         assert_eq!(all, (0..7).collect::<Vec<_>>());
-        // Degenerate shard counts clamp to 1.
-        assert_eq!(plan.shards(0).len(), 1);
-        assert_eq!(plan.shards(0)[0].len(), 7);
+        // More shards than cells leaves the surplus shards empty.
+        let wide = plan.shards(9).expect("9 shards");
+        assert_eq!(wide.len(), 9);
+        assert!(wide[7].is_empty() && wide[8].is_empty());
+    }
+
+    #[test]
+    fn zero_shards_is_an_explicit_error() {
+        // A silent clamp to one shard would mask a broken --workers
+        // computation; the runner rejects --jobs 0 for the same reason.
+        let plan = ShardPlan::new((0..3).map(|i| (format!("c{i}"), i, fp(0)))).unwrap();
+        let err = plan.shards(0).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        assert!(err.contains("SWEEP_WORKERS"), "{err}");
     }
 }

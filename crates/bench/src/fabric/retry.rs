@@ -78,6 +78,10 @@ pub enum FailCause {
     Panic,
     /// The cell exceeded its wall-clock deadline.
     Deadline,
+    /// The distributed fabric exhausted its shard re-dispatch budget for
+    /// the worker(s) responsible for this cell (crashes, stalls, or invalid
+    /// responses — the supervisor's events name which).
+    Worker,
 }
 
 impl FailCause {
@@ -86,6 +90,7 @@ impl FailCause {
         match self {
             FailCause::Panic => "panic",
             FailCause::Deadline => "deadline",
+            FailCause::Worker => "worker",
         }
     }
 }
@@ -186,6 +191,9 @@ pub fn run_with_retries<T: Send + 'static>(
                 match cause {
                     FailCause::Panic => stats.panics += 1,
                     FailCause::Deadline => stats.deadline_kills += 1,
+                    // In-process attempts can only panic or time out; Worker
+                    // is minted by the distributed supervisor, never here.
+                    FailCause::Worker => {}
                 }
                 match policy.backoff_after(stats.attempts) {
                     Some(backoff) => std::thread::sleep(backoff),

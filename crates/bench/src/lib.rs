@@ -47,6 +47,22 @@ impl Scale {
     }
 }
 
+/// The worker-side identity of a distributed fabric process, parsed from
+/// the `--dist-*` flags a supervisor passes when it spawns workers (see
+/// [`fabric::dist`]). All four flags travel together; a partial set is a
+/// usage error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DistWorkerCli {
+    /// The spool directory shared with the supervisor.
+    pub spool: std::path::PathBuf,
+    /// The shard index this worker serves.
+    pub shard: usize,
+    /// The lease generation the request file is named for.
+    pub gen: u64,
+    /// The worker id the supervisor assigned (names the heartbeat file).
+    pub id: String,
+}
+
 /// Parsed command-line options shared by the figure binaries: an experiment
 /// [`Scale`], an optional sweep worker count, and an optional trace
 /// directory.
@@ -64,25 +80,51 @@ pub struct Cli {
     /// ([`fabric::run_fabric`] checkpoints each completed cell there and
     /// resumes from it after a kill).
     pub journal: Option<std::path::PathBuf>,
+    /// `--workers N` if given: the distributed fabric supervises N worker
+    /// *processes* (vs `--jobs`, threads inside one process). Binaries fall
+    /// back to `SWEEP_WORKERS`, else single-process execution.
+    pub workers: Option<usize>,
+    /// `--spool DIR` if given: the spool directory the distributed fabric
+    /// exchanges request/response/heartbeat files through. Defaults to a
+    /// per-run temporary directory.
+    pub spool: Option<std::path::PathBuf>,
+    /// Set when this process was spawned *as* a distributed worker
+    /// (`--dist-worker SPOOL --dist-shard K --dist-gen G --dist-id ID`):
+    /// it serves its shard and exits instead of supervising.
+    pub dist: Option<DistWorkerCli>,
 }
 
 impl Cli {
     /// Parses `--smoke`/`--quick`/`--full`, `--jobs N` (or `--jobs=N`),
-    /// `--trace DIR` (or `--trace=DIR`), and `--journal PATH` (or
-    /// `--journal=PATH`) from the process arguments. Exits with a usage
-    /// message on anything else.
+    /// `--trace DIR` (or `--trace=DIR`), `--journal PATH` (or
+    /// `--journal=PATH`), `--workers N` (or `--workers=N`), `--spool DIR`
+    /// (or `--spool=DIR`), and the worker-side `--dist-*` flags from the
+    /// process arguments. Exits with a usage message on anything else.
     pub fn from_args() -> Cli {
         Cli::parse(std::env::args().skip(1)).unwrap_or_else(|bad| {
             eprintln!(
                 "unknown argument `{bad}` \
-                 (expected --smoke/--quick/--full/--jobs N/--trace DIR/--journal PATH)"
+                 (expected --smoke/--quick/--full/--jobs N/--trace DIR/--journal PATH/\
+                 --workers N/--spool DIR)"
             );
             std::process::exit(2);
         })
     }
 
     fn parse(args: impl Iterator<Item = String>) -> Result<Cli, String> {
-        let mut cli = Cli { scale: Scale::Quick, jobs: None, trace: None, journal: None };
+        let mut cli = Cli {
+            scale: Scale::Quick,
+            jobs: None,
+            trace: None,
+            journal: None,
+            workers: None,
+            spool: None,
+            dist: None,
+        };
+        let mut dist_spool: Option<std::path::PathBuf> = None;
+        let mut dist_shard: Option<usize> = None;
+        let mut dist_gen: Option<u64> = None;
+        let mut dist_id: Option<String> = None;
         let mut args = args.peekable();
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -93,6 +135,10 @@ impl Cli {
                     let v = args.next().ok_or_else(|| "--jobs (missing count)".to_owned())?;
                     cli.jobs = Some(v.parse::<usize>().map_err(|_| format!("--jobs {v}"))?);
                 }
+                "--workers" => {
+                    let v = args.next().ok_or_else(|| "--workers (missing count)".to_owned())?;
+                    cli.workers = Some(v.parse::<usize>().map_err(|_| format!("--workers {v}"))?);
+                }
                 "--trace" => {
                     let v = args.next().ok_or_else(|| "--trace (missing dir)".to_owned())?;
                     cli.trace = Some(v.into());
@@ -101,13 +147,39 @@ impl Cli {
                     let v = args.next().ok_or_else(|| "--journal (missing path)".to_owned())?;
                     cli.journal = Some(v.into());
                 }
+                "--spool" => {
+                    let v = args.next().ok_or_else(|| "--spool (missing dir)".to_owned())?;
+                    cli.spool = Some(v.into());
+                }
+                "--dist-worker" => {
+                    let v =
+                        args.next().ok_or_else(|| "--dist-worker (missing spool)".to_owned())?;
+                    dist_spool = Some(v.into());
+                }
+                "--dist-shard" => {
+                    let v = args.next().ok_or_else(|| "--dist-shard (missing index)".to_owned())?;
+                    dist_shard = Some(v.parse::<usize>().map_err(|_| format!("--dist-shard {v}"))?);
+                }
+                "--dist-gen" => {
+                    let v = args.next().ok_or_else(|| "--dist-gen (missing gen)".to_owned())?;
+                    dist_gen = Some(v.parse::<u64>().map_err(|_| format!("--dist-gen {v}"))?);
+                }
+                "--dist-id" => {
+                    let v = args.next().ok_or_else(|| "--dist-id (missing id)".to_owned())?;
+                    dist_id = Some(v);
+                }
                 other => {
                     if let Some(v) = other.strip_prefix("--jobs=") {
                         cli.jobs = Some(v.parse::<usize>().map_err(|_| format!("--jobs={v}"))?);
+                    } else if let Some(v) = other.strip_prefix("--workers=") {
+                        cli.workers =
+                            Some(v.parse::<usize>().map_err(|_| format!("--workers={v}"))?);
                     } else if let Some(v) = other.strip_prefix("--trace=") {
                         cli.trace = Some(v.into());
                     } else if let Some(v) = other.strip_prefix("--journal=") {
                         cli.journal = Some(v.into());
+                    } else if let Some(v) = other.strip_prefix("--spool=") {
+                        cli.spool = Some(v.into());
                     } else {
                         return Err(a);
                     }
@@ -116,6 +188,24 @@ impl Cli {
         }
         if cli.jobs == Some(0) {
             return Err("--jobs 0".to_owned());
+        }
+        if cli.workers == Some(0) {
+            return Err("--workers 0".to_owned());
+        }
+        let dist_any =
+            dist_spool.is_some() || dist_shard.is_some() || dist_gen.is_some() || dist_id.is_some();
+        if dist_any {
+            match (dist_spool, dist_shard, dist_gen, dist_id) {
+                (Some(spool), Some(shard), Some(gen), Some(id)) => {
+                    cli.dist = Some(DistWorkerCli { spool, shard, gen, id });
+                }
+                _ => {
+                    return Err(
+                        "--dist-worker/--dist-shard/--dist-gen/--dist-id (all four required)"
+                            .to_owned(),
+                    )
+                }
+            }
         }
         Ok(cli)
     }
@@ -137,6 +227,28 @@ impl Cli {
     /// disabled; the sweep runs ephemerally).
     pub fn journal_path(&self) -> Option<std::path::PathBuf> {
         self.journal.clone().or_else(|| std::env::var_os("SWEEP_JOURNAL").map(Into::into))
+    }
+
+    /// The distributed worker-process count: `--workers` if given, else the
+    /// `SWEEP_WORKERS` environment variable, else 1 (single-process; the
+    /// fabric runs in-process and never touches a spool). Unusable env
+    /// values warn and fall back, matching `SWEEP_JOBS` handling.
+    pub fn workers(&self) -> usize {
+        if let Some(n) = self.workers {
+            return n.max(1);
+        }
+        match std::env::var("SWEEP_WORKERS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    eprintln!(
+                        "warning: ignoring SWEEP_WORKERS={v:?}: expected a positive worker count"
+                    );
+                    1
+                }
+            },
+            Err(_) => 1,
+        }
     }
 }
 
@@ -223,7 +335,7 @@ mod tests {
     }
 
     fn cli(scale: Scale, jobs: Option<usize>) -> Cli {
-        Cli { scale, jobs, trace: None, journal: None }
+        Cli { scale, jobs, trace: None, journal: None, workers: None, spool: None, dist: None }
     }
 
     #[test]
@@ -250,6 +362,47 @@ mod tests {
         // The --trace flag wins over the SWEEP_TRACE env fallback.
         assert_eq!(c.trace_dir(), Some(std::path::PathBuf::from("t")));
         assert_eq!(parse(&[]).unwrap().trace, None);
+    }
+
+    #[test]
+    fn cli_parses_workers_and_spool() {
+        let c = parse(&["--workers", "3", "--spool", "out/spool"]).unwrap();
+        assert_eq!(c.workers, Some(3));
+        assert_eq!(c.spool, Some(std::path::PathBuf::from("out/spool")));
+        assert_eq!(c.workers(), 3, "--workers wins over the SWEEP_WORKERS fallback");
+        let c = parse(&["--workers=2", "--spool=s"]).unwrap();
+        assert_eq!(c.workers, Some(2));
+        assert_eq!(c.spool, Some(std::path::PathBuf::from("s")));
+        assert!(parse(&["--workers"]).is_err());
+        assert!(parse(&["--workers", "0"]).is_err(), "zero workers is a usage error");
+        assert!(parse(&["--workers=0"]).is_err(), "the = form must reject zero too");
+        assert_eq!(parse(&[]).unwrap().workers, None);
+    }
+
+    #[test]
+    fn cli_parses_dist_worker_flags_all_or_nothing() {
+        let c = parse(&[
+            "--smoke",
+            "--dist-worker",
+            "sp",
+            "--dist-shard",
+            "2",
+            "--dist-gen",
+            "1",
+            "--dist-id",
+            "w2-g1",
+        ])
+        .unwrap();
+        let d = c.dist.expect("dist worker role parsed");
+        assert_eq!(d.spool, std::path::PathBuf::from("sp"));
+        assert_eq!(d.shard, 2);
+        assert_eq!(d.gen, 1);
+        assert_eq!(d.id, "w2-g1");
+        // A partial flag set is a usage error, not a silent supervisor run.
+        let err = parse(&["--dist-worker", "sp", "--dist-shard", "2"]).unwrap_err();
+        assert!(err.contains("all four"), "{err}");
+        assert!(parse(&["--dist-shard", "x"]).is_err());
+        assert_eq!(parse(&[]).unwrap().dist, None);
     }
 
     #[test]

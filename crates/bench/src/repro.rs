@@ -397,13 +397,32 @@ pub fn render_artifact(spec: &ReproSpec, outcome: &ReproOutcome) -> String {
 
 /// Writes the artifact for a violating run to `<dir>/repro-<seed>.jsonl`,
 /// creating `dir` if needed. Returns the artifact path.
+///
+/// The seed-derived name is only safe when the caller runs one spec per
+/// seed (the invariant checker's situation). Sweep grids routinely run many
+/// cells at the same seed — those callers must use [`dump_artifact_named`]
+/// with a name that folds in the cell's content address, or artifacts
+/// overwrite each other.
 pub fn dump_artifact(
     dir: &Path,
     spec: &ReproSpec,
     outcome: &ReproOutcome,
 ) -> std::io::Result<PathBuf> {
+    dump_artifact_named(dir, &format!("repro-{}", spec.seed), spec, outcome)
+}
+
+/// Writes the artifact for a violating run to `<dir>/<stem>.jsonl`,
+/// creating `dir` if needed. Returns the artifact path. The fabric passes a
+/// stem containing the cell's [`crate::fabric::CellId`] so two quarantined
+/// cells that differ only in label, seed, or config can never collide.
+pub fn dump_artifact_named(
+    dir: &Path,
+    stem: &str,
+    spec: &ReproSpec,
+    outcome: &ReproOutcome,
+) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
-    let path = dir.join(format!("repro-{}.jsonl", spec.seed));
+    let path = dir.join(format!("{stem}.jsonl"));
     let mut f = std::fs::File::create(&path)?;
     f.write_all(render_artifact(spec, outcome).as_bytes())?;
     Ok(path)

@@ -109,6 +109,72 @@ pub struct GlobalCounters {
     pub dropped_load_samples: u64,
 }
 
+/// Distributed-fabric accounting for one supervisor run: how shards moved
+/// between workers, and how every injected or organic failure was absorbed.
+/// Each field is one arm of the failure matrix drilled by `fabric_chaos` —
+/// a loss that is not visible here is a loss the fabric cannot prove it
+/// survived.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DistCounters {
+    /// Shards the supervisor dispatched (zero for in-process runs).
+    pub shards: u64,
+    /// Worker processes spawned (initial dispatch + re-dispatches).
+    pub workers_spawned: u64,
+    /// Shard leases granted (one per dispatch generation).
+    pub leases_granted: u64,
+    /// Leases revoked and re-dispatched to a fresh generation.
+    pub redispatches: u64,
+    /// Workers that exited without a complete, valid response.
+    pub worker_crashes: u64,
+    /// Leases revoked because heartbeats stopped arriving.
+    pub heartbeat_lapses: u64,
+    /// Leases revoked because heartbeats continued but no cell completed
+    /// before the lease deadline (the livelock arm).
+    pub stalls: u64,
+    /// Response files rejected for truncation, corruption, or undecodable
+    /// payloads.
+    pub invalid_responses: u64,
+    /// Responses rejected for a protocol-version or grid-digest mismatch.
+    pub stale_protocol: u64,
+    /// Cell results discarded because an earlier valid result already won
+    /// (first-valid-wins).
+    pub duplicate_cells: u64,
+    /// Responses (or response growth) ignored because their lease generation
+    /// had already been revoked.
+    pub late_responses: u64,
+    /// Cells salvaged from the partial response of a crashed or revoked
+    /// worker — completed work that re-dispatch did not repeat.
+    pub harvested_cells: u64,
+}
+
+impl DistCounters {
+    /// True when no distributed machinery ran (pure in-process sweep).
+    pub fn is_idle(&self) -> bool {
+        *self == DistCounters::default()
+    }
+
+    /// Renders the one-line digest the supervisor prints on stderr.
+    pub fn render(&self) -> String {
+        format!(
+            "fabric-dist: shards={} workers_spawned={} leases_granted={} redispatches={} \
+             worker_crashes={} heartbeat_lapses={} stalls={} invalid_responses={} \
+             stale_protocol={} duplicate_cells={} late_responses={} harvested_cells={}",
+            self.shards,
+            self.workers_spawned,
+            self.leases_granted,
+            self.redispatches,
+            self.worker_crashes,
+            self.heartbeat_lapses,
+            self.stalls,
+            self.invalid_responses,
+            self.stale_protocol,
+            self.duplicate_cells,
+            self.late_responses,
+            self.harvested_cells
+        )
+    }
+}
+
 /// Sweep-fabric accounting for one `bench_harness::fabric` run: how much
 /// work the journal saved, how hard the retry layer worked, and what was
 /// quarantined. Assembled by the fabric after the pool joins — like every
@@ -129,12 +195,15 @@ pub struct FabricCounters {
     pub deadline_kills: u64,
     /// Cells quarantined after retry exhaustion.
     pub quarantined: u64,
+    /// Supervisor/worker accounting; all-zero for in-process runs.
+    pub dist: DistCounters,
 }
 
 impl FabricCounters {
-    /// Renders the one-line digest the fabric prints on stderr.
+    /// Renders the one-line digest the fabric prints on stderr (two lines
+    /// when the distributed layer ran).
     pub fn render(&self) -> String {
-        format!(
+        let base = format!(
             "fabric: planned={} replayed={} executed={} retries={} panics={} \
              deadline_kills={} quarantined={}",
             self.planned,
@@ -144,7 +213,12 @@ impl FabricCounters {
             self.panics,
             self.deadline_kills,
             self.quarantined
-        )
+        );
+        if self.dist.is_idle() {
+            base
+        } else {
+            format!("{base}\n{}", self.dist.render())
+        }
     }
 }
 

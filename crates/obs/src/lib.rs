@@ -27,14 +27,16 @@
 //! disabled path allocates nothing.
 
 pub mod counters;
+pub mod dist_event;
 pub mod event;
 pub mod sink;
 pub mod summary;
 
 pub use counters::{
-    ConnCounters, CounterSnapshot, FabricCounters, GlobalCounters, HybridCounters, LinkCounters,
-    SubflowCounters,
+    ConnCounters, CounterSnapshot, DistCounters, FabricCounters, GlobalCounters, HybridCounters,
+    LinkCounters, SubflowCounters,
 };
+pub use dist_event::DistEvent;
 pub use event::{DiscardCause, DropCause, FaultKind, ImpairKind, RecoveryCause, TraceEvent};
 pub use sink::{
     jsonl_sink_in, sanitize_label, trace_path, FilterSink, JsonlSink, NullSink, RingSink, TeeSink,
