@@ -19,8 +19,10 @@
 //!    │            ├─ crash (process exit, incomplete response)
 //!    │            ├─ heartbeat lapse (no liveness)
 //!    │            ├─ stall (liveness but no progress past deadline)
-//!    │            └─ invalid/stale response (corrupt, wrong echo, old
-//!    │               protocol)
+//!    │            ├─ invalid/stale response (corrupt, wrong echo, old
+//!    │            │  protocol)
+//!    │            └─ claim timeout (attach mode: nobody claimed the
+//!    │               request — e.g. no attached worker hosts the suite)
 //!    │            ▼
 //!    └─(backoff)─ revoke: harvest valid prefix, kill child, gen += 1
 //!                 … until the re-dispatch budget is spent, then the
@@ -105,6 +107,13 @@ pub struct DistOptions {
     pub heartbeat_timeout: Duration,
     /// Supervisor poll interval.
     pub poll: Duration,
+    /// Attach mode only: how long a published request may sit unclaimed
+    /// before the dispatch is given up (counted, re-dispatched, and — once
+    /// the budget is spent — quarantined like any other revocation), so a
+    /// suite no attached worker hosts surfaces as a partial report instead
+    /// of a silent eternal poll. `None` waits forever; while waiting, the
+    /// supervisor warns on stderr periodically either way.
+    pub claim_timeout: Option<Duration>,
     /// Re-dispatch budget per shard; once spent, the shard's remaining
     /// cells quarantine with [`FailCause::Worker`].
     pub max_redispatch: u32,
@@ -117,8 +126,8 @@ pub struct DistOptions {
 
 impl DistOptions {
     /// Defaults for `suite`: single worker (in-process), 120 s lease,
-    /// 200 ms heartbeats with a 3 s timeout, 25 ms poll, 3 re-dispatches,
-    /// self-exec spawning.
+    /// 200 ms heartbeats with a 3 s timeout, 25 ms poll, a 10 min claim
+    /// timeout, 3 re-dispatches, self-exec spawning.
     pub fn new(suite: impl Into<String>) -> DistOptions {
         DistOptions {
             workers: 1,
@@ -128,6 +137,7 @@ impl DistOptions {
             heartbeat: Duration::from_millis(200),
             heartbeat_timeout: Duration::from_secs(3),
             poll: Duration::from_millis(25),
+            claim_timeout: Some(Duration::from_secs(600)),
             max_redispatch: 3,
             spawn: SpawnMode::SelfExec,
             task: None,
@@ -137,9 +147,11 @@ impl DistOptions {
     /// Builds options from the parsed [`crate::Cli`] plus the env knobs:
     /// `SWEEP_LEASE_S` (fractional seconds without a new cell before a
     /// stall), `SWEEP_HEARTBEAT_MS`, `SWEEP_HEARTBEAT_TIMEOUT_MS`,
-    /// `SWEEP_POLL_MS`, `SWEEP_REDISPATCH` (budget per shard), and
-    /// `SWEEP_SPAWN=attach` to use externally-started `sweep_worker`
-    /// processes. Unusable values warn and fall back.
+    /// `SWEEP_POLL_MS`, `SWEEP_CLAIM_TIMEOUT_S` (fractional seconds an
+    /// attach-mode request may sit unclaimed; 0 waits forever),
+    /// `SWEEP_REDISPATCH` (budget per shard), and `SWEEP_SPAWN=attach` to
+    /// use externally-started `sweep_worker` processes. Unusable values
+    /// warn and fall back.
     pub fn from_cli(cli: &crate::Cli, suite: impl Into<String>) -> DistOptions {
         let mut o = DistOptions::new(suite);
         o.workers = cli.workers();
@@ -164,6 +176,20 @@ impl DistOptions {
         }
         if let Some(ms) = env_parsed::<u64>("SWEEP_POLL_MS", "an interval in milliseconds") {
             o.poll = Duration::from_millis(ms.max(1));
+        }
+        if let Some(secs) =
+            env_parsed::<f64>("SWEEP_CLAIM_TIMEOUT_S", "a number of seconds (0 waits forever)")
+        {
+            if netsim::is_exactly_zero(secs) {
+                o.claim_timeout = None;
+            } else if secs > 0.0 && secs.is_finite() {
+                o.claim_timeout = Some(Duration::from_secs_f64(secs));
+            } else {
+                eprintln!(
+                    "warning: ignoring SWEEP_CLAIM_TIMEOUT_S={secs}: \
+                     expected a non-negative number of seconds"
+                );
+            }
         }
         if let Some(n) = env_parsed::<u32>("SWEEP_REDISPATCH", "a re-dispatch budget") {
             o.max_redispatch = n;
@@ -241,7 +267,11 @@ struct ShardRun<'p> {
 
 enum State {
     /// Attach mode: request published, waiting for a worker to claim it.
-    AwaitingClaim,
+    /// Tracks when the wait began and when it last warned, so an
+    /// unclaimable request (no attached worker hosts the suite) surfaces
+    /// on stderr and — past `claim_timeout` — as a counted give-up instead
+    /// of a silent eternal poll.
+    AwaitingClaim { since_ms: u64, warned_ms: u64 },
     /// Revoked; re-dispatch scheduled after bounded backoff.
     AwaitingRedispatch { at_ms: u64 },
     /// A worker owns the shard.
@@ -372,22 +402,30 @@ where
             let state = std::mem::replace(&mut run.state, State::Settled);
             run.state = match state {
                 State::Settled => State::Settled,
-                State::AwaitingClaim => match wire::read_claim(&sup.spool, run.shard, run.gen) {
-                    Some(worker_id) => {
-                        sup.counters.leases_granted += 1;
-                        sup.events.emit(&DistEvent::LeaseGranted {
-                            shard: run.shard,
-                            gen: run.gen,
-                            worker: worker_id.clone(),
-                            cells: run.pending.len(),
-                        });
-                        State::Leased {
-                            lease: Lease::grant(run.shard, run.gen, worker_id, now, sup.lease_ms),
-                            child: None,
+                State::AwaitingClaim { since_ms, warned_ms } => {
+                    match wire::read_claim(&sup.spool, run.shard, run.gen) {
+                        Some(worker_id) => {
+                            sup.counters.leases_granted += 1;
+                            sup.events.emit(&DistEvent::LeaseGranted {
+                                shard: run.shard,
+                                gen: run.gen,
+                                worker: worker_id.clone(),
+                                cells: run.pending.len(),
+                            });
+                            State::Leased {
+                                lease: Lease::grant(
+                                    run.shard,
+                                    run.gen,
+                                    worker_id,
+                                    now,
+                                    sup.lease_ms,
+                                ),
+                                child: None,
+                            }
                         }
+                        None => sup.step_unclaimed(run, since_ms, warned_ms, now)?,
                     }
-                    None => State::AwaitingClaim,
-                },
+                }
                 State::AwaitingRedispatch { at_ms } if now >= at_ms => sup.dispatch(run)?,
                 s @ State::AwaitingRedispatch { .. } => s,
                 State::Leased { lease, child } => sup.step_lease(run, lease, child, now)?,
@@ -445,7 +483,8 @@ where
             .collect();
         wire::write_request(&self.spool, &header, &req_cells)?;
         if self.dist.spawn == SpawnMode::Attach {
-            return Ok(State::AwaitingClaim);
+            let now = self.now_ms();
+            return Ok(State::AwaitingClaim { since_ms: now, warned_ms: now });
         }
         let worker_id = format!("w{}-g{}", run.shard, run.gen);
         let child = spawn_worker(&self.dist.spawn, &self.spool, run.shard, run.gen, &worker_id)?;
@@ -461,6 +500,50 @@ where
             lease: Lease::grant(run.shard, run.gen, worker_id, self.now_ms(), self.lease_ms),
             child: Some(child),
         })
+    }
+
+    /// One poll step for an attach-mode dispatch nobody has claimed yet:
+    /// warn periodically (an unclaimable suite must be visible, not a
+    /// silent hang), and past `claim_timeout` give the dispatch up through
+    /// the normal revocation path — counted, re-dispatched (a worker may
+    /// attach late), and ultimately quarantined once the budget is spent.
+    fn step_unclaimed(
+        &mut self,
+        run: &mut ShardRun<'_>,
+        since_ms: u64,
+        mut warned_ms: u64,
+        now: u64,
+    ) -> Result<State, String> {
+        const CLAIM_WARN_MS: u64 = 5_000;
+        let waited = now.saturating_sub(since_ms);
+        if let Some(timeout) = self.dist.claim_timeout {
+            let timeout_ms = timeout.as_millis() as u64;
+            if waited > timeout_ms {
+                self.counters.claim_timeouts += 1;
+                let detail = format!(
+                    "no attached worker claimed shard {} g{} (suite {:?}) within {timeout_ms} ms \
+                     — is a sweep_worker hosting this suite watching {}?",
+                    run.shard,
+                    run.gen,
+                    self.dist.suite,
+                    self.spool.display()
+                );
+                return self.revoke(run, None, "claim_timeout", detail, now);
+            }
+        }
+        if now.saturating_sub(warned_ms) >= CLAIM_WARN_MS {
+            warned_ms = now;
+            eprintln!(
+                "warning: shard {} g{} (suite {:?}) unclaimed for {:.1} s — \
+                 is a sweep_worker hosting this suite watching {}?",
+                run.shard,
+                run.gen,
+                self.dist.suite,
+                waited as f64 / 1e3,
+                self.spool.display()
+            );
+        }
+        Ok(State::AwaitingClaim { since_ms, warned_ms })
     }
 
     /// Checks revoked generations for post-revocation response growth: a
@@ -508,14 +591,19 @@ where
             }
         }
         let parsed = wire::parse_response(&text, &expect);
-        if let Some(seq) = wire::read_heartbeat_seq(&self.spool, &lease.worker) {
+        // Scoped to this dispatch: an attached worker's heartbeat file
+        // accumulates lines (with per-request seq restarts) across every
+        // request it serves, and only this generation's lines prove it is
+        // alive *here*.
+        if let Some(seq) = wire::read_heartbeat_seq(&self.spool, &lease.worker, run.shard, run.gen)
+        {
             lease.observe_heartbeat(seq, now);
         }
         let harvested = self.harvest(run, &parsed);
         lease.observe_progress(parsed.done.len() + parsed.failed.len(), now, self.lease_ms);
         if let Err(detail) = harvested {
             self.counters.invalid_responses += 1;
-            return self.revoke(run, child, "invalid_response", detail, &text, now);
+            return self.revoke(run, child, "invalid_response", detail, now);
         }
         if let Some(fault) = &parsed.fault {
             match fault {
@@ -523,7 +611,7 @@ where
                 ResponseFault::Invalid(_) => self.counters.invalid_responses += 1,
             }
             let detail = fault.detail().to_owned();
-            return self.revoke(run, child, fault.as_str(), detail, &text, now);
+            return self.revoke(run, child, fault.as_str(), detail, now);
         }
         if parsed.complete {
             if run.pending.is_empty() {
@@ -540,12 +628,12 @@ where
             }
             self.counters.invalid_responses += 1;
             let detail = format!("complete response left {} cell(s) unanswered", run.pending.len());
-            return self.revoke(run, child, "invalid_response", detail, &text, now);
+            return self.revoke(run, child, "invalid_response", detail, now);
         }
         if let Some(status) = exited {
             self.counters.worker_crashes += 1;
             let detail = format!("worker exited ({status}) with an incomplete response");
-            return self.revoke(run, child, "crash", detail, &text, now);
+            return self.revoke(run, child, "crash", detail, now);
         }
         if let Some(cause) = lease.assess(now, self.hb_timeout_ms) {
             let detail = match cause {
@@ -564,7 +652,7 @@ where
                     format!("no heartbeat for over {} ms", self.hb_timeout_ms)
                 }
             };
-            return self.revoke(run, child, cause.as_str(), detail, &text, now);
+            return self.revoke(run, child, cause.as_str(), detail, now);
         }
         Ok(State::Leased { lease, child })
     }
@@ -702,13 +790,17 @@ where
         child: Option<Child>,
         reason: &'static str,
         detail: String,
-        text_at_revoke: &str,
         now: u64,
     ) -> Result<State, String> {
         if let Some(mut c) = child {
             let _ = c.kill();
             let _ = c.wait();
         }
+        // The late-response baseline is the file's on-disk length *after*
+        // the worker is dead — a line it flushed between our last read and
+        // the kill was written before the watch began, not after it.
+        let resp_bytes = std::fs::metadata(wire::response_path(&self.spool, run.shard, run.gen))
+            .map_or(0, |m| m.len());
         self.events.emit(&DistEvent::LeaseRevoked {
             shard: run.shard,
             gen: run.gen,
@@ -724,7 +816,7 @@ where
             });
         }
         run.causes.push(format!("g{}: {reason} ({detail})", run.gen));
-        run.watch.push((run.gen, text_at_revoke.len() as u64));
+        run.watch.push((run.gen, resp_bytes));
         if run.pending.is_empty() {
             // Everything was salvaged from the partial response (e.g. a
             // crash between the last cell and the footer): nothing to redo.

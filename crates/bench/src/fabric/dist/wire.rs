@@ -636,12 +636,25 @@ pub fn append_heartbeat(
         .map_err(|e| format!("cannot append heartbeat: {e}"))
 }
 
-/// Reads the highest heartbeat sequence in `worker`'s file, skipping any
-/// torn final line. `None` when the file does not exist or holds no
-/// complete line yet.
-pub fn read_heartbeat_seq(spool: &Path, worker: &str) -> Option<u64> {
+/// Reads the highest heartbeat sequence `worker` has appended **for
+/// `(shard, gen)`**, skipping any torn final line. `None` when the file
+/// does not exist or holds no complete line for that dispatch yet.
+///
+/// Filtering by the shard/gen fields on each line matters: an attached
+/// worker keeps one id (and one heartbeat file) across every request it
+/// serves, and its heartbeat thread restarts `seq` at 1 per request. The
+/// file-wide maximum would belong to some *earlier* dispatch, and fresh
+/// beats below that stale maximum would never advance the current lease's
+/// liveness clock — a live worker revoked as a `heartbeat_lapse`.
+pub fn read_heartbeat_seq(spool: &Path, worker: &str, shard: usize, gen: u64) -> Option<u64> {
     let text = std::fs::read_to_string(heartbeat_path(spool, worker)).ok()?;
-    text.lines().filter_map(|l| u64_field(l, "seq").ok()).max()
+    text.lines()
+        .filter(|l| {
+            u64_field(l, "shard").is_ok_and(|s| s == shard as u64)
+                && u64_field(l, "gen").is_ok_and(|g| g == gen)
+        })
+        .filter_map(|l| u64_field(l, "seq").ok())
+        .max()
 }
 
 /// Attempts to claim `(shard, gen)` for `worker` by O_EXCL-creating the
@@ -824,10 +837,10 @@ mod tests {
         let spool = tmp("hb");
         let _ = std::fs::remove_dir_all(&spool);
         init_spool(&spool, 1, 1, 1, "walk").expect("init");
-        assert_eq!(read_heartbeat_seq(&spool, "w0"), None);
+        assert_eq!(read_heartbeat_seq(&spool, "w0", 0, 0), None);
         append_heartbeat(&spool, "w0", 0, 0, 1).expect("hb1");
         append_heartbeat(&spool, "w0", 0, 0, 2).expect("hb2");
-        assert_eq!(read_heartbeat_seq(&spool, "w0"), Some(2));
+        assert_eq!(read_heartbeat_seq(&spool, "w0", 0, 0), Some(2));
         // Exactly one claimant wins; the claim names the winner.
         assert!(try_claim(&spool, 0, 0, "w0").expect("claim"));
         assert!(!try_claim(&spool, 0, 0, "other").expect("reclaim"));
@@ -835,6 +848,32 @@ mod tests {
         assert!(!shutdown_requested(&spool));
         write_shutdown(&spool).expect("shutdown");
         assert!(shutdown_requested(&spool));
+        let _ = std::fs::remove_dir_all(&spool);
+    }
+
+    /// An attached worker reuses one heartbeat file across requests, with
+    /// `seq` restarting at 1 per request. The liveness read must see only
+    /// the asked-for dispatch's lines: a later generation's fresh low seqs
+    /// must not be shadowed by an earlier request's higher maximum.
+    #[test]
+    fn heartbeat_reads_are_scoped_to_shard_and_gen() {
+        let spool = tmp("hb-scope");
+        let _ = std::fs::remove_dir_all(&spool);
+        init_spool(&spool, 1, 1, 1, "walk").expect("init");
+        // A long first request on shard 1 drives seq far up…
+        for seq in 1..=50 {
+            append_heartbeat(&spool, "w", 1, 0, seq).expect("hb");
+        }
+        // …then the same worker serves shard 0 gen 1, seq restarting at 1.
+        append_heartbeat(&spool, "w", 0, 1, 1).expect("hb");
+        append_heartbeat(&spool, "w", 0, 1, 2).expect("hb");
+        assert_eq!(read_heartbeat_seq(&spool, "w", 1, 0), Some(50));
+        assert_eq!(
+            read_heartbeat_seq(&spool, "w", 0, 1),
+            Some(2),
+            "fresh beats must not be masked by another dispatch's maximum"
+        );
+        assert_eq!(read_heartbeat_seq(&spool, "w", 2, 0), None, "no lines for that dispatch");
         let _ = std::fs::remove_dir_all(&spool);
     }
 }

@@ -30,7 +30,8 @@
 //! generations always run clean, so every drill converges instead of
 //! crash-looping. Format: `mode[:n]@shard`, e.g. `kill:1@0` (SIGKILL self
 //! after 1 completed cell while serving shard 0). Modes: `kill:n`,
-//! `stall:n` (heartbeats continue, no further progress), `truncate` (exit
+//! `stall:n` (heartbeats continue, no further progress until the dispatch
+//! is superseded or the sweep shuts down), `truncate` (exit
 //! without the end footer), `corrupt:n` (write a garbage line), `dup`
 //! (write every done line twice), `stale` (respond with protocol version
 //! 0). Used by the `fabric_chaos` harness and CI; never armed in normal
@@ -201,7 +202,17 @@ fn serve_request(
             Some(ChaosMode::Stall(n)) if served == n => loop {
                 // Alive (the heartbeat thread keeps appending) but never
                 // progressing: the supervisor must diagnose a stall, not a
-                // heartbeat lapse.
+                // heartbeat lapse. A self-exec staller is killed by its
+                // supervisor at revocation; an attach-mode staller gets no
+                // such kill, so once this dispatch is superseded (the
+                // re-dispatched request exists) or the sweep shuts down,
+                // stop stalling — the drill converges instead of wedging
+                // the external worker process forever.
+                if wire::shutdown_requested(spool)
+                    || wire::request_path(spool, header.shard, header.gen + 1).exists()
+                {
+                    return Ok(());
+                }
                 std::thread::sleep(Duration::from_millis(50));
             },
             Some(ChaosMode::Corrupt(n)) if served == n => {

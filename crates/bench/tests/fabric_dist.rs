@@ -194,13 +194,19 @@ fn attach_worker_lapse_redispatch_and_late_response() {
     wait_for(&wire::request_path(&spool, 0, 0));
     wait_for(&wire::request_path(&spool, 1, 0));
 
-    // Serve shard 1 completely and promptly.
+    // One worker id serves every claim, exactly like a real `sweep_worker`
+    // process: its heartbeat file accumulates lines across requests, and
+    // each request's heartbeat seq restarts at 1. The high seqs written
+    // for this first request must not mask later dispatches' fresh low
+    // seqs (liveness reads are scoped per shard/gen).
     let (h1, cells1) = wire::read_request(&wire::request_path(&spool, 1, 0)).unwrap();
     assert_eq!(h1.version, PROTOCOL_VERSION);
-    assert!(wire::try_claim(&spool, 1, 0, "t-w1").unwrap());
-    wire::append_heartbeat(&spool, "t-w1", 1, 0, 1).unwrap();
+    assert!(wire::try_claim(&spool, 1, 0, "t-w").unwrap());
+    for seq in 1..=50 {
+        wire::append_heartbeat(&spool, "t-w", 1, 0, seq).unwrap();
+    }
     let mut resp =
-        wire::ResponseWriter::create(&spool, 1, 0, grid, "t-w1", PROTOCOL_VERSION).unwrap();
+        wire::ResponseWriter::create(&spool, 1, 0, grid, "t-w", PROTOCOL_VERSION).unwrap();
     for c in &cells1 {
         resp.record_done(c.id, &c.label, c.seed, 1, &payload_for(c.seed)).unwrap();
     }
@@ -209,10 +215,10 @@ fn attach_worker_lapse_redispatch_and_late_response() {
     // Shard 0: claim, heartbeat, stream ONE of its two cells, go silent.
     let (_, cells0) = wire::read_request(&wire::request_path(&spool, 0, 0)).unwrap();
     assert_eq!(cells0.len(), 2);
-    assert!(wire::try_claim(&spool, 0, 0, "t-w0").unwrap());
-    wire::append_heartbeat(&spool, "t-w0", 0, 0, 1).unwrap();
+    assert!(wire::try_claim(&spool, 0, 0, "t-w").unwrap());
+    wire::append_heartbeat(&spool, "t-w", 0, 0, 1).unwrap();
     let mut resp =
-        wire::ResponseWriter::create(&spool, 0, 0, grid, "t-w0", PROTOCOL_VERSION).unwrap();
+        wire::ResponseWriter::create(&spool, 0, 0, grid, "t-w", PROTOCOL_VERSION).unwrap();
     resp.record_done(
         cells0[0].id,
         &cells0[0].label,
@@ -240,11 +246,18 @@ fn attach_worker_lapse_redispatch_and_late_response() {
         writeln!(f, "{{\"dist\":\"done\",LATE-NOISE").unwrap();
     }
 
-    // A healthy second claimant serves the re-dispatch.
-    assert!(wire::try_claim(&spool, 0, 1, "t-w2").unwrap());
-    wire::append_heartbeat(&spool, "t-w2", 0, 1, 1).unwrap();
+    // The same (now recovered) worker claims the re-dispatch. It
+    // heartbeats afresh from seq 1 — far below the seqs already sitting in
+    // its file — while taking several lapse windows to produce the cell.
+    // Scoped liveness reads keep this lease alive; a file-wide max would
+    // see "no fresh heartbeat" and wrongly revoke a live worker here.
+    assert!(wire::try_claim(&spool, 0, 1, "t-w").unwrap());
     let mut resp =
-        wire::ResponseWriter::create(&spool, 0, 1, grid, "t-w2", PROTOCOL_VERSION).unwrap();
+        wire::ResponseWriter::create(&spool, 0, 1, grid, "t-w", PROTOCOL_VERSION).unwrap();
+    for seq in 1..=12 {
+        wire::append_heartbeat(&spool, "t-w", 0, 1, seq).unwrap();
+        std::thread::sleep(Duration::from_millis(60));
+    }
     resp.record_done(
         cells0g1[0].id,
         &cells0g1[0].label,
@@ -264,13 +277,68 @@ fn attach_worker_lapse_redispatch_and_late_response() {
     assert_eq!(dist_rows, serial_rows, "attach-mode merge must equal the serial run");
 
     let d = &report.counters.dist;
-    assert_eq!(d.heartbeat_lapses, 1, "the silent worker lapses exactly once");
+    assert_eq!(d.heartbeat_lapses, 1, "only the silent worker lapses, exactly once");
     assert_eq!(d.redispatches, 1);
     assert_eq!(d.harvested_cells, 1, "the streamed cell survives the revocation");
     assert_eq!(d.late_responses, 1, "post-revocation growth is counted");
     assert_eq!(d.leases_granted, 3, "shard1 g0 + shard0 g0 + shard0 g1");
     assert_eq!(d.duplicate_cells, 0);
+    assert_eq!(d.claim_timeouts, 0);
     assert_eq!(d.workers_spawned, 0, "attach mode spawns nothing");
+}
+
+/// A suite no attached worker hosts must never hang the supervisor in a
+/// silent claim-wait: each dispatch times out unclaimed (counted as a
+/// `claim_timeout`), burns the re-dispatch budget, and the shard's cells
+/// quarantine into a partial report with the cause history naming the
+/// unclaimed suite.
+#[test]
+fn unclaimed_attach_requests_time_out_into_a_partial_report() {
+    let mk_cells = || -> Vec<FabricCell<(u64, f64)>> {
+        (0..2u64)
+            .map(|i| {
+                FabricCell::new(format!("orphan-{i}"), i, move || (i, 0.0))
+                    .config(Fingerprint::new().str("orphan-test").u64(i))
+            })
+            .collect()
+    };
+    let root = temp_dir("unclaimed");
+    let opts = FabricOptions {
+        jobs: 1,
+        journal: None,
+        deadline: None,
+        retry: RetryPolicy::default(),
+        artifacts: None,
+    };
+    let mut dist = DistOptions::new("suite-nobody-hosts");
+    dist.workers = 2;
+    dist.spool = Some(root);
+    dist.spawn = SpawnMode::Attach;
+    dist.claim_timeout = Some(Duration::from_millis(150));
+    dist.max_redispatch = 1;
+    dist.poll = Duration::from_millis(10);
+
+    let start = Instant::now();
+    let report = run_dist(mk_cells(), &opts, &dist).expect("supervisor returns, never hangs");
+    assert!(start.elapsed() < Duration::from_secs(15), "must converge promptly");
+    assert!(!report.is_complete(), "nothing was served, so the report is partial");
+    for outcome in &report.outcomes {
+        match outcome {
+            CellOutcome::Quarantined(q) => {
+                assert!(
+                    q.message.contains("claim_timeout") && q.message.contains("suite-nobody-hosts"),
+                    "quarantine must name the unclaimed suite, got {:?}",
+                    q.message
+                );
+            }
+            CellOutcome::Done { .. } => panic!("no worker existed to complete cells"),
+        }
+    }
+    let d = &report.counters.dist;
+    assert_eq!(d.claim_timeouts, 4, "2 shards x (g0 + g1) each timed out");
+    assert_eq!(d.redispatches, 2, "one re-dispatch per shard before the budget ran out");
+    assert_eq!(d.leases_granted, 0, "nothing was ever claimed");
+    assert_eq!(report.counters.quarantined, 2);
 }
 
 /// Identically-labelled cells distinguished only by config fingerprint must
