@@ -647,9 +647,15 @@ where
                         lease.progress + run.pending.len()
                     )
                 }
-                _ => {
+                RevokeCause::HeartbeatLapse => {
                     self.counters.heartbeat_lapses += 1;
                     format!("no heartbeat for over {} ms", self.hb_timeout_ms)
+                }
+                // `assess` only reports liveness causes; crash and
+                // invalid-response revokes are raised directly at their
+                // detection sites above, so these arms never count.
+                RevokeCause::Crash | RevokeCause::InvalidResponse => {
+                    format!("unexpected {} verdict from lease assessment", cause.as_str())
                 }
             };
             return self.revoke(run, child, cause.as_str(), detail, now);

@@ -47,7 +47,7 @@ pub fn run(scale: Scale) -> String {
     };
     let max_subflows = match scale {
         Scale::Smoke => 4,
-        _ => 8,
+        Scale::Quick | Scale::Full => 8,
     };
     let mut rows = Vec::new();
     let (p_tcp, g_tcp) = mean_power(1, duration, true);

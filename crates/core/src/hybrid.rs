@@ -116,8 +116,10 @@ pub fn fluid_model_of(cc: &CcChoice) -> Option<CcModel> {
             AlgorithmKind::Coupled => Some(CcModel::loss_based(Psi::Coupled)),
             AlgorithmKind::Balia => Some(CcModel::loss_based(Psi::Balia)),
             AlgorithmKind::EcMtcp => Some(CcModel::loss_based(Psi::EcMtcp)),
-            // DCTCP, wVegas, DWC and any future algorithm without a §IV
-            // decomposition stay packet-level.
+            // DCTCP, wVegas, DWC have no §IV decomposition and stay
+            // packet-level; a new algorithm must pick a side here. The
+            // wildcard exists only because AlgorithmKind is non_exhaustive.
+            AlgorithmKind::Dctcp | AlgorithmKind::WVegas | AlgorithmKind::Dwc => None,
             _ => None,
         },
         CcChoice::Dts(cfg) => Some(CcModel::dts(*cfg)),
@@ -369,7 +371,7 @@ impl HybridEngine {
                 self.add_fluid_flow(model, paths, X_MIN, src_host);
                 Regime::Fluid
             }
-            _ => {
+            (Regime::Fluid, None) | (Regime::Packet, _) => {
                 self.add_packet_flow_from(cfg, cc, paths, start_after, src_host);
                 Regime::Packet
             }

@@ -1,0 +1,20 @@
+//! C001 clean fixture: one lock-acquisition order, everywhere in the file.
+
+pub struct Hub {
+    spool: Mutex<u32>,
+    journal: Mutex<u32>,
+}
+
+impl Hub {
+    pub fn publish(&self) -> u32 {
+        let s = self.spool.lock();
+        let j = self.journal.lock();
+        0
+    }
+
+    pub fn merge(&self) -> u32 {
+        let s = self.spool.lock();
+        let j = self.journal.lock();
+        0
+    }
+}

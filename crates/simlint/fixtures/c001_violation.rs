@@ -1,0 +1,21 @@
+//! C001 fixture: the same two locks taken in both orders — the deadlock
+//! seed a unit test will never reliably reproduce.
+
+pub struct Hub {
+    spool: Mutex<u32>,
+    journal: Mutex<u32>,
+}
+
+impl Hub {
+    pub fn publish(&self) -> u32 {
+        let s = self.spool.lock();
+        let j = self.journal.lock();
+        0
+    }
+
+    pub fn merge(&self) -> u32 {
+        let j = self.journal.lock();
+        let s = self.spool.lock(); // reverse order of `publish`
+        0
+    }
+}

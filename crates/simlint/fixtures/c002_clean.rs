@@ -1,0 +1,13 @@
+//! C002 clean fixture: join results propagated, poison mapped through —
+//! and `Path::join` (arguments in the parens) is not a thread join.
+
+pub fn drain(handle: JoinHandle<u32>, state: &Mutex<u32>, dir: &Path) -> u32 {
+    let got = match handle.join() {
+        Ok(v) => v,
+        Err(_) => 0,
+    };
+    let mut guard = state.lock().unwrap_or_else(PoisonError::into_inner);
+    *guard += got;
+    let _spool = dir.join(SPOOL_NAME);
+    *guard
+}

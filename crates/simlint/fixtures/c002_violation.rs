@@ -1,0 +1,10 @@
+//! C002 fixture: `.lock().unwrap()` / `.join().unwrap()` — a poisoned
+//! mutex or a panicked worker aborts the supervisor instead of being
+//! quarantined.
+
+pub fn drain(handle: JoinHandle<u32>, state: &Mutex<u32>) -> u32 {
+    let got = handle.join().unwrap();
+    let mut guard = state.lock().expect("state poisoned");
+    *guard += got;
+    *guard
+}

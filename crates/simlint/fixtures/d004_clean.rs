@@ -1,0 +1,11 @@
+//! D004 clean fixture: sim state built only from simulated-clock values.
+
+pub fn pace(now_ns: u64) -> SimDuration {
+    let lag_ns = now_ns;
+    SimDuration::from_nanos(lag_ns)
+}
+
+pub fn stamp(start: SimTime, delta: SimDuration) -> SimTime {
+    let t = start.saturating_add(delta);
+    t
+}

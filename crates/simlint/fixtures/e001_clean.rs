@@ -1,0 +1,31 @@
+//! E001 clean fixture: every variant listed (a wildcard after a full
+//! listing is fine), and wrapped/foreign matches stay out of scope.
+
+pub enum DropKind {
+    Full,
+    Corrupt,
+    Seeded,
+}
+
+pub fn weight(k: DropKind) -> u32 {
+    match k {
+        DropKind::Full => 2,
+        DropKind::Corrupt | DropKind::Seeded => 1,
+    }
+}
+
+pub fn listed_with_default(k: DropKind) -> u32 {
+    match k {
+        DropKind::Full => 2,
+        DropKind::Corrupt => 1,
+        DropKind::Seeded => 1,
+        _ => 0, // unreachable, but every variant is accounted for above
+    }
+}
+
+pub fn wrapped(k: Option<DropKind>) -> u32 {
+    match k {
+        Some(DropKind::Full) => 2,
+        _ => 0, // Option-wrapped patterns are out of E001's scope
+    }
+}

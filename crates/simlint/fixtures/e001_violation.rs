@@ -1,0 +1,24 @@
+//! E001 fixture: a wildcard arm swallowing enum variants, and an arm
+//! naming a variant the enum does not have.
+
+pub enum DropKind {
+    Full,
+    Corrupt,
+    Seeded,
+}
+
+pub fn weight(k: DropKind) -> u32 {
+    match k {
+        DropKind::Full => 2,
+        _ => 1, // silently swallows Corrupt and Seeded (and any new variant)
+    }
+}
+
+pub fn label(k: DropKind) -> u32 {
+    match k {
+        DropKind::Full => 0,
+        DropKind::Gone => 1, // not a variant: stale arm or typo
+        DropKind::Corrupt => 2,
+        DropKind::Seeded => 3,
+    }
+}

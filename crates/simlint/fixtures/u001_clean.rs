@@ -1,0 +1,12 @@
+//! U001 clean fixture: unit flows with explicit scaling or conversions.
+
+pub fn wire_cost(len_bytes: u64) -> u64 {
+    let frame_bits = len_bytes * 8; // scaling is the sanctioned conversion
+    frame_bits
+}
+
+pub fn window(rate_bps: u64, budget_bytes: u64) -> u64 {
+    let window_bps = bytes_to_bits(budget_bytes); // named conversion
+    let same_bytes = budget_bytes; // same unit both sides
+    window_bps.min(rate_bps).min(same_bytes * 8)
+}

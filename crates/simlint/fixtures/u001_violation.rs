@@ -1,0 +1,11 @@
+//! U001 fixture: unit-tagged values crossing tags without a conversion.
+
+pub fn wire_cost(len_bytes: u64) -> u64 {
+    let frame_bits = len_bytes; // bytes flowing into a bits binding
+    frame_bits
+}
+
+pub fn window(rate_bps: u64, budget_bytes: u64) -> u64 {
+    let window_bps = budget_bytes; // bytes flowing into a bps binding
+    window_bps.min(rate_bps)
+}

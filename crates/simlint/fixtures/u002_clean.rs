@@ -1,0 +1,11 @@
+//! U002 clean fixture: same-unit arithmetic, or mixes behind explicit
+//! scaling.
+
+pub fn over_budget(used_bytes: u64, cap_bits: u64) -> bool {
+    used_bytes * 8 > cap_bits // the scale factor converts bytes to bits
+}
+
+pub fn drift(mut acc_ns: u64, step_ns: u64) -> u64 {
+    acc_ns += step_ns;
+    acc_ns
+}

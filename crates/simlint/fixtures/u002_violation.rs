@@ -1,0 +1,10 @@
+//! U002 fixture: additive/comparison arithmetic across unit tags.
+
+pub fn over_budget(used_bytes: u64, cap_bits: u64) -> bool {
+    used_bytes > cap_bits // bytes compared against bits
+}
+
+pub fn drift(mut acc_ns: u64, step_ms: u64) -> u64 {
+    acc_ns += step_ms; // nanoseconds accumulated from milliseconds
+    acc_ns
+}

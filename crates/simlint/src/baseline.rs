@@ -66,7 +66,7 @@ mod tests {
     use super::*;
 
     fn finding(file: &str, line: usize) -> Finding {
-        Finding { file: file.into(), line, rule: "P001", message: "m".into() }
+        Finding { file: file.into(), line, rule: "P001", message: "m".into(), snippet: "s".into() }
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! The workspace symbol index: what the cross-file rules resolve against.
+//!
+//! Built from every file's [`crate::parser::FileItems`] after test regions
+//! are masked out, the index maps *unqualified* names to their definitions.
+//! Rust paths are not resolved (no module graph, no `use` expansion — this
+//! is a linter, not a compiler), so a name defined in more than one place,
+//! or with conflicting shapes, is marked `ambiguous` and every rule that
+//! consults the index skips it. That keeps the cross-file rules sound on
+//! the cheap: they only ever act on symbols with exactly one plausible
+//! definition in the workspace.
+
+use std::collections::BTreeMap;
+
+use crate::parser::FileItems;
+
+/// An indexed `enum` definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnumInfo {
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+    /// Line of the `enum` keyword.
+    pub line: usize,
+    /// Variant names, in declaration order.
+    pub variants: Vec<String>,
+    /// Defined more than once with differing variant sets; rules skip it.
+    pub ambiguous: bool,
+}
+
+/// An indexed `fn` definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnInfo {
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+    /// Line of the `fn` keyword.
+    pub line: usize,
+    /// Parameter names, in declaration order (receiver excluded).
+    pub param_names: Vec<String>,
+    /// Parameter type texts, aligned with `param_names`.
+    pub param_tys: Vec<String>,
+    /// Defined more than once with differing signatures; rules skip it.
+    pub ambiguous: bool,
+}
+
+/// Name → definition maps for the whole workspace.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolIndex {
+    /// Enum name → definition.
+    pub enums: BTreeMap<String, EnumInfo>,
+    /// Function name → definition (free fns and methods alike).
+    pub fns: BTreeMap<String, FnInfo>,
+}
+
+impl SymbolIndex {
+    /// Builds the index from per-file item trees. `files` pairs each
+    /// workspace-relative path with its parsed items; items whose defining
+    /// line falls in the file's test mask were already excluded by the
+    /// caller (the mask lives with the file analysis, not here).
+    pub fn build<'a, I>(files: I) -> SymbolIndex
+    where
+        I: IntoIterator<Item = (&'a str, &'a FileItems)>,
+    {
+        let mut index = SymbolIndex::default();
+        for (rel, items) in files {
+            for e in &items.enums {
+                match index.enums.get_mut(&e.name) {
+                    None => {
+                        index.enums.insert(
+                            e.name.clone(),
+                            EnumInfo {
+                                file: rel.to_owned(),
+                                line: e.line,
+                                variants: e.variants.clone(),
+                                ambiguous: false,
+                            },
+                        );
+                    }
+                    Some(prev) => {
+                        // Identical re-definitions (cfg-gated copies) stay
+                        // usable; anything else poisons the name.
+                        if prev.variants != e.variants {
+                            prev.ambiguous = true;
+                        }
+                    }
+                }
+            }
+            for f in &items.fns {
+                let names: Vec<String> = f.params.iter().map(|p| p.name.clone()).collect();
+                let tys: Vec<String> = f.params.iter().map(|p| p.ty.clone()).collect();
+                match index.fns.get_mut(&f.name) {
+                    None => {
+                        index.fns.insert(
+                            f.name.clone(),
+                            FnInfo {
+                                file: rel.to_owned(),
+                                line: f.line,
+                                param_names: names,
+                                param_tys: tys,
+                                ambiguous: false,
+                            },
+                        );
+                    }
+                    Some(prev) => {
+                        if prev.param_names != names || prev.param_tys != tys {
+                            prev.ambiguous = true;
+                        }
+                    }
+                }
+            }
+        }
+        index
+    }
+
+    /// The enum named `name`, unless it is ambiguous.
+    pub fn unique_enum(&self, name: &str) -> Option<&EnumInfo> {
+        self.enums.get(name).filter(|e| !e.ambiguous)
+    }
+
+    /// The function named `name`, unless it is ambiguous.
+    pub fn unique_fn(&self, name: &str) -> Option<&FnInfo> {
+        self.fns.get(name).filter(|f| !f.ambiguous)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::split_lines;
+    use crate::parser::{parse, token_stream};
+
+    fn items_of(src: &str) -> FileItems {
+        parse(&token_stream(&split_lines(src)))
+    }
+
+    #[test]
+    fn indexes_enums_and_fns_across_files() {
+        let a = items_of("pub enum DropCause { Full, Corrupt }\n");
+        let b = items_of("fn ser_ns(len_bytes: u32, rate_bps: u64) -> u64 { 0 }\n");
+        let idx = SymbolIndex::build([("a.rs", &a), ("b.rs", &b)]);
+        let e = idx.unique_enum("DropCause").expect("enum indexed");
+        assert_eq!(e.variants, ["Full", "Corrupt"]);
+        assert_eq!(e.file, "a.rs");
+        let f = idx.unique_fn("ser_ns").expect("fn indexed");
+        assert_eq!(f.param_names, ["len_bytes", "rate_bps"]);
+    }
+
+    #[test]
+    fn conflicting_definitions_become_ambiguous() {
+        let a = items_of("enum Kind { A, B }\nfn go(x_bps: u64) {}\n");
+        let b = items_of("enum Kind { A, B, C }\nfn go(y_bytes: u64) {}\n");
+        let idx = SymbolIndex::build([("a.rs", &a), ("b.rs", &b)]);
+        assert!(idx.unique_enum("Kind").is_none());
+        assert!(idx.unique_fn("go").is_none());
+        assert!(idx.enums["Kind"].ambiguous);
+        assert!(idx.fns["go"].ambiguous);
+    }
+
+    #[test]
+    fn identical_redefinitions_stay_usable() {
+        // cfg-gated copies of the same item must not poison the name.
+        let a = items_of("enum Mode { On, Off }\n");
+        let b = items_of("enum Mode { On, Off }\n");
+        let idx = SymbolIndex::build([("a.rs", &a), ("b.rs", &b)]);
+        assert!(idx.unique_enum("Mode").is_some());
+    }
+}

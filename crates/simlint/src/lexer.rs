@@ -55,7 +55,11 @@ pub fn split_lines(src: &str) -> Vec<Line> {
     while i < chars.len() {
         let c = chars[i];
         if c == '\n' {
-            if matches!(mode, Mode::LineComment { .. }) {
+            // A char literal cannot contain a bare newline: an unterminated
+            // `'…` ends at the line break (error recovery), otherwise one
+            // stray quote would swallow the rest of the file as literal
+            // content and desync every later line number.
+            if matches!(mode, Mode::LineComment { .. } | Mode::CharLit) {
                 mode = Mode::Code;
             }
             lines.push(std::mem::take(&mut cur));
@@ -130,12 +134,18 @@ pub fn split_lines(src: &str) -> Vec<Line> {
                     '\'' => {
                         // Char literal vs lifetime: `'\…'` and `'x'` are
                         // literals; anything else (`'static`, `'_`) is a
-                        // lifetime and stays in code mode.
+                        // lifetime and stays in code mode. A quote directly
+                        // before a newline is never a literal start — the
+                        // 3-char lookahead must not consume the line break
+                        // (line-count desync, pinned in `charlit_newlines`).
                         if next == Some('\\') {
                             cur.code.push('\'');
                             mode = Mode::CharLit;
                             i += 1;
-                        } else if chars.get(i + 2) == Some(&'\'') && next != Some('\'') {
+                        } else if chars.get(i + 2) == Some(&'\'')
+                            && next != Some('\'')
+                            && next != Some('\n')
+                        {
                             cur.code.push_str("' ");
                             cur.code.push('\'');
                             i += 3;
@@ -224,8 +234,16 @@ pub fn split_lines(src: &str) -> Vec<Line> {
             }
             Mode::CharLit => {
                 if c == '\\' {
-                    cur.code.push_str("  ");
-                    i += 2;
+                    // Never consume a line break as the escaped character:
+                    // the top of the loop must see every `\n` so the Line
+                    // vector stays in sync with physical lines.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        cur.code.push(' ');
+                        i += 1;
+                    } else {
+                        cur.code.push_str("  ");
+                        i += 2;
+                    }
                 } else if c == '\'' {
                     cur.code.push('\'');
                     mode = Mode::Code;
@@ -258,8 +276,21 @@ impl Tok {
     pub fn ident(&self) -> Option<&str> {
         match self {
             Tok::Ident(s) => Some(s),
-            _ => None,
+            Tok::Num(_) | Tok::Punct(_) => None,
         }
+    }
+
+    /// The punctuation text, if this token is one.
+    pub fn punct(&self) -> Option<&str> {
+        match self {
+            Tok::Punct(s) => Some(s),
+            Tok::Ident(_) | Tok::Num(_) => None,
+        }
+    }
+
+    /// Whether this token is the exact punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.punct() == Some(p)
     }
 
     /// Whether this token is a floating-point literal: has a decimal point,
@@ -272,7 +303,7 @@ impl Tok {
                     || s.ends_with("f64")
                     || (s.contains(['e', 'E']) && !s.starts_with("0x") && !s.starts_with("0X"))
             }
-            _ => false,
+            Tok::Ident(_) | Tok::Punct(_) => false,
         }
     }
 }
@@ -432,5 +463,75 @@ mod tests {
         let toks = tokenize("x(1.max(2))");
         assert!(toks.contains(&Tok::Num("1".into())));
         assert!(toks.iter().any(|t| t.ident() == Some("max")));
+    }
+
+    /// Every input must produce exactly one `Line` per physical line — rule
+    /// findings are reported by line number, so a lexer that eats a newline
+    /// shifts every later diagnostic onto the wrong line.
+    fn assert_line_sync(src: &str) {
+        assert_eq!(split_lines(src).len(), src.split('\n').count(), "line-count desync on {src:?}");
+    }
+
+    #[test]
+    fn charlit_newlines_do_not_desync_line_numbers() {
+        // Regression: an unterminated `'\` escape at end-of-line used to
+        // consume the newline, blanking the next line as literal content.
+        let src = "let c = '\\\nlet x = HashMap;\ndone";
+        assert_line_sync(src);
+        let lines = split_lines(src);
+        assert!(lines[1].code.contains("HashMap"), "{lines:?}");
+        // Regression: a quote directly before a newline used to be taken as
+        // the start of a 3-char literal `'<newline>'`, swallowing the break.
+        let src2 = "let c = '\n'; let y = HashMap;\ndone";
+        assert_line_sync(src2);
+        assert_eq!(split_lines(src2)[2].code, "done");
+    }
+
+    #[test]
+    fn line_sync_holds_across_literal_kinds() {
+        for src in [
+            "let s = r#\"l1\nl2\"#; x\ny",
+            "let s = \"a\\\n b\"; x\ny",
+            "a /* one\ntwo\n*/ b",
+            "let s = br##\"x\ny\"##;\nz",
+            "'\\\n'\n'",
+        ] {
+            assert_line_sync(src);
+        }
+    }
+
+    #[test]
+    fn raw_strings_more_hashes_and_false_closers() {
+        // A candidate closer with too few hashes stays inside the string;
+        // surplus hashes after the real closer are code again.
+        let lines = codes("let s = r##\"a\"# b\"##; tail");
+        assert!(!lines[0].contains('a') || !lines[0].contains('b'), "{lines:?}");
+        assert!(lines[0].contains("tail"));
+        let lines = codes("let s = r#\"x\"## ; HashMap");
+        assert!(lines[0].contains("HashMap"), "{lines:?}");
+        assert!(lines[0].contains('#'), "surplus hash is code: {lines:?}");
+    }
+
+    #[test]
+    fn nested_block_comment_pathologies() {
+        // `/*/` opens a nested level (it is `/*` then `/`), never closes one.
+        let lines = codes("a /*/*/ b HashMap");
+        assert!(!lines[0].contains("HashMap"), "{lines:?}");
+        let lines = codes("a /* /*/ */ */ b");
+        assert!(lines[0].contains('b'), "{lines:?}");
+        // Comments do not respect string quotes: `"*/` closes.
+        let lines = codes("a /* \"*/ b");
+        assert!(lines[0].contains('b'), "{lines:?}");
+    }
+
+    #[test]
+    fn lifetime_char_ambiguity_corners() {
+        let lines = codes("f::<'a>('x'); let q = '\"'; let s = \"HashMap\";");
+        assert!(lines[0].contains("f::<'a>"), "{lines:?}");
+        assert!(!lines[0].contains('x'), "char blanked: {lines:?}");
+        assert!(!lines[0].contains("HashMap"), "quote-char must not open a string: {lines:?}");
+        let lines = codes("let nl = b'\\n'; break 'outer; let r = 1..'z';");
+        assert!(lines[0].contains("break 'outer"), "{lines:?}");
+        assert!(!lines[0].contains('z'), "{lines:?}");
     }
 }

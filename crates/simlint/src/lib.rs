@@ -1,29 +1,46 @@
 //! # simlint — workspace determinism & safety linter
 //!
 //! Every result in this reproduction rests on bit-exact determinism: the
-//! paper's DTS/DTS-Φ claims are validated by seeded sweeps, and PRs 2–4 each
+//! paper's DTS/DTS-Φ claims are validated by seeded sweeps, and PRs 2–9 each
 //! fixed a bug from the same few classes — unchecked `as` casts wrapping
-//! `SimDuration` arithmetic, silent float edge cases, panics escaping worker
-//! threads. The runtime invariant checker (`netsim::check`) catches those
-//! *after* they corrupt a run; this crate catches them at review time, the
-//! way htsim-style simulators and the Linux MPTCP tree lean on
-//! checkpatch/sparse-class tooling rather than runtime luck.
+//! `SimDuration` arithmetic, silent float edge cases, unit mix-ups between
+//! raw integers, panics escaping worker threads. The runtime invariant
+//! checker (`netsim::check`) catches those *after* they corrupt a run; this
+//! crate catches them at review time, the way htsim-style simulators and the
+//! Linux MPTCP tree lean on checkpatch/sparse-class tooling rather than
+//! runtime luck.
 //!
-//! The build is vendored-only, so the lexer is hand-rolled (no `syn`): see
-//! [`lexer`] for what it understands, [`rules`] for the rule set, and
-//! `DESIGN.md` §11 for the history each rule encodes. Violations are silenced
-//! by an inline `// simlint: allow(RULE, reason)` waiver — the reason is
-//! mandatory — or by a `simlint.baseline` entry (kept empty in this repo).
+//! The build is vendored-only, so everything is hand-rolled (no `syn`): see
+//! [`lexer`] for the token layer, [`parser`] for the item trees, [`index`]
+//! for the workspace symbol index, [`dataflow`] for the unit/taint lattices,
+//! and [`rules`]/[`rules_flow`] for the rule set; `DESIGN.md` §11/§16 has
+//! the history each rule encodes. Violations are silenced by an inline
+//! `// simlint: allow(RULE, reason)` waiver — the reason is mandatory — or
+//! by a `simlint.baseline` entry (kept empty in this repo).
+//!
+//! Linting runs as a three-phase pipeline — per-file analysis (parallel),
+//! symbol-index build (serial), rule evaluation (parallel) — with findings
+//! collected in input order, the same deterministic-pool discipline as
+//! `bench_harness::runner`.
 //!
 //! Run it as `cargo run -p simlint -- --check`; exit code 0 means clean, 1
-//! means findings, 2 means usage or I/O error.
+//! means findings, 2 means usage or I/O error. `--json FILE` additionally
+//! emits every finding (fresh, waived, baseline-suppressed) as JSONL.
 
 pub mod baseline;
+pub mod dataflow;
+pub mod index;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod rules_flow;
 
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use index::SymbolIndex;
+use rules::FileAnalysis;
 
 pub use rules::{lint_source, Finding};
 
@@ -70,15 +87,123 @@ fn rel_path(root: &Path, file: &Path) -> String {
     rel.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/")
 }
 
-/// Lints every file under `root`, returning findings sorted by path/line.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
-    for file in collect_files(root)? {
-        let src = std::fs::read_to_string(&file)?;
-        findings.extend(lint_source(&rel_path(root, &file), &src));
+/// Maps `f` over `items` on a scoped thread pool, returning outputs in
+/// input order regardless of scheduling — the same discipline as
+/// `bench_harness::runner`: an atomic cursor hands out indices, each worker
+/// returns `(index, output)` pairs through `join()` (no slot locks), and
+/// the results are scattered back by index. Worker panics propagate.
+fn par_map<I, O, F>(items: &[I], jobs: usize, f: F) -> Vec<O>
+where
+    I: Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let jobs = jobs.clamp(1, items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().map(f).collect();
     }
-    findings.sort();
-    Ok(findings)
+    let cursor = AtomicUsize::new(0);
+    let worker_outs: Vec<Vec<(usize, O)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut slots: Vec<Option<O>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    for (i, o) in worker_outs.into_iter().flatten() {
+        slots[i] = Some(o);
+    }
+    slots
+        .into_iter()
+        .map(|o| match o {
+            Some(v) => v,
+            // Every index below the cursor was claimed by exactly one worker.
+            None => unreachable!("par_map slot left unfilled"),
+        })
+        .collect()
+}
+
+/// Default worker count for the lint pipeline.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
+/// A full workspace lint: standing findings plus inline-waived ones.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    /// Findings that stand, sorted by path/line/rule.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by inline waivers (surfaced in `--json`).
+    pub waived: Vec<Finding>,
+}
+
+/// The three-phase pipeline over already-loaded sources: analyze each file,
+/// build the symbol index, then evaluate rules per file against it.
+fn run_pipeline(analyses: &[FileAnalysis], jobs: usize) -> WorkspaceReport {
+    let indexable: Vec<(String, parser::FileItems)> = analyses
+        .iter()
+        .filter_map(|a| a.indexable_items().map(|items| (a.rel.clone(), items)))
+        .collect();
+    let index = SymbolIndex::build(indexable.iter().map(|(rel, items)| (rel.as_str(), items)));
+
+    let reports = par_map(analyses, jobs, |a| rules::finish(a, &index));
+    let mut out = WorkspaceReport::default();
+    for r in reports {
+        out.findings.extend(r.findings);
+        out.waived.extend(r.waived);
+    }
+    out.findings.sort();
+    out.waived.sort();
+    out
+}
+
+/// Lints a set of in-memory `(rel_path, source)` files as one workspace —
+/// cross-file symbol resolution included. Drives the same pipeline as
+/// [`lint_workspace_with_jobs`], minus the I/O.
+pub fn lint_sources(files: &[(String, String)]) -> WorkspaceReport {
+    let analyses = par_map(files, 1, |(rel, src)| rules::analyze(rel, src));
+    run_pipeline(&analyses, 1)
+}
+
+/// Lints every file under `root` with an explicit worker count. Output is
+/// independent of `jobs` (pinned by test).
+pub fn lint_workspace_with_jobs(root: &Path, jobs: usize) -> std::io::Result<WorkspaceReport> {
+    let files = collect_files(root)?;
+    let loaded: Vec<Result<(String, String), std::io::Error>> = par_map(&files, jobs, |file| {
+        let src = std::fs::read_to_string(file)?;
+        Ok((rel_path(root, file), src))
+    });
+    let mut sources = Vec::with_capacity(loaded.len());
+    for r in loaded {
+        sources.push(r?);
+    }
+    let analyses = par_map(&sources, jobs, |(rel, src)| rules::analyze(rel, src));
+    Ok(run_pipeline(&analyses, jobs))
+}
+
+/// Lints every file under `root`, returning standing findings sorted by
+/// path/line.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    Ok(lint_workspace_with_jobs(root, default_jobs())?.findings)
 }
 
 /// Locates the workspace root: the nearest ancestor of `start` whose
@@ -104,6 +229,8 @@ pub struct CheckReport {
     pub fresh: Vec<Finding>,
     /// Findings suppressed by the baseline.
     pub suppressed: Vec<Finding>,
+    /// Findings silenced by inline waivers.
+    pub waived: Vec<Finding>,
     /// Baseline keys that matched nothing (should be deleted).
     pub stale: Vec<String>,
 }
@@ -111,12 +238,56 @@ pub struct CheckReport {
 /// Lints the workspace and applies the baseline at `baseline_path` (missing
 /// file = empty baseline).
 pub fn check(root: &Path, baseline_path: &Path) -> std::io::Result<CheckReport> {
-    let findings = lint_workspace(root)?;
+    let report = lint_workspace_with_jobs(root, default_jobs())?;
     let base: BTreeSet<String> = match std::fs::read_to_string(baseline_path) {
         Ok(text) => baseline::parse(&text),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeSet::new(),
         Err(e) => return Err(e),
     };
-    let (fresh, suppressed, stale) = baseline::apply(findings, &base);
-    Ok(CheckReport { fresh, suppressed, stale })
+    let (fresh, suppressed, stale) = baseline::apply(report.findings, &base);
+    Ok(CheckReport { fresh, suppressed, waived: report.waived, stale })
+}
+
+/// Escapes a string for a JSON string literal (no external deps).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a check report as JSONL: one object per finding with its waiver
+/// status (`fresh` fails the build, `waived` has an inline waiver,
+/// `baseline` is suppressed by `simlint.baseline`), sorted by path/line so
+/// reports diff cleanly across PRs.
+pub fn render_jsonl(report: &CheckReport) -> String {
+    let mut rows: Vec<(&Finding, &str)> = report
+        .fresh
+        .iter()
+        .map(|f| (f, "fresh"))
+        .chain(report.waived.iter().map(|f| (f, "waived")))
+        .chain(report.suppressed.iter().map(|f| (f, "baseline")))
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(b.0));
+    let mut out = String::new();
+    for (f, status) in rows {
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"snippet\":\"{}\",\"status\":\"{status}\",\"message\":\"{}\"}}\n",
+            f.rule,
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.snippet),
+            json_escape(&f.message),
+        ));
+    }
+    out
 }

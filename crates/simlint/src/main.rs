@@ -18,6 +18,8 @@ OPTIONS:
                         [workspace] Cargo.toml).
     --baseline FILE     Baseline file (default: <root>/simlint.baseline).
     --write-baseline    Rewrite the baseline to suppress all current findings.
+    --json FILE         Also write every finding (fresh, waived, and
+                        baseline-suppressed) as JSONL to FILE (`-` = stdout).
     --list-rules        Print the rule set and exit.
     -h, --help          This text.
 
@@ -29,10 +31,12 @@ struct Opts {
     baseline: Option<PathBuf>,
     write_baseline: bool,
     list_rules: bool,
+    json: Option<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Opts, String> {
-    let mut opts = Opts { root: None, baseline: None, write_baseline: false, list_rules: false };
+    let mut opts =
+        Opts { root: None, baseline: None, write_baseline: false, list_rules: false, json: None };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -44,6 +48,9 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 opts.baseline = Some(it.next().ok_or("--baseline needs a file argument")?.into());
             }
             "--write-baseline" => opts.write_baseline = true,
+            "--json" => {
+                opts.json = Some(it.next().ok_or("--json needs a file argument (or `-`)")?.into());
+            }
             "--list-rules" => opts.list_rules = true,
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
@@ -82,6 +89,14 @@ fn run() -> Result<ExitCode, String> {
     }
 
     let report = simlint::check(&root, &baseline_path).map_err(|e| format!("lint: {e}"))?;
+    if let Some(json) = &opts.json {
+        let body = simlint::render_jsonl(&report);
+        if json.as_os_str() == "-" {
+            print!("{body}");
+        } else {
+            std::fs::write(json, body).map_err(|e| format!("write {}: {e}", json.display()))?;
+        }
+    }
     for f in &report.fresh {
         println!("{f}");
     }

@@ -1,12 +1,23 @@
 //! The rule set: repo-specific determinism and safety checks.
 //!
 //! Each rule exists because this repository was bitten by (or is structurally
-//! exposed to) the bug class it bans — see `DESIGN.md` §11 for the history.
-//! Rules run on the comment/string-stripped token stream from
-//! [`crate::lexer`], scoped by file class, and are silenced either by an
-//! inline `// simlint: allow(RULE, reason)` waiver or a baseline entry.
+//! exposed to) the bug class it bans — see `DESIGN.md` §11/§16 for the
+//! history. The per-line rules run on the comment/string-stripped token
+//! stream from [`crate::lexer`]; the symbol-aware rules
+//! (U001/U002/D004/E001/C001/C002) run on the item trees from
+//! [`crate::parser`] against the workspace [`crate::index::SymbolIndex`].
+//! All are scoped by file class and silenced either by an inline
+//! `// simlint: allow(RULE, reason)` waiver or a baseline entry.
+//!
+//! Linting is a two-phase pipeline so the workspace can be processed in
+//! parallel: [`analyze`] is per-file and embarrassingly parallel; the
+//! symbol index is built from every analysis; [`finish`] then runs the
+//! rules per file against that index.
 
+use crate::index::SymbolIndex;
 use crate::lexer::{split_lines, tokenize, Line, Tok};
+use crate::parser::{parse, token_stream, FileItems, PTok};
+use crate::rules_flow;
 
 /// A single diagnostic: `file:line:rule: message`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -19,6 +30,9 @@ pub struct Finding {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// The trimmed offending source line, for reports and `--json` output.
+    /// Not part of the baseline key.
+    pub snippet: String,
 }
 
 impl Finding {
@@ -39,9 +53,15 @@ pub const ALL_RULES: &[(&str, &str)] = &[
     ("D001", "no HashMap/HashSet (iteration-order nondeterminism); use BTreeMap/BTreeSet"),
     ("D002", "no wall-clock reads (Instant/SystemTime) in simulation crates"),
     ("D003", "no unseeded randomness (thread_rng/rand::random/from_entropy/OsRng)"),
+    ("D004", "no wall-clock-derived values flowing into SimTime/SimDuration sinks"),
     ("A001", "no bare `as` integer casts in time/sequence arithmetic; use checked helpers"),
     ("F001", "no ==/!= against float literals; use is_exactly_zero or epsilon compares"),
     ("P001", "no unwrap()/expect()/panic! in library code outside #[cfg(test)]"),
+    ("U001", "no cross-unit assignment or argument flow (bits/bytes/bps/ns/…) without conversion"),
+    ("U002", "no cross-unit additive/comparison arithmetic without an explicit conversion"),
+    ("E001", "no wildcard match arms swallowing workspace enum variants (or naming unknown ones)"),
+    ("C001", "no conflicting Mutex lock-acquisition orders within a file"),
+    ("C002", "no .unwrap()/.expect() on lock()/join() outside tests"),
     ("W001", "malformed waiver: unknown rule or missing reason"),
     ("W002", "unused waiver: no matching finding on the waived line"),
 ];
@@ -190,26 +210,80 @@ fn has_marker(code: &str, markers: &[&str]) -> bool {
     markers.iter().any(|m| code.contains(m))
 }
 
-/// Runs every applicable rule over one file's source text.
-pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+/// Maximum characters kept of a finding's source-line snippet.
+const SNIPPET_MAX: usize = 160;
+
+fn snippet_of(raw: &str) -> String {
+    let t = raw.trim();
+    if t.chars().count() > SNIPPET_MAX {
+        let mut s: String = t.chars().take(SNIPPET_MAX - 1).collect();
+        s.push('…');
+        s
+    } else {
+        t.to_owned()
+    }
+}
+
+/// Phase-1 output: everything extracted from one file, before any
+/// cross-file rule runs. Producing this is pure per-file work, so the
+/// driver runs it in parallel; the symbol index is then built from every
+/// analysis and [`finish`] produces the findings.
+pub struct FileAnalysis {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    /// Path-derived rule scope.
+    pub class: FileClass,
+    /// Lexed lines (code/comment channels).
+    lines: Vec<Line>,
+    /// Trimmed raw source per line, for finding snippets.
+    snippets: Vec<String>,
+    /// `true` for lines inside `#[cfg(test)]` regions.
+    test_mask: Vec<bool>,
+    /// The file's flat positioned token stream.
+    toks: Vec<PTok>,
+    /// Parsed items (fns, enums, impls, sites).
+    pub items: FileItems,
+    /// Waivers active per line (same-line or carried from comment lines).
+    active: Vec<Vec<Waiver>>,
+    /// Malformed-waiver findings: `(line, message)`.
+    w001: Vec<(usize, String)>,
+}
+
+impl FileAnalysis {
+    /// The items this file contributes to the workspace symbol index:
+    /// `src/` files only, minus anything defined in a test region. Test
+    /// files and fixtures must not shadow real definitions.
+    pub fn indexable_items(&self) -> Option<FileItems> {
+        if !self.class.in_src || self.class.is_test_file {
+            return None;
+        }
+        let masked = |line: usize| self.test_mask.get(line - 1).copied().unwrap_or(false);
+        let mut items = self.items.clone();
+        items.fns.retain(|f| !masked(f.line));
+        items.enums.retain(|e| !masked(e.line));
+        items.impls.retain(|im| !masked(im.line));
+        Some(items)
+    }
+}
+
+/// Lexes, parses, and waiver-scans one file (phase 1; no rules yet).
+pub fn analyze(rel_path: &str, src: &str) -> FileAnalysis {
     let class = FileClass::of(rel_path);
     let lines = split_lines(src);
-    let in_test_region = test_region_lines(&lines);
+    let test_mask = test_region_lines(&lines);
+    let snippets = src.split('\n').map(snippet_of).collect();
+    let toks = token_stream(&lines);
+    let items = parse(&toks);
 
     // Waivers: a waiver on a code-bearing line covers that line; a waiver on
     // a comment-only line covers the next code-bearing line (stacking).
     let mut active: Vec<Vec<Waiver>> = vec![Vec::new(); lines.len()];
-    let mut findings = Vec::new();
+    let mut w001 = Vec::new();
     let mut carried: Vec<Waiver> = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
         let (waivers, malformed) = parse_waivers(&line.comment);
         for msg in malformed {
-            findings.push(Finding {
-                file: rel_path.to_owned(),
-                line: idx + 1,
-                rule: "W001",
-                message: msg,
-            });
+            w001.push((idx + 1, msg));
         }
         let code_empty = line.code.trim().is_empty();
         if code_empty {
@@ -220,158 +294,226 @@ pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
         }
     }
 
-    for (idx, line) in lines.iter().enumerate() {
-        let lineno = idx + 1;
-        let code = &line.code;
-        if code.trim().is_empty() {
-            continue;
-        }
-        let toks = tokenize(code);
-        let mut raw: Vec<(&'static str, String)> = Vec::new();
+    FileAnalysis {
+        rel: rel_path.to_owned(),
+        class,
+        lines,
+        snippets,
+        test_mask,
+        toks,
+        items,
+        active,
+        w001,
+    }
+}
 
-        // D001 — everywhere: deterministic collections only.
-        for bad in ["HashMap", "HashSet"] {
-            if toks.iter().any(|t| t.ident() == Some(bad)) {
-                raw.push((
-                    "D001",
-                    format!(
-                        "{bad} iterates in nondeterministic order; use BTree{} instead",
-                        &bad[4..]
-                    ),
-                ));
-            }
-        }
+/// Phase-3 output for one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Findings that stand (not waived).
+    pub findings: Vec<Finding>,
+    /// Findings silenced by an inline waiver (reported in `--json`).
+    pub waived: Vec<Finding>,
+}
 
-        // D002 — sim-core crates: no wall clock.
-        if class.crate_in(SIM_CORE_CRATES) {
-            for bad in ["Instant", "SystemTime", "UNIX_EPOCH", "OffsetDateTime", "chrono"] {
-                if toks.iter().any(|t| t.ident() == Some(bad)) {
-                    raw.push((
-                        "D002",
-                        format!("wall-clock type/call `{bad}` in a simulation crate; all time must come from SimTime"),
-                    ));
-                }
-            }
-        }
+/// Per-line token rules; appends `(rule, message)` pairs for one line.
+fn line_rules(
+    class: &FileClass,
+    in_test_region: bool,
+    code: &str,
+    raw: &mut Vec<(&'static str, String)>,
+) {
+    let toks = tokenize(code);
 
-        // D003 — everywhere: no unseeded randomness.
-        for bad in ["thread_rng", "from_entropy", "OsRng", "getrandom"] {
-            if toks.iter().any(|t| t.ident() == Some(bad)) {
-                raw.push((
-                    "D003",
-                    format!("`{bad}` is unseeded; derive all RNG from the run's seed"),
-                ));
-            }
-        }
-        if toks.windows(3).any(|w| {
-            w[0].ident() == Some("rand")
-                && w[1] == Tok::Punct("::".into())
-                && w[2].ident() == Some("random")
-        }) {
+    // D001 — everywhere: deterministic collections only.
+    for bad in ["HashMap", "HashSet"] {
+        if toks.iter().any(|t| t.ident() == Some(bad)) {
             raw.push((
-                "D003",
-                "`rand::random` is unseeded; derive all RNG from the run's seed".to_owned(),
+                "D001",
+                format!("{bad} iterates in nondeterministic order; use BTree{} instead", &bad[4..]),
             ));
         }
+    }
 
-        // A001 — sim-core src, outside tests: no bare integer `as` casts on
-        // time/sequence lines.
-        if class.crate_in(SIM_CORE_CRATES)
-            && class.in_src
-            && !class.is_test_file
-            && !in_test_region[idx]
-            && has_marker(code, TIME_SEQ_MARKERS)
-        {
-            for w in toks.windows(2) {
-                if w[0].ident() != Some("as") {
-                    continue;
-                }
-                if let Some(ty) = w[1].ident().filter(|ty| INT_TYPES.contains(ty)) {
-                    raw.push((
-                        "A001",
-                        format!("bare `as {ty}` cast in time/sequence arithmetic can truncate or wrap; use a checked/saturating SimTime/SimDuration helper or `{ty}::try_from`"),
-                    ));
-                }
+    // D002 — sim-core crates: no wall clock.
+    if class.crate_in(SIM_CORE_CRATES) {
+        for bad in ["Instant", "SystemTime", "UNIX_EPOCH", "OffsetDateTime", "chrono"] {
+            if toks.iter().any(|t| t.ident() == Some(bad)) {
+                raw.push((
+                    "D002",
+                    format!("wall-clock type/call `{bad}` in a simulation crate; all time must come from SimTime"),
+                ));
             }
         }
+    }
 
-        // F001 — everywhere: no exact compares against float literals.
-        for (k, t) in toks.iter().enumerate() {
-            if matches!(t, Tok::Punct(p) if p == "==" || p == "!=") {
-                let prev_float = k > 0 && toks[k - 1].is_float_literal();
-                let next_float = toks.get(k + 1).is_some_and(Tok::is_float_literal);
-                if prev_float || next_float {
-                    raw.push((
-                        "F001",
-                        "exact float comparison; route sentinel checks through is_exactly_zero or compare with a tolerance".to_owned(),
-                    ));
-                }
+    // D003 — everywhere: no unseeded randomness.
+    for bad in ["thread_rng", "from_entropy", "OsRng", "getrandom"] {
+        if toks.iter().any(|t| t.ident() == Some(bad)) {
+            raw.push(("D003", format!("`{bad}` is unseeded; derive all RNG from the run's seed")));
+        }
+    }
+    if toks.windows(3).any(|w| {
+        w[0].ident() == Some("rand")
+            && w[1] == Tok::Punct("::".into())
+            && w[2].ident() == Some("random")
+    }) {
+        raw.push((
+            "D003",
+            "`rand::random` is unseeded; derive all RNG from the run's seed".to_owned(),
+        ));
+    }
+
+    // A001 — sim-core src, outside tests: no bare integer `as` casts on
+    // time/sequence lines.
+    if class.crate_in(SIM_CORE_CRATES)
+        && class.in_src
+        && !class.is_test_file
+        && !in_test_region
+        && has_marker(code, TIME_SEQ_MARKERS)
+    {
+        for w in toks.windows(2) {
+            if w[0].ident() != Some("as") {
+                continue;
+            }
+            if let Some(ty) = w[1].ident().filter(|ty| INT_TYPES.contains(ty)) {
+                raw.push((
+                    "A001",
+                    format!("bare `as {ty}` cast in time/sequence arithmetic can truncate or wrap; use a checked/saturating SimTime/SimDuration helper or `{ty}::try_from`"),
+                ));
             }
         }
+    }
 
-        // P001 — library code only: no panicking shortcuts.
-        let p001_applies =
-            class.in_src && !class.is_bin && !class.is_test_file && !in_test_region[idx];
-        if p001_applies {
-            for w in toks.windows(3) {
-                let dot_call = |name: &str| {
-                    w[0] == Tok::Punct(".".into())
-                        && w[1].ident() == Some(name)
-                        && w[2] == Tok::Punct("(".into())
-                };
-                if dot_call("unwrap") {
+    // F001 — everywhere: no exact compares against float literals.
+    for (k, t) in toks.iter().enumerate() {
+        if matches!(t, Tok::Punct(p) if p == "==" || p == "!=") {
+            let prev_float = k > 0 && toks[k - 1].is_float_literal();
+            let next_float = toks.get(k + 1).is_some_and(Tok::is_float_literal);
+            if prev_float || next_float {
+                raw.push((
+                    "F001",
+                    "exact float comparison; route sentinel checks through is_exactly_zero or compare with a tolerance".to_owned(),
+                ));
+            }
+        }
+    }
+
+    // P001 — library code only: no panicking shortcuts.
+    let p001_applies = class.in_src && !class.is_bin && !class.is_test_file && !in_test_region;
+    if p001_applies {
+        for w in toks.windows(3) {
+            let dot_call = |name: &str| {
+                w[0] == Tok::Punct(".".into())
+                    && w[1].ident() == Some(name)
+                    && w[2] == Tok::Punct("(".into())
+            };
+            if dot_call("unwrap") {
+                raw.push((
+                    "P001",
+                    "unwrap() in library code; propagate the error or waive with the invariant that makes it impossible".to_owned(),
+                ));
+            }
+            if dot_call("expect") {
+                raw.push((
+                    "P001",
+                    "expect() in library code; propagate the error or waive with the invariant that makes it impossible".to_owned(),
+                ));
+            }
+        }
+        for w in toks.windows(2) {
+            if w[1] == Tok::Punct("!".into()) {
+                if let Some(mac @ ("panic" | "todo" | "unimplemented")) = w[0].ident() {
                     raw.push((
                         "P001",
-                        "unwrap() in library code; propagate the error or waive with the invariant that makes it impossible".to_owned(),
+                        format!("{mac}! in library code; return an error (assert!/unreachable! remain available for stated invariants)"),
                     ));
-                }
-                if dot_call("expect") {
-                    raw.push((
-                        "P001",
-                        "expect() in library code; propagate the error or waive with the invariant that makes it impossible".to_owned(),
-                    ));
-                }
-            }
-            for w in toks.windows(2) {
-                if w[1] == Tok::Punct("!".into()) {
-                    if let Some(mac @ ("panic" | "todo" | "unimplemented")) = w[0].ident() {
-                        raw.push((
-                            "P001",
-                            format!("{mac}! in library code; return an error (assert!/unreachable! remain available for stated invariants)"),
-                        ));
-                    }
                 }
             }
         }
+    }
+}
 
-        // Apply waivers; count which were used so W002 can flag dead ones.
-        let mut used = vec![false; active[idx].len()];
+/// Runs every rule over one analyzed file against the workspace index
+/// (phase 3; pure per-file work again, so the driver parallelizes it).
+pub fn finish(a: &FileAnalysis, index: &SymbolIndex) -> FileReport {
+    // Raw findings per line: the per-line token rules …
+    let mut raw_by_line: Vec<Vec<(&'static str, String)>> = vec![Vec::new(); a.lines.len()];
+    for (idx, line) in a.lines.iter().enumerate() {
+        if line.code.trim().is_empty() {
+            continue;
+        }
+        let region = a.test_mask.get(idx).copied().unwrap_or(false);
+        line_rules(&a.class, region, &line.code, &mut raw_by_line[idx]);
+    }
+
+    // … plus the symbol-aware flow rules, scoped to non-test `src/`.
+    if a.class.in_src && !a.class.is_test_file {
+        for d in rules_flow::run(&a.toks, &a.items, &a.test_mask, index) {
+            if let Some(slot) = raw_by_line.get_mut(d.line.saturating_sub(1)) {
+                slot.push((d.rule, d.message));
+            }
+        }
+    }
+
+    let snippet = |idx: usize| a.snippets.get(idx).cloned().unwrap_or_default();
+    let mut report = FileReport::default();
+    for (line, message) in &a.w001 {
+        report.findings.push(Finding {
+            file: a.rel.clone(),
+            line: *line,
+            rule: "W001",
+            message: message.clone(),
+            snippet: snippet(line - 1),
+        });
+    }
+
+    // Apply waivers; count which were used so W002 can flag dead ones.
+    for (idx, raw) in raw_by_line.into_iter().enumerate() {
+        let lineno = idx + 1;
+        let active = &a.active[idx];
+        let mut used = vec![false; active.len()];
         for (rule, message) in raw {
-            let waived = active[idx].iter().enumerate().find(|(_, wv)| wv.rule == rule);
-            match waived {
-                Some((wi, _)) => used[wi] = true,
-                None => findings.push(Finding {
-                    file: rel_path.to_owned(),
-                    line: lineno,
-                    rule,
-                    message,
-                }),
+            let finding =
+                Finding { file: a.rel.clone(), line: lineno, rule, message, snippet: snippet(idx) };
+            match active.iter().enumerate().find(|(_, wv)| wv.rule == rule) {
+                Some((wi, _)) => {
+                    used[wi] = true;
+                    report.waived.push(finding);
+                }
+                None => report.findings.push(finding),
             }
         }
-        for (wi, wv) in active[idx].iter().enumerate() {
+        for (wi, wv) in active.iter().enumerate() {
             if !used[wi] {
-                findings.push(Finding {
-                    file: rel_path.to_owned(),
+                report.findings.push(Finding {
+                    file: a.rel.clone(),
                     line: lineno,
                     rule: "W002",
                     message: format!(
                         "waiver for {} does not match any finding on this line; remove it",
                         wv.rule
                     ),
+                    snippet: snippet(idx),
                 });
             }
         }
     }
-    findings.sort();
-    findings
+    report.findings.sort();
+    report.waived.sort();
+    report
+}
+
+/// Runs every applicable rule over one file's source text, with a symbol
+/// index built from that file alone. The workspace driver in [`crate`]
+/// uses the phased [`analyze`]/[`finish`] pipeline instead so cross-file
+/// symbols resolve; this entry point keeps single-file linting (and the
+/// fixture corpus) self-contained.
+pub fn lint_source(rel_path: &str, src: &str) -> Vec<Finding> {
+    let a = analyze(rel_path, src);
+    let index = match a.indexable_items() {
+        Some(items) => SymbolIndex::build([(rel_path, &items)]),
+        None => SymbolIndex::default(),
+    };
+    finish(&a, &index).findings
 }

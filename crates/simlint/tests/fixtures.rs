@@ -70,6 +70,63 @@ fn p001_library_panics() {
 }
 
 #[test]
+fn u001_cross_unit_assignment() {
+    assert_eq!(rules_hit("crates/core/src/fx.rs", "u001_violation.rs"), ["U001"]);
+    assert_eq!(rules_hit("crates/core/src/fx.rs", "u001_clean.rs"), [""; 0]);
+    // Out of scope: tests may wire up deliberately odd unit mixes.
+    assert_eq!(rules_hit("crates/core/tests/fx.rs", "u001_violation.rs"), [""; 0]);
+}
+
+#[test]
+fn u002_cross_unit_arithmetic() {
+    assert_eq!(rules_hit("crates/core/src/fx.rs", "u002_violation.rs"), ["U002"]);
+    assert_eq!(rules_hit("crates/core/src/fx.rs", "u002_clean.rs"), [""; 0]);
+    assert_eq!(rules_hit("crates/core/tests/fx.rs", "u002_violation.rs"), [""; 0]);
+}
+
+#[test]
+fn d004_wall_clock_taint_flow() {
+    // Linted under a tooling crate where call-site D002 is out of scope:
+    // only the dataflow rule sees the wall-clock value reach sim state.
+    assert_eq!(rules_hit("crates/bench/src/fx.rs", "d004_violation.rs"), ["D004"]);
+    assert_eq!(rules_hit("crates/bench/src/fx.rs", "d004_clean.rs"), [""; 0]);
+    assert_eq!(rules_hit("crates/bench/tests/fx.rs", "d004_violation.rs"), [""; 0]);
+}
+
+#[test]
+fn e001_enum_exhaustiveness() {
+    assert_eq!(rules_hit("crates/netsim/src/fx.rs", "e001_violation.rs"), ["E001"]);
+    assert_eq!(rules_hit("crates/netsim/src/fx.rs", "e001_clean.rs"), [""; 0]);
+    assert_eq!(rules_hit("crates/netsim/tests/fx.rs", "e001_violation.rs"), [""; 0]);
+}
+
+#[test]
+fn c001_lock_order() {
+    assert_eq!(rules_hit("crates/bench/src/fx.rs", "c001_violation.rs"), ["C001"]);
+    assert_eq!(rules_hit("crates/bench/src/fx.rs", "c001_clean.rs"), [""; 0]);
+    assert_eq!(rules_hit("crates/bench/tests/fx.rs", "c001_violation.rs"), [""; 0]);
+}
+
+#[test]
+fn c002_lock_join_unwrap() {
+    // Binaries are exempt from P001, so the fixture isolates C002 there.
+    assert_eq!(rules_hit("crates/bench/src/bin/fx.rs", "c002_violation.rs"), ["C002"]);
+    assert_eq!(rules_hit("crates/bench/src/bin/fx.rs", "c002_clean.rs"), [""; 0]);
+    assert_eq!(rules_hit("crates/bench/tests/fx.rs", "c002_violation.rs"), [""; 0]);
+}
+
+#[test]
+fn findings_carry_snippets() {
+    let findings = lint_source("crates/core/src/fx.rs", &fixture("u002_violation.rs"));
+    assert!(!findings.is_empty());
+    assert!(
+        findings[0].snippet.contains("used_bytes > cap_bits"),
+        "snippet missing source text: {:?}",
+        findings[0].snippet
+    );
+}
+
+#[test]
 fn waivers_silence_findings() {
     assert_eq!(rules_hit("crates/core/src/fx.rs", "waivers.rs"), [""; 0]);
 }

@@ -1,0 +1,142 @@
+//! Property tests: the lexer, parser, and full pipeline are total — they
+//! never panic and always terminate, on *any* input, because the linter
+//! runs on every file in the workspace including ones mid-edit. A lint
+//! tool that crashes on malformed source is worse than no lint tool.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use simlint::lexer::{split_lines, tokenize};
+use simlint::parser::{parse, token_stream};
+
+/// Fragments chosen to collide: every delimiter that changes lexer mode
+/// (string/char/comment/raw-string starts and ends) plus ordinary code, so
+/// random concatenations constantly open constructs and never close them,
+/// or close ones that were never opened.
+fn fragment() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("fn f("),
+        Just(") {"),
+        Just("}"),
+        Just("let x_ns = "),
+        Just("a_bytes + b_bits"),
+        Just(";"),
+        Just("\n"),
+        Just("\""),
+        Just("\\\""),
+        Just("'"),
+        Just("'a"),
+        Just("'\\n'"),
+        Just("r#\""),
+        Just("\"#"),
+        Just("r##\""),
+        Just("/*"),
+        Just("*/"),
+        Just("//"),
+        Just("match x {"),
+        Just("=>"),
+        Just("enum E { A, B }"),
+        Just("impl T {"),
+        Just(".lock()"),
+        Just(".unwrap()"),
+        Just("::"),
+        Just("𝕏"),
+        Just("\u{0}"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Raw bytes (lossily decoded): the lexer must not panic, and the line
+    /// split must agree with the naive newline count so every diagnostic
+    /// line number is meaningful.
+    #[test]
+    fn lexer_is_total_on_arbitrary_bytes(bytes in vec(any::<u8>(), 0..300)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        let lines = split_lines(&src);
+        prop_assert_eq!(lines.len(), src.split('\n').count());
+        for line in &lines {
+            let _ = tokenize(&line.code);
+        }
+    }
+
+    /// Adversarial fragment soup: parser and full pipeline are total even
+    /// when string/comment/char constructs open and never close.
+    #[test]
+    fn pipeline_is_total_on_fragment_soup(parts in vec(fragment(), 0..60)) {
+        let src = parts.concat();
+        let lines = split_lines(&src);
+        let toks = token_stream(&lines);
+        let items = parse(&toks);
+        // Parsed spans must stay inside the token stream.
+        for f in &items.fns {
+            prop_assert!(f.body.end <= toks.len());
+        }
+        let findings = simlint::lint_source("crates/core/src/fx.rs", &src);
+        for f in &findings {
+            prop_assert!(f.line >= 1 && f.line <= lines.len(), "line {} of {}", f.line, lines.len());
+        }
+    }
+
+    /// Prefix closure: truncating a file at any char boundary (as an editor
+    /// save mid-keystroke would) still lexes, and the untruncated prefix of
+    /// the line structure is unchanged — blanking decisions depend only on
+    /// what came before.
+    #[test]
+    fn lexing_is_prefix_closed(parts in vec(fragment(), 0..40), frac in 0.0f64..1.0) {
+        let src = parts.concat();
+        let cut = src
+            .char_indices()
+            .map(|(i, _)| i)
+            .chain(std::iter::once(src.len()))
+            .nth((frac * src.chars().count() as f64) as usize)
+            .unwrap_or(src.len());
+        let prefix = &src[..cut];
+        let full = split_lines(&src);
+        let part = split_lines(prefix);
+        prop_assert_eq!(part.len(), prefix.split('\n').count());
+        // Every fully-contained line of the prefix matches the full parse.
+        for (a, b) in part.iter().zip(full.iter()).take(part.len().saturating_sub(1)) {
+            prop_assert_eq!(&a.code, &b.code);
+        }
+    }
+}
+
+/// Inputs that broke (or nearly broke) earlier lexer revisions; kept as a
+/// fixed corpus so the property tests' random walk is not the only thing
+/// standing between a regression and the workspace scan.
+#[test]
+fn regression_corpus_is_total() {
+    const CORPUS: &[&str] = &[
+        // Raw strings with hashes, terminated and not.
+        "let s = r#\"quote \" inside\"#; let after_ns = 1;",
+        "let s = r##\"sharp \"# inside\"##;",
+        "let s = r#\"unterminated",
+        // Nested block comments.
+        "/* outer /* inner */ still outer */ let x = 1;",
+        "/* unterminated /* nested",
+        // Lifetime vs char literal.
+        "fn f<'a>(x: &'a str) -> &'a str { x }",
+        "let c = '\\n'; let l: &'static str = \"s\";",
+        "let c = 'x'; struct S<'b>(&'b u8);",
+        // Char literal containing a newline-ish escape, then a real newline.
+        "let c = '\\'';\nlet d = 1;",
+        // Unterminated string swallowing the rest of the line only.
+        "let s = \"open\nlet next_line = 1;",
+        // Lone openers at EOF.
+        "\"",
+        "'",
+        "r#",
+        "/*",
+        "//",
+        "'\\",
+    ];
+    for src in CORPUS {
+        let lines = split_lines(src);
+        assert_eq!(lines.len(), src.split('\n').count(), "line count for {src:?}");
+        let toks = token_stream(&lines);
+        let _ = parse(&toks);
+        let _ = simlint::lint_source("crates/core/src/fx.rs", src);
+    }
+}
